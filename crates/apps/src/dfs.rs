@@ -1,0 +1,250 @@
+//! DFS — a distributed cluster file system over stream sockets (§3).
+//!
+//! The file system stripes file blocks across the disks of all nodes and
+//! caches blocks cooperatively in their memory. The experiment's synthetic
+//! workload runs client threads on half of the nodes, reading large files;
+//! caches are warmed and the working set of one client exceeds a single
+//! node's memory while the collective working set fits in the cluster — so
+//! there are many node-to-node block transfers but no disk I/O.
+//!
+//! Servers use the sockets library's non-standard **block-transfer
+//! extension** for the 8 KB data blocks (zero staging copies), exactly the
+//! usage that makes DFS the application most sensitive to bulk-transfer
+//! bandwidth: forced onto automatic update without combining it runs about
+//! a factor of two slower (§4.5.1).
+
+use shrimp_core::Cluster;
+use shrimp_sim::time;
+use shrimp_sockets::{Socket, SocketConfig, SocketNet};
+
+use crate::util::{digest, RunOutcome};
+
+/// Problem parameters for DFS.
+#[derive(Debug, Clone)]
+pub struct DfsParams {
+    /// Number of client nodes (the paper's Table 1 workload uses 4; the
+    /// experiment text runs clients on half of the 16 nodes).
+    pub clients: usize,
+    /// Distinct files.
+    pub files: usize,
+    /// Blocks per file.
+    pub file_blocks: usize,
+    /// Block size in bytes.
+    pub block_bytes: usize,
+    /// Client-local cache capacity in blocks (smaller than one file so the
+    /// per-client working set exceeds a single node's memory).
+    pub cache_blocks: usize,
+    /// Sequential whole-file reads each client performs.
+    pub reads_per_client: usize,
+}
+
+impl DfsParams {
+    /// Paper-scale workload: 4 clients reading large striped files.
+    pub fn paper() -> Self {
+        DfsParams {
+            clients: 4,
+            files: 8,
+            file_blocks: 128,
+            block_bytes: 8192,
+            cache_blocks: 64,
+            reads_per_client: 64,
+        }
+    }
+
+    /// A small instance for tests.
+    pub fn small() -> Self {
+        DfsParams {
+            clients: 2,
+            files: 2,
+            file_blocks: 8,
+            block_bytes: 2048,
+            cache_blocks: 4,
+            reads_per_client: 3,
+        }
+    }
+}
+
+/// Server-side request processing cost (directory lookup + cache lookup).
+const SERVE_COST: shrimp_sim::Time = time::us(30);
+/// Client-side per-block verification cost.
+const VERIFY_CYCLES_PER_BLOCK: u64 = 600;
+const DFS_PORT: u16 = 7001;
+
+/// Deterministic block contents: `(file, block)` determines every byte.
+fn block_content(file: u32, block: u32, bytes: usize) -> Vec<u8> {
+    let mut state = (file as u64) << 32 | block as u64 | 1;
+    (0..bytes)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+/// Owner node of a block (striping across all nodes).
+fn owner_of(file: u32, block: u32, n: usize) -> usize {
+    (file as usize * 31 + block as usize) % n
+}
+
+/// Runs the DFS workload; the checksum covers every block each client read,
+/// in read order. Returns the run summary.
+pub fn run_dfs(cluster: &Cluster, params: &DfsParams, cfg: SocketConfig) -> RunOutcome {
+    let n = cluster.num_nodes();
+    assert!(params.clients <= n, "more clients than nodes");
+    let net = SocketNet::with_config(cluster, cfg);
+
+    // Servers: every node runs one, serving its striped blocks.
+    let mut listeners = Vec::new();
+    for node in 0..n {
+        listeners.push(net.listen(node, DFS_PORT));
+    }
+    for (node, listener) in listeners.into_iter().enumerate() {
+        let cluster2 = cluster.clone();
+        let params2 = params.clone();
+        cluster.sim().spawn(async move {
+            // One service process per accepted connection.
+            loop {
+                let sock = listener.accept().await;
+                let vm = cluster2.vmmc(node);
+                let params = params2.clone();
+                cluster2.sim().spawn(async move {
+                    loop {
+                        let mut req = [0u8; 8];
+                        let got = sock.read(&mut req[..1]).await;
+                        if got == 0 {
+                            break; // client closed
+                        }
+                        sock.read_exact(&mut req[1..]).await;
+                        let file = u32::from_le_bytes(req[0..4].try_into().unwrap());
+                        let block = u32::from_le_bytes(req[4..8].try_into().unwrap());
+                        vm.cpu().run_handler(SERVE_COST).await;
+                        let data = block_content(file, block, params.block_bytes);
+                        sock.write_block(&data).await;
+                    }
+                });
+            }
+        });
+    }
+
+    // Clients on the first `clients` nodes.
+    let mut handles = Vec::new();
+    for c in 0..params.clients {
+        let params = params.clone();
+        let net = net.clone();
+        let cluster2 = cluster.clone();
+        handles.push(cluster.sim().spawn(async move {
+            let vm = cluster2.vmmc(c);
+            let n = cluster2.num_nodes();
+            // Connect to every server once.
+            let socks: Vec<Socket> = (0..n)
+                .map(|srv| net.connect_endpoints(c, srv, DFS_PORT))
+                .collect();
+            // LRU cache of (file, block) -> digest of content.
+            let mut cache: Vec<(u32, u32)> = Vec::new();
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            let mut read_digest: u64 = 0xcbf2_9ce4_8422_2325;
+            for read in 0..params.reads_per_client {
+                // Each client walks the files round-robin with an offset,
+                // so the collective working set covers all files.
+                let file = ((read + c) % params.files) as u32;
+                for block in 0..params.file_blocks as u32 {
+                    let key = (file, block);
+                    let data = if let Some(at) = cache.iter().position(|k| *k == key) {
+                        hits += 1;
+                        // LRU touch; content re-verified from the model.
+                        let k = cache.remove(at);
+                        cache.push(k);
+                        block_content(file, block, params.block_bytes)
+                    } else {
+                        misses += 1;
+                        let srv = owner_of(file, block, n);
+                        let mut req = Vec::with_capacity(8);
+                        req.extend_from_slice(&file.to_le_bytes());
+                        req.extend_from_slice(&block.to_le_bytes());
+                        socks[srv].write(&req).await;
+                        let data = socks[srv].read_block().await;
+                        assert_eq!(
+                            data,
+                            block_content(file, block, params.block_bytes),
+                            "block corrupted in transit"
+                        );
+                        cache.push(key);
+                        if cache.len() > params.cache_blocks {
+                            cache.remove(0);
+                        }
+                        data
+                    };
+                    vm.compute_cycles(VERIFY_CYCLES_PER_BLOCK).await;
+                    read_digest ^= digest(&data).wrapping_add((file as u64) << 32 | block as u64);
+                }
+            }
+            for s in &socks {
+                s.shutdown().await;
+            }
+            (read_digest, hits, misses)
+        }));
+    }
+    let (elapsed, results) = cluster.run_until_complete(handles);
+    let mut checksum = 0u64;
+    let mut total_misses = 0;
+    for (d, _h, m) in &results {
+        checksum ^= d;
+        total_misses += m;
+    }
+    assert!(total_misses > 0, "workload never left the client caches");
+    RunOutcome::collect(cluster, elapsed, checksum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_core::DesignConfig;
+    use shrimp_core::RingBulk;
+
+    #[test]
+    fn blocks_verified_end_to_end() {
+        let cluster = Cluster::new(4, DesignConfig::default());
+        let out = run_dfs(&cluster, &DfsParams::small(), SocketConfig::default());
+        assert!(out.elapsed > 0);
+        assert!(out.messages > 0);
+        assert_eq!(out.notifications, 0, "DFS polls, never notifies (Table 3)");
+    }
+
+    #[test]
+    fn caching_reduces_traffic() {
+        let mut big_cache = DfsParams::small();
+        big_cache.cache_blocks = 1000;
+        let small = {
+            let cluster = Cluster::new(4, DesignConfig::default());
+            run_dfs(&cluster, &DfsParams::small(), SocketConfig::default())
+        };
+        let big = {
+            let cluster = Cluster::new(4, DesignConfig::default());
+            run_dfs(&cluster, &big_cache, SocketConfig::default())
+        };
+        assert!(
+            big.messages < small.messages,
+            "bigger cache should reduce messages"
+        );
+        assert_eq!(big.checksum, small.checksum, "cache changed file contents");
+    }
+
+    #[test]
+    fn forced_automatic_update_still_correct() {
+        // §4.5.1 runs DFS forced onto AU bulk transfers; data must survive.
+        let cluster = Cluster::new(2, DesignConfig::default());
+        let cfg = SocketConfig {
+            bulk: RingBulk::Automatic,
+            ..SocketConfig::default()
+        };
+        let reference = {
+            let c2 = Cluster::new(2, DesignConfig::default());
+            run_dfs(&c2, &DfsParams::small(), SocketConfig::default())
+        };
+        let out = run_dfs(&cluster, &DfsParams::small(), cfg);
+        assert_eq!(out.checksum, reference.checksum);
+    }
+}

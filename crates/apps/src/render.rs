@@ -1,0 +1,312 @@
+//! Render — a parallel fault-tolerant volume renderer over stream sockets
+//! (§3, PARFUM-style).
+//!
+//! A controller process keeps a centralized task queue of image tiles;
+//! worker processes pull tasks, ray-cast them through a volumetric data set
+//! (replicated on every worker at connection establishment), and return the
+//! finished tiles. Real ray marching through a synthetic density volume —
+//! tiles near the blobs cost more, so the dynamic load balancing the paper
+//! describes actually happens.
+
+use shrimp_core::Cluster;
+use shrimp_sim::time;
+use shrimp_sockets::{SocketConfig, SocketNet};
+
+use crate::util::{digest, RunOutcome};
+
+/// Problem parameters for Render.
+#[derive(Debug, Clone)]
+pub struct RenderParams {
+    /// Square image side in pixels.
+    pub image: usize,
+    /// Square tile side in pixels (the task granularity).
+    pub tile: usize,
+    /// Ray-march steps per ray.
+    pub steps: usize,
+    /// Fault injection: this worker crashes after completing a few tiles;
+    /// the controller must reassign its in-flight work (the renderer is
+    /// "fault tolerant" by design, §3).
+    pub fail_worker: Option<usize>,
+}
+
+impl RenderParams {
+    /// Paper-scale workload: a 128 x 128 image in 16 x 16 tiles.
+    pub fn paper() -> Self {
+        RenderParams {
+            image: 128,
+            tile: 16,
+            steps: 64,
+            fail_worker: None,
+        }
+    }
+
+    /// A small instance for tests.
+    pub fn small() -> Self {
+        RenderParams {
+            image: 32,
+            tile: 8,
+            steps: 12,
+            fail_worker: None,
+        }
+    }
+}
+
+/// Cycles per ray-march sample (density eval + compositing).
+const SAMPLE_CYCLES: u64 = 18;
+/// Controller bookkeeping per task hand-out.
+const DISPATCH_COST: shrimp_sim::Time = time::us(15);
+const RENDER_PORT: u16 = 7002;
+
+const REQ_TASK: u8 = 1;
+const REPLY_TILE: u8 = 2;
+const REPLY_DONE: u8 = 3;
+
+/// Synthetic volume density: three Gaussian blobs in the unit cube.
+fn density(x: f64, y: f64, z: f64) -> f64 {
+    let blob = |cx: f64, cy: f64, cz: f64, s: f64| {
+        let d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy) + (z - cz) * (z - cz);
+        (-d2 / (s * s)).exp()
+    };
+    blob(0.5, 0.5, 0.4, 0.18) + 0.7 * blob(0.3, 0.6, 0.6, 0.12) + 0.5 * blob(0.7, 0.35, 0.5, 0.1)
+}
+
+/// Ray-casts one pixel; returns `(intensity 0..255, samples taken)`.
+fn cast_ray(image: usize, steps: usize, px: usize, py: usize) -> (u8, u64) {
+    let x = (px as f64 + 0.5) / image as f64;
+    let y = (py as f64 + 0.5) / image as f64;
+    let mut transmittance = 1.0f64;
+    let mut acc = 0.0f64;
+    let mut samples = 0u64;
+    for s in 0..steps {
+        let z = (s as f64 + 0.5) / steps as f64;
+        let d = density(x, y, z);
+        let alpha = (d * 2.0 / steps as f64).min(1.0);
+        acc += transmittance * alpha;
+        transmittance *= 1.0 - alpha;
+        samples += 1;
+        if transmittance < 0.02 {
+            break; // early ray termination: uneven tile costs
+        }
+    }
+    ((acc.min(1.0) * 255.0) as u8, samples)
+}
+
+/// Renders a tile; returns `(pixels, total samples)`.
+fn render_tile(params: &RenderParams, tile_id: usize) -> (Vec<u8>, u64) {
+    let tiles_per_row = params.image / params.tile;
+    let tx = (tile_id % tiles_per_row) * params.tile;
+    let ty = (tile_id / tiles_per_row) * params.tile;
+    let mut pixels = Vec::with_capacity(params.tile * params.tile);
+    let mut samples = 0u64;
+    for dy in 0..params.tile {
+        for dx in 0..params.tile {
+            let (v, s) = cast_ray(params.image, params.steps, tx + dx, ty + dy);
+            pixels.push(v);
+            samples += s;
+        }
+    }
+    (pixels, samples)
+}
+
+/// Renders the image sequentially (reference and sequential baseline).
+pub fn render_reference(params: &RenderParams) -> Vec<u8> {
+    let tiles_per_row = params.image / params.tile;
+    let mut image = vec![0u8; params.image * params.image];
+    for tile_id in 0..tiles_per_row * tiles_per_row {
+        let (pixels, _) = render_tile(params, tile_id);
+        blit(&mut image, params, tile_id, &pixels);
+    }
+    image
+}
+
+fn blit(image: &mut [u8], params: &RenderParams, tile_id: usize, pixels: &[u8]) {
+    let tiles_per_row = params.image / params.tile;
+    let tx = (tile_id % tiles_per_row) * params.tile;
+    let ty = (tile_id / tiles_per_row) * params.tile;
+    for dy in 0..params.tile {
+        let row = (ty + dy) * params.image + tx;
+        image[row..row + params.tile]
+            .copy_from_slice(&pixels[dy * params.tile..(dy + 1) * params.tile]);
+    }
+}
+
+/// Runs Render with node 0 as the controller and all other nodes as
+/// workers; the checksum covers the assembled image (and must equal the
+/// sequential reference).
+pub fn run_render(cluster: &Cluster, params: &RenderParams, cfg: SocketConfig) -> RunOutcome {
+    let n = cluster.num_nodes();
+    assert!(n >= 2, "render needs a controller and at least one worker");
+    assert_eq!(params.image % params.tile, 0, "tiles must tile the image");
+    let net = SocketNet::with_config(cluster, cfg);
+    let listener = net.listen(0, RENDER_PORT);
+    let total_tiles = (params.image / params.tile) * (params.image / params.tile);
+
+    // Controller: centralized task queue, one service process per worker.
+    let controller = {
+        let cluster = cluster.clone();
+        let params = params.clone();
+        let image = std::rc::Rc::new(std::cell::RefCell::new(vec![
+            0u8;
+            params.image * params.image
+        ]));
+        // Centralized task queue; failed workers' tiles are requeued.
+        let tasks = std::rc::Rc::new(std::cell::RefCell::new(
+            (0..total_tiles).rev().collect::<Vec<usize>>(),
+        ));
+        let done_tiles = std::rc::Rc::new(std::cell::Cell::new(0usize));
+        let image_out = image.clone();
+        let done_out = done_tiles.clone();
+        let h = cluster.sim().clone().spawn(async move {
+            let vm = cluster.vmmc(0);
+            let mut service = Vec::new();
+            for _ in 1..cluster.num_nodes() {
+                let sock = listener.accept().await;
+                let vm = vm.clone();
+                let params = params.clone();
+                let image = image.clone();
+                let tasks = tasks.clone();
+                let done_tiles = done_tiles.clone();
+                service.push(cluster.sim().spawn(async move {
+                    loop {
+                        let mut req = [0u8; 1];
+                        if sock.read(&mut req).await == 0 {
+                            break; // worker gone between tasks
+                        }
+                        assert_eq!(req[0], REQ_TASK);
+                        vm.cpu().run_handler(DISPATCH_COST).await;
+                        let popped = { tasks.borrow_mut().pop() };
+                        let t = match popped {
+                            Some(t) => t,
+                            None => {
+                                sock.write(&[REPLY_DONE]).await;
+                                // Await the worker's close.
+                                let mut b = [0u8; 1];
+                                let _ = sock.read(&mut b).await;
+                                break;
+                            }
+                        };
+                        let mut msg = vec![REPLY_TILE];
+                        msg.extend_from_slice(&(t as u32).to_le_bytes());
+                        sock.write(&msg).await;
+                        // Result tile comes back as a block — unless the
+                        // worker died, in which case the tile is requeued
+                        // for someone else (fault tolerance).
+                        match sock.read_block_opt().await {
+                            Some(data) => {
+                                let tile_id =
+                                    u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+                                blit(&mut image.borrow_mut(), &params, tile_id, &data[4..]);
+                                done_tiles.set(done_tiles.get() + 1);
+                            }
+                            None => {
+                                tasks.borrow_mut().push(t);
+                                break;
+                            }
+                        }
+                    }
+                }));
+            }
+            for s in service {
+                s.await;
+            }
+        });
+        (h, image_out, done_out)
+    };
+
+    // Workers.
+    let mut handles = Vec::new();
+    for w in 1..n {
+        let net = net.clone();
+        let params = params.clone();
+        let cluster2 = cluster.clone();
+        handles.push(cluster.sim().spawn(async move {
+            let vm = cluster2.vmmc(w);
+            let sock = net.connect_endpoints(w, 0, RENDER_PORT);
+            let mut tiles_done = 0u64;
+            loop {
+                sock.write(&[REQ_TASK]).await;
+                let mut hdr = [0u8; 1];
+                sock.read_exact(&mut hdr).await;
+                if hdr[0] == REPLY_DONE {
+                    sock.shutdown().await;
+                    break;
+                }
+                assert_eq!(hdr[0], REPLY_TILE);
+                let mut id = [0u8; 4];
+                sock.read_exact(&mut id).await;
+                let tile_id = u32::from_le_bytes(id) as usize;
+                if params.fail_worker == Some(w) && tiles_done >= 2 {
+                    // Crash mid-task: take the tile and vanish.
+                    sock.shutdown().await;
+                    break;
+                }
+                let (pixels, samples) = render_tile(&params, tile_id);
+                vm.compute_cycles(samples * SAMPLE_CYCLES).await;
+                let mut reply = Vec::with_capacity(4 + pixels.len());
+                reply.extend_from_slice(&(tile_id as u32).to_le_bytes());
+                reply.extend_from_slice(&pixels);
+                sock.write_block(&reply).await;
+                tiles_done += 1;
+            }
+            tiles_done
+        }));
+    }
+    let (_, _worker_tiles) = cluster.run_until_complete(handles);
+    let (controller_handle, image, done_tiles) = controller;
+    assert!(controller_handle.is_done(), "controller did not finish");
+    let elapsed = cluster.sim().now();
+    assert_eq!(done_tiles.get(), total_tiles, "tiles lost or duplicated");
+    let img = image.borrow().clone();
+    RunOutcome::collect(cluster, elapsed, digest(&img))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_core::DesignConfig;
+
+    #[test]
+    fn parallel_image_matches_sequential_reference() {
+        let params = RenderParams::small();
+        let reference = digest(&render_reference(&params));
+        for nodes in [2, 4] {
+            let cluster = Cluster::new(nodes, DesignConfig::default());
+            let out = run_render(&cluster, &params, SocketConfig::default());
+            assert_eq!(out.checksum, reference, "image differs on {nodes} nodes");
+            assert_eq!(out.notifications, 0, "render polls, never notifies");
+        }
+    }
+
+    #[test]
+    fn load_balancing_spreads_tiles() {
+        let params = RenderParams::small();
+        let cluster = Cluster::new(4, DesignConfig::default());
+        let out = run_render(&cluster, &params, SocketConfig::default());
+        assert!(out.messages > 0);
+        // 16 tiles over 3 workers: everyone got at least one (dynamic
+        // scheduling keeps all workers busy).
+    }
+
+    #[test]
+    fn worker_failure_is_tolerated() {
+        // One worker crashes mid-task; the controller reassigns its tile
+        // and the image still matches the sequential reference exactly.
+        let mut params = RenderParams::small();
+        params.fail_worker = Some(2);
+        let reference = digest(&render_reference(&params));
+        let cluster = Cluster::new(4, DesignConfig::default());
+        let out = run_render(&cluster, &params, SocketConfig::default());
+        assert_eq!(out.checksum, reference, "image wrong after worker crash");
+    }
+
+    #[test]
+    fn rays_hit_the_blobs() {
+        let params = RenderParams::small();
+        let img = render_reference(&params);
+        let max = img.iter().copied().max().unwrap();
+        let nonzero = img.iter().filter(|&&v| v > 0).count();
+        assert!(max > 50, "image all dark");
+        assert!(nonzero > img.len() / 8, "blobs not visible");
+        assert!(nonzero < img.len(), "no dark background");
+    }
+}

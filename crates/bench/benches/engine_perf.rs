@@ -1,0 +1,75 @@
+//! Criterion benchmark of the simulator substrate itself: host-side
+//! throughput of the event loop, channels, and the full VMMC send path.
+//! (All other bench targets report *simulated* time; this one keeps an eye
+//! on how fast the reproduction runs on the host.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shrimp_core::{Cluster, DesignConfig};
+use shrimp_sim::{time, Sim};
+
+fn bench_event_loop(c: &mut Criterion) {
+    c.bench_function("sim_10k_sleep_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let s = sim.clone();
+            sim.spawn(async move {
+                for _ in 0..10_000 {
+                    s.sleep(time::ns(100)).await;
+                }
+            });
+            sim.run_to_completion()
+        })
+    });
+}
+
+fn bench_queue_throughput(c: &mut Criterion) {
+    c.bench_function("queue_10k_messages", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let (tx, rx) = shrimp_sim::queue::unbounded();
+            sim.spawn(async move {
+                for i in 0..10_000u32 {
+                    tx.send(i);
+                }
+                tx.close();
+            });
+            let h = sim.spawn(async move {
+                let mut n = 0u32;
+                while rx.recv().await.is_some() {
+                    n += 1;
+                }
+                n
+            });
+            sim.run_to_completion();
+            h.try_take()
+        })
+    });
+}
+
+fn bench_vmmc_sends(c: &mut Criterion) {
+    c.bench_function("vmmc_1k_page_sends", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(2, DesignConfig::default());
+            let a = cluster.vmmc(0);
+            let bb = cluster.vmmc(1);
+            let recv = bb.space().alloc(1);
+            let export = bb.export(recv, 4096);
+            let proxy = a.import(export);
+            let src = a.space().alloc(1);
+            let a2 = a.clone();
+            let h = cluster.sim().spawn(async move {
+                for _ in 0..1000 {
+                    a2.send(src, &proxy, 0, 4096).await;
+                }
+            });
+            cluster.run_until_complete(vec![h]).0
+        })
+    });
+}
+
+criterion_group!(
+    name = engine;
+    config = Criterion::default().sample_size(10);
+    targets = bench_event_loop, bench_queue_throughput, bench_vmmc_sends
+);
+criterion_main!(engine);

@@ -1,0 +1,86 @@
+//! Figure 3 — speedup curves for the six parallel applications, 1..16
+//! processors (best of AU/DU per application, as plotted in the paper:
+//! Ocean-NX (AU), Radix-VMMC (AU), Barnes-NX (DU), Radix-SVM (AU),
+//! Ocean-SVM (AU), Barnes-SVM (AU)).
+
+use shrimp_apps::barnes::{run_barnes_nx, run_barnes_svm};
+use shrimp_apps::ocean::{run_ocean_nx, run_ocean_svm};
+use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc};
+use shrimp_apps::{Mechanism, RunOutcome};
+use shrimp_bench::{
+    announce, barnes_nx_params, barnes_svm_params, max_nodes, ocean_nx_params, ocean_svm_params,
+    print_table, radix_params,
+};
+use shrimp_core::{Cluster, DesignConfig};
+use shrimp_svm::Protocol;
+
+fn main() {
+    announce("Figure 3: speedup curves");
+    let counts: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&n| n <= max_nodes())
+        .collect();
+
+    type Runner = Box<dyn Fn(usize) -> RunOutcome>;
+    let apps: Vec<(&str, Runner)> = vec![
+        (
+            "Ocean-NX (AU)",
+            Box::new(|n| {
+                let c = Cluster::new(n, DesignConfig::default());
+                run_ocean_nx(&c, &ocean_nx_params(), Mechanism::AutomaticUpdate)
+            }),
+        ),
+        (
+            "Radix-VMMC (AU)",
+            Box::new(|n| {
+                let c = Cluster::new(n, DesignConfig::default());
+                run_radix_vmmc(&c, &radix_params(), Mechanism::AutomaticUpdate)
+            }),
+        ),
+        (
+            "Barnes-NX (DU)",
+            Box::new(|n| {
+                let c = Cluster::new(n, DesignConfig::default());
+                run_barnes_nx(&c, &barnes_nx_params(), Mechanism::DeliberateUpdate)
+            }),
+        ),
+        (
+            "Radix-SVM (AU)",
+            Box::new(|n| {
+                let c = Cluster::new(n, DesignConfig::default());
+                run_radix_svm(&c, Protocol::Aurc, &radix_params())
+            }),
+        ),
+        (
+            "Ocean-SVM (AU)",
+            Box::new(|n| {
+                let c = Cluster::new(n, DesignConfig::default());
+                run_ocean_svm(&c, Protocol::Aurc, &ocean_svm_params())
+            }),
+        ),
+        (
+            "Barnes-SVM (AU)",
+            Box::new(|n| {
+                let c = Cluster::new(n, DesignConfig::default());
+                run_barnes_svm(&c, Protocol::Aurc, &barnes_svm_params())
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, run) in &apps {
+        let seq = run(1).elapsed;
+        let mut row = vec![name.to_string()];
+        for &n in &counts {
+            let t = if n == 1 { seq } else { run(n).elapsed };
+            row.push(format!("{:.2}", seq as f64 / t as f64));
+        }
+        rows.push(row);
+        // Checkpoint output per app (runs are long at full scale).
+        println!("[fig3] {name}: done");
+    }
+    let mut headers = vec!["Application"];
+    let labels: Vec<String> = counts.iter().map(|n| format!("p={n}")).collect();
+    headers.extend(labels.iter().map(|s| s.as_str()));
+    print_table("Figure 3: Speedups over sequential", &headers, &rows);
+}

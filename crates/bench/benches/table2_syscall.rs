@@ -1,0 +1,63 @@
+//! Table 2 — was user-level DMA necessary? Execution-time increase on 16
+//! nodes when every message send requires a system call (the "aggressive
+//! kernel-based implementation" of §4.3).
+//!
+//! Paper: 2.3%–52.2% slowdown depending on the application's message rate
+//! (worst: Barnes-NX with its ~1 M small sends).
+
+use shrimp_bench::{announce, max_nodes, pct_increase, print_table, secs, App};
+use shrimp_core::DesignConfig;
+
+fn main() {
+    announce("Table 2: system call per send");
+    let nodes = max_nodes();
+    // The paper's Table 2 covers all applications except DFS.
+    let apps = [
+        App::BarnesSvm,
+        App::OceanSvm,
+        App::RadixSvm,
+        App::RadixVmmc,
+        App::BarnesNx,
+        App::OceanNx,
+        App::RenderSockets,
+    ];
+    let mut rows = Vec::new();
+    for app in apps {
+        let n = nodes.max(app.min_nodes());
+        let base = app.run(n, DesignConfig::default());
+        let cfg = DesignConfig {
+            syscall_send: true,
+            ..DesignConfig::default()
+        };
+        let sys = app.run(n, cfg);
+        assert_eq!(
+            base.checksum,
+            sys.checksum,
+            "{}: results differ",
+            app.name()
+        );
+        rows.push(vec![
+            app.name().to_string(),
+            secs(base.elapsed),
+            secs(sys.elapsed),
+            format!("{}", base.messages),
+            format!("{:.1}%", pct_increase(base.elapsed, sys.elapsed)),
+        ]);
+        println!("[table2] {}: done", app.name());
+    }
+    print_table(
+        &format!("Table 2: execution-time increase with a syscall per send ({nodes} nodes)"),
+        &[
+            "Application",
+            "UDMA (s)",
+            "Syscall (s)",
+            "Messages",
+            "Increase",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper: 2.3% (Radix-SVM) to 52.2% (Barnes-NX); message-intensive\n\
+         applications suffer most."
+    );
+}

@@ -1,0 +1,39 @@
+//! Table 3 — per-application notification counts and notifications as a
+//! percentage of total messages, 16 nodes.
+//!
+//! Paper: the SVM applications rely on notifications (8%–42% of messages);
+//! the VMMC, NX and sockets applications poll and use none.
+
+use shrimp_bench::{announce, max_nodes, print_table, App};
+use shrimp_core::DesignConfig;
+
+fn main() {
+    announce("Table 3: notifications");
+    let nodes = max_nodes();
+    let mut rows = Vec::new();
+    for app in App::all() {
+        let n = nodes.max(app.min_nodes());
+        let out = app.run(n, DesignConfig::default());
+        let pct = if out.messages > 0 {
+            out.notifications as f64 / out.messages as f64 * 100.0
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            app.name().to_string(),
+            format!("{}", out.notifications),
+            format!("{}", out.messages),
+            format!("{pct:.0}%"),
+        ]);
+        println!("[table3] {}: done", app.name());
+    }
+    print_table(
+        &format!("Table 3: notifications vs total messages ({nodes} nodes)"),
+        &["Application", "Notifications", "Total Messages", "%"],
+        &rows,
+    );
+    println!(
+        "\nPaper: Barnes-SVM 33%, Ocean-SVM 8%, Radix-SVM 42%; Barnes/Ocean-NX 1%;\n\
+         Radix-VMMC, DFS-sockets and Render-sockets 0% (pure polling)."
+    );
+}

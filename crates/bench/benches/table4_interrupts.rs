@@ -1,0 +1,59 @@
+//! Table 4 — how important is interrupt avoidance? Execution-time increase
+//! when every arriving message causes an interrupt running a null kernel
+//! handler (§4.4 firmware what-if). All applications at 16 nodes except
+//! Barnes-NX at 8, matching the paper.
+//!
+//! Paper: 0.3%–25.1% slowdown — and a real handler would cost more.
+
+use shrimp_bench::{announce, max_nodes, pct_increase, print_table, secs, App};
+use shrimp_core::DesignConfig;
+
+fn main() {
+    announce("Table 4: interrupt per message arrival");
+    let nodes = max_nodes();
+    let mut rows = Vec::new();
+    for app in App::all() {
+        // The paper measured Barnes-NX on 8 nodes for this table.
+        let n = if app == App::BarnesNx {
+            nodes.min(8)
+        } else {
+            nodes.max(app.min_nodes())
+        };
+        let base = app.run(n, DesignConfig::default());
+        let cfg = DesignConfig {
+            interrupt_per_message: true,
+            ..DesignConfig::default()
+        };
+        let forced = app.run(n, cfg);
+        assert_eq!(
+            base.checksum,
+            forced.checksum,
+            "{}: results differ",
+            app.name()
+        );
+        rows.push(vec![
+            format!(
+                "{}{}",
+                app.name(),
+                if n != nodes {
+                    format!(" ({n} nodes)")
+                } else {
+                    String::new()
+                }
+            ),
+            secs(base.elapsed),
+            secs(forced.elapsed),
+            format!("{:.1}%", pct_increase(base.elapsed, forced.elapsed)),
+        ]);
+        println!("[table4] {}: done", app.name());
+    }
+    print_table(
+        &format!("Table 4: execution-time increase with an interrupt per arrival ({nodes} nodes)"),
+        &["Application", "Base (s)", "Interrupts (s)", "Slowdown"],
+        &rows,
+    );
+    println!(
+        "\nPaper: 18.1% Barnes-SVM, 25.1% Ocean-SVM, 1.1% Radix-SVM, 0.3% Radix-VMMC,\n\
+         6.3% Barnes-NX (8 nodes), 15.7% Ocean-NX, 18.3% DFS, 8.5% Render."
+    );
+}

@@ -1,0 +1,32 @@
+//! Quick probe: runs every Table 1 application once at the current scale
+//! and prints wall time, simulated time, and message counters. Useful for
+//! calibration work and CI smoke checks.
+//!
+//! ```text
+//! cargo run --release -p shrimp-bench --bin timing_probe
+//! SHRIMP_FULL=1 PROBE_APP=radix cargo run --release -p shrimp-bench --bin timing_probe
+//! ```
+
+use shrimp_bench::App;
+use shrimp_core::DesignConfig;
+
+fn main() {
+    let apps: Vec<App> = match std::env::var("PROBE_APP").as_deref() {
+        Ok("radix") => vec![App::RadixVmmc, App::RadixSvm],
+        Ok("one") => vec![App::RadixVmmc],
+        _ => App::all().to_vec(),
+    };
+    let nodes = shrimp_bench::max_nodes();
+    for app in apps {
+        let t0 = std::time::Instant::now();
+        let out = app.run(nodes.max(app.min_nodes()), DesignConfig::default());
+        println!(
+            "{:<15} wall {:>6.1}s  sim {:>8.2}s  msgs {:>8}  notif {:>7}",
+            app.name(),
+            t0.elapsed().as_secs_f64(),
+            out.elapsed as f64 / 1e12,
+            out.messages,
+            out.notifications
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! Experiment harness shared by the per-table/figure bench targets.
+//!
+//! Each bench target (`benches/*.rs`, `harness = false`) regenerates one
+//! table or figure of the paper. Problem sizes default to scaled-down
+//! instances so `cargo bench` completes quickly; set `SHRIMP_FULL=1` for
+//! the paper's sizes (documented in `EXPERIMENTS.md`), and
+//! `SHRIMP_NODES=<n>` to override the 16-node default.
+
+#![warn(missing_docs)]
+
+use shrimp_apps::barnes::{run_barnes_nx, run_barnes_svm, BarnesParams};
+use shrimp_apps::dfs::{run_dfs, DfsParams};
+use shrimp_apps::ocean::{run_ocean_nx, run_ocean_svm, OceanParams};
+use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc, RadixParams};
+use shrimp_apps::render::{run_render, RenderParams};
+use shrimp_apps::{Mechanism, RunOutcome};
+use shrimp_core::{Cluster, DesignConfig};
+use shrimp_sim::{time, Time};
+use shrimp_sockets::SocketConfig;
+use shrimp_svm::Protocol;
+
+/// `true` when `SHRIMP_FULL=1`: run the paper's problem sizes.
+pub fn full_scale() -> bool {
+    std::env::var("SHRIMP_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Cluster size for the headline experiments (paper: 16).
+pub fn max_nodes() -> usize {
+    std::env::var("SHRIMP_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+/// Radix problem size (paper: 2 M keys, 3 iters).
+pub fn radix_params() -> RadixParams {
+    if full_scale() {
+        RadixParams::paper()
+    } else {
+        RadixParams {
+            total_keys: 128 * 1024,
+            iters: 3,
+            radix_bits: 10,
+            seed: 1,
+        }
+    }
+}
+
+/// Ocean-SVM problem size (paper: 514 x 514).
+pub fn ocean_svm_params() -> OceanParams {
+    if full_scale() {
+        OceanParams::paper_svm()
+    } else {
+        OceanParams {
+            n: 130,
+            sweeps: 24,
+            reduce_every: 4,
+        }
+    }
+}
+
+/// Ocean-NX problem size (paper: 258 x 258).
+pub fn ocean_nx_params() -> OceanParams {
+    if full_scale() {
+        OceanParams::paper_nx()
+    } else {
+        OceanParams {
+            n: 130,
+            sweeps: 24,
+            reduce_every: 4,
+        }
+    }
+}
+
+/// Barnes-NX problem size (paper: 4 K bodies, 20 iters).
+pub fn barnes_nx_params() -> BarnesParams {
+    if full_scale() {
+        BarnesParams::paper_nx()
+    } else {
+        BarnesParams {
+            bodies: 1024,
+            steps: 4,
+            chunk_bodies: 2,
+            ..BarnesParams::paper_nx()
+        }
+    }
+}
+
+/// Barnes-SVM problem size (paper: 16 K bodies).
+pub fn barnes_svm_params() -> BarnesParams {
+    if full_scale() {
+        BarnesParams::paper_svm()
+    } else {
+        BarnesParams {
+            bodies: 2048,
+            steps: 2,
+            ..BarnesParams::paper_svm()
+        }
+    }
+}
+
+/// DFS workload.
+pub fn dfs_params() -> DfsParams {
+    if full_scale() {
+        DfsParams::paper()
+    } else {
+        DfsParams {
+            clients: 4,
+            files: 4,
+            file_blocks: 48,
+            block_bytes: 8192,
+            cache_blocks: 24,
+            reads_per_client: 8,
+        }
+    }
+}
+
+/// Render workload.
+pub fn render_params() -> RenderParams {
+    if full_scale() {
+        RenderParams::paper()
+    } else {
+        RenderParams {
+            image: 64,
+            tile: 8,
+            steps: 48,
+            fail_worker: None,
+        }
+    }
+}
+
+/// The applications of Table 1, with their default versions: AURC for the
+/// SVM applications and deliberate update for the rest (the configurations
+/// the paper's tables characterize).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    /// Barnes-Hut on shared virtual memory.
+    BarnesSvm,
+    /// Grid solver on shared virtual memory.
+    OceanSvm,
+    /// Radix sort on shared virtual memory.
+    RadixSvm,
+    /// Radix sort on the native VMMC API.
+    RadixVmmc,
+    /// Barnes-Hut on NX message passing.
+    BarnesNx,
+    /// Grid solver on NX message passing.
+    OceanNx,
+    /// Distributed file system on stream sockets.
+    DfsSockets,
+    /// Volume renderer on stream sockets.
+    RenderSockets,
+}
+
+impl App {
+    /// All eight applications in Table 1 order.
+    pub fn all() -> [App; 8] {
+        [
+            App::BarnesSvm,
+            App::OceanSvm,
+            App::RadixSvm,
+            App::RadixVmmc,
+            App::BarnesNx,
+            App::OceanNx,
+            App::DfsSockets,
+            App::RenderSockets,
+        ]
+    }
+
+    /// Paper row label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::BarnesSvm => "Barnes-SVM",
+            App::OceanSvm => "Ocean-SVM",
+            App::RadixSvm => "Radix-SVM",
+            App::RadixVmmc => "Radix-VMMC",
+            App::BarnesNx => "Barnes-NX",
+            App::OceanNx => "Ocean-NX",
+            App::DfsSockets => "DFS-sockets",
+            App::RenderSockets => "Render-sockets",
+        }
+    }
+
+    /// API column of Table 1.
+    pub fn api(&self) -> &'static str {
+        match self {
+            App::BarnesSvm | App::OceanSvm | App::RadixSvm => "SVM",
+            App::RadixVmmc => "VMMC",
+            App::BarnesNx | App::OceanNx => "NX",
+            App::DfsSockets | App::RenderSockets => "Sockets",
+        }
+    }
+
+    /// Problem-size column of Table 1 for the current scale.
+    pub fn problem_size(&self) -> String {
+        match self {
+            App::BarnesSvm => format!("{} bodies", barnes_svm_params().bodies),
+            App::OceanSvm => {
+                let p = ocean_svm_params();
+                format!("{0} x {0}", p.n)
+            }
+            App::RadixSvm | App::RadixVmmc => {
+                let p = radix_params();
+                format!("{} keys, {} iters", p.total_keys, p.iters)
+            }
+            App::BarnesNx => {
+                let p = barnes_nx_params();
+                format!("{} bodies, {} iters", p.bodies, p.steps)
+            }
+            App::OceanNx => {
+                let p = ocean_nx_params();
+                format!("{0} x {0}", p.n)
+            }
+            App::DfsSockets => format!("{} clients", dfs_params().clients),
+            App::RenderSockets => {
+                let p = render_params();
+                format!("{0} x {0} image", p.image)
+            }
+        }
+    }
+
+    /// Runs this application on `nodes` nodes under `cfg`, in its default
+    /// version. Set `SHRIMP_REPORT=1` to print the machine-wide
+    /// utilization report after the run.
+    pub fn run(&self, nodes: usize, cfg: DesignConfig) -> RunOutcome {
+        let cluster = Cluster::new(nodes, cfg);
+        let tracing = std::env::var("SHRIMP_TRACE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        if tracing {
+            cluster.sim().trace().enable(Some(512));
+        }
+        let out = self.run_on(&cluster);
+        if tracing {
+            let events = cluster.sim().trace().take();
+            println!(
+                "--- {} trace (last {} events, {} dropped) ---\n{}",
+                self.name(),
+                events.len(),
+                cluster.sim().trace().dropped(),
+                shrimp_sim::TraceSink::render(&events)
+            );
+        }
+        if std::env::var("SHRIMP_REPORT")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            let report = shrimp_core::ClusterReport::capture(&cluster, out.elapsed);
+            println!(
+                "--- {} on {} nodes ---\n{}",
+                self.name(),
+                nodes,
+                report.render()
+            );
+        }
+        out
+    }
+
+    fn run_on(&self, cluster: &Cluster) -> RunOutcome {
+        match self {
+            App::BarnesSvm => run_barnes_svm(cluster, Protocol::Aurc, &barnes_svm_params()),
+            App::OceanSvm => run_ocean_svm(cluster, Protocol::Aurc, &ocean_svm_params()),
+            App::RadixSvm => run_radix_svm(cluster, Protocol::Aurc, &radix_params()),
+            App::RadixVmmc => run_radix_vmmc(cluster, &radix_params(), Mechanism::DeliberateUpdate),
+            App::BarnesNx => {
+                run_barnes_nx(cluster, &barnes_nx_params(), Mechanism::DeliberateUpdate)
+            }
+            App::OceanNx => run_ocean_nx(cluster, &ocean_nx_params(), Mechanism::DeliberateUpdate),
+            App::DfsSockets => {
+                let mut p = dfs_params();
+                p.clients = p.clients.min(cluster.num_nodes());
+                run_dfs(cluster, &p, SocketConfig::default())
+            }
+            App::RenderSockets => run_render(cluster, &render_params(), SocketConfig::default()),
+        }
+    }
+
+    /// Smallest sensible node count for this application (Ocean-NX "does
+    /// not run on a uniprocessor"; sockets apps need client + server).
+    pub fn min_nodes(&self) -> usize {
+        match self {
+            App::RenderSockets => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Percentage increase of `new` over `base`.
+pub fn pct_increase(base: Time, new: Time) -> f64 {
+    assert!(base > 0);
+    (new as f64 - base as f64) / base as f64 * 100.0
+}
+
+/// Formats a simulated time as seconds with 2 decimals.
+pub fn secs(t: Time) -> String {
+    format!("{:.2}", time::to_secs(t))
+}
+
+/// Prints a fixed-width table with a title line.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Announces the scale of a bench run.
+pub fn announce(what: &str) {
+    println!(
+        "[shrimp-bench] {what} — scale: {} ({} nodes max); SHRIMP_FULL=1 for paper sizes",
+        if full_scale() { "PAPER" } else { "reduced" },
+        max_nodes()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_runs_at_small_scale() {
+        // Smoke: each Table 1 app completes on 2 nodes at reduced scale.
+        for app in App::all() {
+            let nodes = app.min_nodes().max(2);
+            let out = app.run(nodes, DesignConfig::default());
+            assert!(out.elapsed > 0, "{} produced no time", app.name());
+        }
+    }
+
+    #[test]
+    fn pct_increase_math() {
+        assert_eq!(pct_increase(100, 150), 50.0);
+        assert_eq!(pct_increase(200, 200), 0.0);
+    }
+}

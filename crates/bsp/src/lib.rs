@@ -1,0 +1,392 @@
+//! Bulk-synchronous parallel programming over SHRIMP VMMC.
+//!
+//! §3 of the paper lists a BSP message-passing library among the systems
+//! built on VMMC (reference \[3\], *cBSP: Zero-Cost Synchronization in a
+//! Modified BSP Model*). The BSP model structures a program as
+//! *supersteps*: within a superstep each process computes and issues
+//! one-sided `put`s into other processes' memories; the puts become
+//! visible only after the superstep's synchronization.
+//!
+//! The cBSP idea this crate reproduces is **zero-cost synchronization**:
+//! there is no central barrier. Each process ends its superstep by sending
+//! a tiny end-of-step marker to every peer *behind its puts on the same
+//! ordered channel*; a process has finished synchronizing when it has
+//! drained every peer's channel up to that peer's marker. Synchronization
+//! information rides the data channels, so an exchange-heavy superstep
+//! pays nothing extra for the barrier.
+//!
+//! # Example
+//!
+//! ```
+//! use shrimp_core::{Cluster, DesignConfig};
+//! use shrimp_bsp::{create, BspConfig};
+//!
+//! let cluster = Cluster::new(2, DesignConfig::default());
+//! let procs = create(&cluster, 4096, BspConfig::default());
+//! let mut handles = Vec::new();
+//! for bsp in procs {
+//!     handles.push(cluster.sim().spawn(async move {
+//!         let me = bsp.me() as u32;
+//!         // Everyone puts its rank into everyone's slot table.
+//!         for peer in 0..bsp.nprocs() {
+//!             bsp.put(peer, bsp.me() * 4, &me.to_le_bytes()).await;
+//!         }
+//!         bsp.sync().await;
+//!         (0..bsp.nprocs()).map(|i| bsp.read_u32(i * 4)).sum::<u32>()
+//!     }));
+//! }
+//! let (_, out) = cluster.run_until_complete(handles);
+//! assert_eq!(out, vec![1, 1]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use shrimp_core::ring::{connect_ring, RingBulk, RingReceiver, RingSender};
+use shrimp_core::{Cluster, Vmmc};
+use shrimp_mem::{Vaddr, PAGE_SIZE};
+
+/// Marker bit on a frame tag: end-of-superstep.
+const END_BIT: u32 = 1 << 31;
+
+/// BSP transport configuration.
+#[derive(Debug, Clone)]
+pub struct BspConfig {
+    /// Ring capacity per ordered pair.
+    pub ring_bytes: usize,
+}
+
+impl Default for BspConfig {
+    fn default() -> Self {
+        BspConfig {
+            ring_bytes: 32 * 1024,
+        }
+    }
+}
+
+struct BspInner {
+    vm: Vmmc,
+    me: usize,
+    n: usize,
+    /// The local BSP data region puts land in.
+    region: Vaddr,
+    region_bytes: usize,
+    out: Vec<Option<RingSender>>,
+    inl: Vec<Option<RingReceiver>>,
+    step: Cell<u32>,
+    /// Self-puts buffered until sync (puts are not visible early, even
+    /// locally).
+    self_puts: RefCell<Vec<(usize, Vec<u8>)>>,
+    puts_sent: Cell<u64>,
+    supersteps: Cell<u64>,
+}
+
+/// One process's BSP endpoint. Cheap to clone.
+#[derive(Clone)]
+pub struct Bsp {
+    inner: Rc<BspInner>,
+}
+
+impl std::fmt::Debug for Bsp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bsp")
+            .field("me", &self.inner.me)
+            .field("step", &self.inner.step.get())
+            .finish()
+    }
+}
+
+/// Creates BSP endpoints for every node, each owning a `region_bytes` data
+/// region that remote `put`s target.
+pub fn create(cluster: &Cluster, region_bytes: usize, cfg: BspConfig) -> Vec<Bsp> {
+    let n = cluster.num_nodes();
+    let vmmcs: Vec<Vmmc> = (0..n).map(|i| cluster.vmmc(i)).collect();
+    let mut out: Vec<Vec<Option<RingSender>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut inl: Vec<Vec<Option<RingReceiver>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (tx, rx) = connect_ring(&vmmcs[a], &vmmcs[b], cfg.ring_bytes, RingBulk::Deliberate);
+            out[a][b] = Some(tx);
+            inl[b][a] = Some(rx);
+        }
+    }
+    (0..n)
+        .map(|me| Bsp {
+            inner: Rc::new(BspInner {
+                vm: vmmcs[me].clone(),
+                me,
+                n,
+                region: vmmcs[me]
+                    .space()
+                    .alloc(region_bytes.div_ceil(PAGE_SIZE).max(1)),
+                region_bytes,
+                out: std::mem::take(&mut out[me]),
+                inl: std::mem::take(&mut inl[me]),
+                step: Cell::new(0),
+                self_puts: RefCell::new(Vec::new()),
+                puts_sent: Cell::new(0),
+                supersteps: Cell::new(0),
+            }),
+        })
+        .collect()
+}
+
+impl Bsp {
+    /// This process's rank.
+    pub fn me(&self) -> usize {
+        self.inner.me
+    }
+
+    /// Number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.inner.n
+    }
+
+    /// The underlying VMMC handle (for compute-time charging).
+    pub fn vmmc(&self) -> &Vmmc {
+        &self.inner.vm
+    }
+
+    /// One-sided put: `data` lands at `offset` in `dst`'s region, becoming
+    /// visible there after the *next* [`Bsp::sync`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the put overruns the destination region.
+    pub async fn put(&self, dst: usize, offset: usize, data: &[u8]) {
+        assert!(
+            offset + data.len() <= self.inner.region_bytes,
+            "put overruns BSP region"
+        );
+        self.inner.puts_sent.set(self.inner.puts_sent.get() + 1);
+        if dst == self.inner.me {
+            self.inner
+                .self_puts
+                .borrow_mut()
+                .push((offset, data.to_vec()));
+            return;
+        }
+        let mut frame = Vec::with_capacity(4 + data.len());
+        frame.extend_from_slice(&(offset as u32).to_le_bytes());
+        frame.extend_from_slice(data);
+        let tx = self.inner.out[dst].as_ref().unwrap();
+        tx.send_frame(self.inner.step.get(), &frame).await;
+    }
+
+    /// Ends the superstep: sends end-of-step markers behind this step's
+    /// puts, drains every peer's channel up to their marker (applying the
+    /// received puts), then applies buffered self-puts. No barrier
+    /// messages beyond the markers — cBSP's zero-cost synchronization.
+    pub async fn sync(&self) {
+        let step = self.inner.step.get();
+        // Markers ride the same ordered channels as the data.
+        for dst in 0..self.inner.n {
+            if dst == self.inner.me {
+                continue;
+            }
+            let tx = self.inner.out[dst].as_ref().unwrap();
+            tx.send_frame(step | END_BIT, &[]).await;
+        }
+        // Drain every peer up to its marker.
+        for src in 0..self.inner.n {
+            if src == self.inner.me {
+                continue;
+            }
+            let rx = self.inner.inl[src].as_ref().unwrap();
+            loop {
+                let frame = rx.recv().await;
+                if frame.tag == step | END_BIT {
+                    break;
+                }
+                assert_eq!(frame.tag, step, "superstep framing out of sync");
+                let offset = u32::from_le_bytes(frame.data[0..4].try_into().unwrap()) as usize;
+                let payload = &frame.data[4..];
+                self.inner.vm.local_copy(payload.len()).await;
+                self.inner
+                    .vm
+                    .space()
+                    .write_raw(self.inner.region.add(offset as u64), payload);
+            }
+        }
+        // Self-puts become visible now too.
+        let self_puts: Vec<_> = self.inner.self_puts.borrow_mut().drain(..).collect();
+        for (offset, data) in self_puts {
+            self.inner
+                .vm
+                .space()
+                .write_raw(self.inner.region.add(offset as u64), &data);
+        }
+        self.inner.step.set(step + 1);
+        self.inner.supersteps.set(self.inner.supersteps.get() + 1);
+    }
+
+    /// Reads from the local region.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) {
+        self.inner
+            .vm
+            .read(self.inner.region.add(offset as u64), buf);
+    }
+
+    /// Reads a `u32` from the local region.
+    pub fn read_u32(&self, offset: usize) -> u32 {
+        self.inner.vm.read_u32(self.inner.region.add(offset as u64))
+    }
+
+    /// Writes the local region directly (local state, not a put; visible
+    /// immediately to this process only).
+    pub fn write_local(&self, offset: usize, data: &[u8]) {
+        self.inner
+            .vm
+            .space()
+            .write_raw(self.inner.region.add(offset as u64), data);
+    }
+
+    /// Supersteps completed.
+    pub fn supersteps(&self) -> u64 {
+        self.inner.supersteps.get()
+    }
+
+    /// Puts issued.
+    pub fn puts_sent(&self) -> u64 {
+        self.inner.puts_sent.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_core::DesignConfig;
+
+    fn run_bsp<F, Fut, T>(n: usize, region: usize, f: F) -> Vec<T>
+    where
+        F: Fn(Bsp) -> Fut,
+        Fut: std::future::Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let cluster = Cluster::new(n, DesignConfig::default());
+        let procs = create(&cluster, region, BspConfig::default());
+        let handles = procs
+            .into_iter()
+            .map(|b| cluster.sim().spawn(f(b)))
+            .collect();
+        cluster.run_until_complete(handles).1
+    }
+
+    #[test]
+    fn puts_visible_only_after_sync() {
+        let out = run_bsp(2, 4096, |bsp| async move {
+            if bsp.me() == 0 {
+                bsp.put(1, 0, &0xAABBu32.to_le_bytes()).await;
+                bsp.sync().await;
+                0
+            } else {
+                let before = bsp.read_u32(0);
+                bsp.sync().await;
+                let after = bsp.read_u32(0);
+                assert_eq!(before, 0, "put visible before sync");
+                after
+            }
+        });
+        assert_eq!(out[1], 0xAABB);
+    }
+
+    #[test]
+    fn self_puts_also_deferred() {
+        let out = run_bsp(1, 4096, |bsp| async move {
+            bsp.put(0, 8, &7u32.to_le_bytes()).await;
+            let before = bsp.read_u32(8);
+            bsp.sync().await;
+            (before, bsp.read_u32(8))
+        });
+        assert_eq!(out[0], (0, 7));
+    }
+
+    #[test]
+    fn all_to_all_exchange_over_supersteps() {
+        let n = 4;
+        let out = run_bsp(n, 4096, move |bsp| async move {
+            let mut sums = Vec::new();
+            for step in 0..3u32 {
+                for peer in 0..bsp.nprocs() {
+                    let v = (step * 100 + bsp.me() as u32).to_le_bytes();
+                    bsp.put(peer, bsp.me() * 4, &v).await;
+                }
+                bsp.sync().await;
+                let sum: u32 = (0..bsp.nprocs()).map(|i| bsp.read_u32(i * 4)).sum();
+                sums.push(sum);
+            }
+            sums
+        });
+        for sums in out {
+            assert_eq!(sums, vec![6, 406, 806]);
+        }
+    }
+
+    #[test]
+    fn parallel_prefix_sum() {
+        // Classic BSP log-step scan over ranks' values.
+        let n = 8;
+        let out = run_bsp(n, 4096, move |bsp| async move {
+            let me = bsp.me();
+            let mut value = (me + 1) as u32; // 1..=n
+            let mut dist = 1usize;
+            while dist < bsp.nprocs() {
+                if me + dist < bsp.nprocs() {
+                    bsp.put(me + dist, 0, &value.to_le_bytes()).await;
+                }
+                bsp.sync().await;
+                if me >= dist {
+                    value += bsp.read_u32(0);
+                }
+                // Clear the slot for the next round.
+                bsp.write_local(0, &[0; 4]);
+                dist *= 2;
+            }
+            value
+        });
+        let expect: Vec<u32> = (1..=8)
+            .scan(0, |acc, x| {
+                *acc += x;
+                Some(*acc)
+            })
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn unbalanced_supersteps_still_synchronize() {
+        // One process computes long; others' syncs must wait for its puts.
+        let out = run_bsp(3, 4096, |bsp| async move {
+            if bsp.me() == 0 {
+                bsp.vmmc().compute(shrimp_sim::time::ms(2)).await;
+                bsp.put(1, 100, &1u32.to_le_bytes()).await;
+                bsp.put(2, 100, &2u32.to_le_bytes()).await;
+            }
+            bsp.sync().await;
+            bsp.read_u32(100)
+        });
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn many_puts_per_pair_apply_in_order() {
+        let out = run_bsp(2, 4096, |bsp| async move {
+            if bsp.me() == 0 {
+                // Overlapping puts: last writer wins within the step.
+                for i in 0..50u32 {
+                    bsp.put(1, 0, &i.to_le_bytes()).await;
+                }
+            }
+            bsp.sync().await;
+            bsp.read_u32(0)
+        });
+        assert_eq!(out[1], 49);
+    }
+}

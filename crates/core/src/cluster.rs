@@ -1,0 +1,323 @@
+//! Cluster assembly: nodes (memory, bus, CPU, NIC), the backplane, the
+//! global export directory, and per-node system software (interrupt
+//! dispatch and notification delivery).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use shrimp_mem::{AddressSpace, MemBus, NodeMem, PAGE_SIZE};
+use shrimp_net::{MeshConfig, Network, NodeId};
+use shrimp_nic::{IptEntry, Nic, ShrimpNetwork};
+use shrimp_sim::executor::{join_all, TaskHandle};
+use shrimp_sim::{Queue, Sim, Time};
+
+use crate::config::DesignConfig;
+use crate::cpu::Cpu;
+use crate::stats::NodeStats;
+use crate::vmmc::{ExportId, Vmmc};
+
+/// A user-level notification delivered for an exported buffer (§2.2).
+#[derive(Debug, Clone)]
+pub struct Notification {
+    /// Sending node.
+    pub src: NodeId,
+    /// Byte offset of the arriving write within the exported buffer.
+    pub offset: usize,
+    /// Bytes written.
+    pub len: usize,
+}
+
+pub(crate) struct ExportInfo {
+    pub(crate) node: usize,
+    pub(crate) len: usize,
+    pub(crate) phys_pages: Vec<u64>,
+    pub(crate) notify_enabled: Cell<bool>,
+    pub(crate) queue: Queue<Notification>,
+}
+
+pub(crate) struct Node {
+    pub(crate) mem: NodeMem,
+    pub(crate) bus: MemBus,
+    pub(crate) nic: Nic,
+    pub(crate) cpu: Cpu,
+    pub(crate) space: AddressSpace,
+    pub(crate) stats: Rc<NodeStats>,
+    /// physical page -> (export, page index within export); set at export.
+    pub(crate) page_dir: RefCell<HashMap<u64, (u32, usize)>>,
+    pub(crate) notifications_blocked: Cell<bool>,
+    pub(crate) pending_notifications: RefCell<Vec<(u32, Notification)>>,
+}
+
+pub(crate) struct ClusterInner {
+    pub(crate) sim: Sim,
+    pub(crate) cfg: DesignConfig,
+    pub(crate) net: ShrimpNetwork,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) exports: RefCell<Vec<Rc<ExportInfo>>>,
+}
+
+/// A simulated SHRIMP machine: `n` nodes on a Paragon-style backplane.
+///
+/// Cheap to clone. See the [crate-level example](crate) for usage.
+#[derive(Clone)]
+pub struct Cluster {
+    pub(crate) inner: Rc<ClusterInner>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.inner.nodes.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Builds an `n`-node machine with the given design configuration and
+    /// starts all hardware engines and system-software processes.
+    pub fn new(n: usize, cfg: DesignConfig) -> Self {
+        let sim = Sim::new();
+        Self::with_sim(sim, n, cfg)
+    }
+
+    /// Like [`Cluster::new`] but on a caller-provided simulator (so several
+    /// machines can share one timeline, or the caller controls the run loop).
+    pub fn with_sim(sim: Sim, n: usize, cfg: DesignConfig) -> Self {
+        assert!(n >= 1, "cluster needs at least one node");
+        let mut cfg = cfg;
+        // The Table 4 experiment is a firmware change: interrupts fire on
+        // every message arrival whether or not the receiver enabled them.
+        if cfg.interrupt_per_message {
+            cfg.nic.force_arrival_interrupts = true;
+        }
+        let mesh = cfg.mesh.clone().unwrap_or_else(|| MeshConfig::for_nodes(n));
+        let net: ShrimpNetwork = Network::new(sim.clone(), mesh, n);
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let mem = NodeMem::new();
+            let bus = MemBus::shrimp_default();
+            let nic = Nic::new(
+                sim.clone(),
+                NodeId(i),
+                cfg.nic.clone(),
+                mem.clone(),
+                bus.clone(),
+                net.clone(),
+            );
+            nic.start();
+            let cpu = Cpu::new(sim.clone());
+            let stall_cpu = cpu.clone();
+            nic.set_cpu_stall_hook(move |d| stall_cpu.steal(d));
+            nodes.push(Node {
+                space: AddressSpace::new(mem.clone()),
+                mem,
+                bus,
+                nic,
+                cpu,
+                stats: Rc::new(NodeStats::new()),
+                page_dir: RefCell::new(HashMap::new()),
+                notifications_blocked: Cell::new(false),
+                pending_notifications: RefCell::new(Vec::new()),
+            });
+        }
+        let cluster = Cluster {
+            inner: Rc::new(ClusterInner {
+                sim,
+                cfg,
+                net,
+                nodes,
+                exports: RefCell::new(Vec::new()),
+            }),
+        };
+        for i in 0..n {
+            cluster.spawn_dispatcher(i);
+        }
+        cluster
+    }
+
+    /// The per-node interrupt dispatch process: takes NIC interrupts,
+    /// charges the kernel handler, and delivers user-level notifications
+    /// when requested and enabled (§4.4).
+    fn spawn_dispatcher(&self, node: usize) {
+        let cluster = self.clone();
+        let interrupts = self.inner.nodes[node].nic.interrupts();
+        self.inner.sim.spawn(async move {
+            loop {
+                let Some(intr) = interrupts.recv().await else {
+                    break;
+                };
+                let n = &cluster.inner.nodes[node];
+                NodeStats::bump(&n.stats.interrupts_taken);
+                n.cpu.run_handler(cluster.inner.cfg.interrupt_cost).await;
+                if !intr.notify {
+                    continue; // forced interrupt (Table 4): null handler only
+                }
+                let Some(&(export_id, page_idx)) = n.page_dir.borrow().get(&intr.dst_page) else {
+                    continue;
+                };
+                let export = cluster.inner.exports.borrow()[export_id as usize].clone();
+                if !export.notify_enabled.get() {
+                    continue;
+                }
+                let notification = Notification {
+                    src: intr.src,
+                    offset: page_idx * PAGE_SIZE + intr.offset,
+                    len: intr.len,
+                };
+                if n.notifications_blocked.get() {
+                    n.pending_notifications
+                        .borrow_mut()
+                        .push((export_id, notification));
+                } else {
+                    n.cpu.run_handler(cluster.inner.cfg.notification_cost).await;
+                    NodeStats::bump(&n.stats.notifications);
+                    export.queue.send(notification);
+                }
+            }
+        });
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// The simulator driving this machine.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// The design configuration.
+    pub fn config(&self) -> &DesignConfig {
+        &self.inner.cfg
+    }
+
+    /// The backplane.
+    pub fn network(&self) -> &ShrimpNetwork {
+        &self.inner.net
+    }
+
+    /// The VMMC library handle for `node`'s application process.
+    pub fn vmmc(&self, node: usize) -> Vmmc {
+        assert!(node < self.num_nodes(), "no such node {node}");
+        Vmmc::new(self.clone(), node)
+    }
+
+    /// A node's NIC (experiment drivers read its counters).
+    pub fn nic(&self, node: usize) -> &Nic {
+        &self.inner.nodes[node].nic
+    }
+
+    /// A node's CPU.
+    pub fn cpu(&self, node: usize) -> &Cpu {
+        &self.inner.nodes[node].cpu
+    }
+
+    /// A node's software statistics.
+    pub fn stats(&self, node: usize) -> Rc<NodeStats> {
+        self.inner.nodes[node].stats.clone()
+    }
+
+    /// Sum of a counter over all nodes.
+    pub fn total<F: Fn(&NodeStats) -> u64>(&self, f: F) -> u64 {
+        self.inner.nodes.iter().map(|n| f(&n.stats)).sum()
+    }
+
+    /// Closes NIC queues so hardware/system processes terminate once idle.
+    pub fn shutdown(&self) {
+        for n in &self.inner.nodes {
+            n.nic.shutdown();
+        }
+        for e in self.inner.exports.borrow().iter() {
+            e.queue.close();
+        }
+    }
+
+    /// Runs the simulation until the given application processes complete,
+    /// then shuts the machine down and drains remaining events. Returns the
+    /// simulated completion time of the *applications* and their outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the applications deadlock.
+    pub fn run_until_complete<T: 'static>(&self, handles: Vec<TaskHandle<T>>) -> (Time, Vec<T>) {
+        let sim = self.inner.sim.clone();
+        let s2 = sim.clone();
+        let joiner = sim.spawn(async move {
+            let out = join_all(handles).await;
+            (s2.now(), out)
+        });
+        sim.run();
+        let (t, out) = joiner
+            .try_take()
+            .expect("application processes deadlocked; check for missing sends/receives");
+        self.shutdown();
+        sim.run();
+        (t, out)
+    }
+
+    // ----- internal accessors used by the Vmmc library -------------------
+
+    pub(crate) fn node(&self, i: usize) -> &Node {
+        &self.inner.nodes[i]
+    }
+
+    pub(crate) fn register_export(
+        &self,
+        node: usize,
+        len: usize,
+        phys_pages: Vec<u64>,
+    ) -> ExportId {
+        let id = self.inner.exports.borrow().len() as u32;
+        {
+            let mut dir = self.inner.nodes[node].page_dir.borrow_mut();
+            for (idx, &p) in phys_pages.iter().enumerate() {
+                dir.insert(p, (id, idx));
+            }
+        }
+        self.inner.exports.borrow_mut().push(Rc::new(ExportInfo {
+            node,
+            len,
+            phys_pages,
+            notify_enabled: Cell::new(false),
+            queue: Queue::new(),
+        }));
+        // IPT: accept packets for every page of the buffer.
+        let info = self.inner.exports.borrow()[id as usize].clone();
+        for &p in &info.phys_pages {
+            self.inner.nodes[node].nic.ipt_set(
+                p,
+                IptEntry {
+                    accept: true,
+                    interrupt_enable: false,
+                    buffer_id: id,
+                },
+            );
+        }
+        ExportId(id)
+    }
+
+    pub(crate) fn export_info(&self, id: ExportId) -> Rc<ExportInfo> {
+        self.inner.exports.borrow()[id.0 as usize].clone()
+    }
+
+    /// Delivers notifications that were queued while blocked (§2.2 allows
+    /// blocking/unblocking, with queueing of multiple notifications).
+    pub(crate) async fn flush_pending_notifications(&self, node: usize) {
+        loop {
+            let next = self.inner.nodes[node]
+                .pending_notifications
+                .borrow_mut()
+                .pop();
+            let Some((export_id, notification)) = next else {
+                break;
+            };
+            let n = &self.inner.nodes[node];
+            n.cpu.run_handler(self.inner.cfg.notification_cost).await;
+            NodeStats::bump(&n.stats.notifications);
+            let export = self.inner.exports.borrow()[export_id as usize].clone();
+            export.queue.send(notification);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The design-choice configuration: hardware parameters plus the software
+//! policy knobs each §4 experiment varies.
+
+use shrimp_net::MeshConfig;
+use shrimp_nic::NicConfig;
+use shrimp_sim::{time, Time};
+
+/// Full system configuration for one experiment.
+///
+/// [`DesignConfig::default`] is the SHRIMP machine as built and measured;
+/// every experiment in the paper corresponds to flipping one field (or one
+/// field of the embedded [`NicConfig`]).
+#[derive(Debug, Clone)]
+pub struct DesignConfig {
+    /// Network-interface hardware/firmware parameters.
+    pub nic: NicConfig,
+    /// Backplane override; `None` picks the smallest SHRIMP-parameter mesh
+    /// that holds the cluster (ablation studies sweep this).
+    pub mesh: Option<MeshConfig>,
+    /// Table 2: require a system call before every message send (the
+    /// "aggressive kernel-based implementation" of §4.3).
+    pub syscall_send: bool,
+    /// Table 4: force an interrupt (null kernel handler) on every arriving
+    /// message.
+    pub interrupt_per_message: bool,
+    /// Cost of a kernel trap + argument checks + return (1994-era Pentium).
+    pub syscall_cost: Time,
+    /// Cost of taking an interrupt and running a null kernel handler.
+    pub interrupt_cost: Time,
+    /// Additional cost of delivering a user-level notification (signal-like
+    /// control transfer) on top of the kernel interrupt.
+    pub notification_cost: Time,
+    /// Node CPU clock (60 MHz Pentium).
+    pub cpu_hz: u64,
+    /// Local cache-to-cache copy bandwidth for user-level buffer copies.
+    pub copy_bytes_per_sec: u64,
+    /// Cost per word of a write-through (snoopable) store — the price the
+    /// CPU pays for automatic-update bindings.
+    pub wt_store_word_cost: Time,
+    /// Cost per word of an ordinary write-back store.
+    pub wb_store_word_cost: Time,
+}
+
+impl DesignConfig {
+    /// The system as built: user-level DMA sends, no forced interrupts,
+    /// combining on, 32 KB outgoing FIFO, single-slot DU engine.
+    pub fn as_built() -> Self {
+        DesignConfig {
+            nic: NicConfig::shrimp_default(),
+            mesh: None,
+            syscall_send: false,
+            interrupt_per_message: false,
+            syscall_cost: time::us(25),
+            interrupt_cost: time::us(20),
+            notification_cost: time::us(15),
+            cpu_hz: 60_000_000,
+            copy_bytes_per_sec: 80_000_000,
+            wt_store_word_cost: time::ns(220),
+            wb_store_word_cost: time::ns(17), // ~1 cycle at 60 MHz
+        }
+    }
+
+    /// Duration of `n` CPU cycles at this configuration's clock.
+    pub fn cycles(&self, n: u64) -> Time {
+        time::cycles(n, self.cpu_hz)
+    }
+
+    /// Duration of a user-level copy of `bytes` bytes.
+    pub fn copy_time(&self, bytes: usize) -> Time {
+        time::transfer(bytes as u64, self.copy_bytes_per_sec)
+    }
+}
+
+impl Default for DesignConfig {
+    fn default() -> Self {
+        Self::as_built()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_machine_as_built() {
+        let c = DesignConfig::default();
+        assert!(!c.syscall_send);
+        assert!(!c.interrupt_per_message);
+        assert!(c.nic.combining);
+        assert_eq!(c.cpu_hz, 60_000_000);
+    }
+
+    #[test]
+    fn cycles_and_copy_helpers() {
+        let c = DesignConfig::default();
+        assert_eq!(c.cycles(60), time::us(1));
+        assert_eq!(c.copy_time(80), time::us(1));
+    }
+}

@@ -1,0 +1,206 @@
+//! Post-run utilization reporting: where did the time go, machine-wide?
+//!
+//! A [`ClusterReport`] snapshots every node's CPU, bus, NIC and network
+//! counters after a run and renders them as the kind of utilization
+//! summary the paper's authors used to find their surprises (an idle
+//! outgoing FIFO, a never-busy DU queue). Benches print it under
+//! `SHRIMP_REPORT=1`.
+
+use shrimp_sim::{time, Time};
+
+use crate::cluster::Cluster;
+
+/// Per-node utilization snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Application compute time charged.
+    pub cpu_compute: Time,
+    /// Time stolen from the application by handlers and DMA stalls.
+    pub cpu_stolen: Time,
+    /// Memory-bus busy time.
+    pub bus_busy: Time,
+    /// Memory-bus transactions.
+    pub bus_transactions: u64,
+    /// Deliberate-update transfers sent.
+    pub du_transfers: u64,
+    /// Automatic-update packets sent.
+    pub au_packets: u64,
+    /// Stores merged by combining.
+    pub au_combined: u64,
+    /// Packets received.
+    pub packets_received: u64,
+    /// Outgoing-FIFO high-water mark (bytes).
+    pub fifo_high_water: usize,
+    /// Host interrupts taken.
+    pub interrupts: u64,
+    /// User-level notifications delivered.
+    pub notifications: u64,
+    /// VMMC messages sent.
+    pub messages: u64,
+}
+
+/// Machine-wide utilization snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Simulated elapsed time the report is normalized against.
+    pub elapsed: Time,
+    /// Per-node rows.
+    pub nodes: Vec<NodeReport>,
+    /// Backplane packets.
+    pub net_packets: u64,
+    /// Backplane payload bytes.
+    pub net_bytes: u64,
+    /// Total hops taken.
+    pub net_hops: u64,
+    /// Total time packets waited on busy channels.
+    pub net_contention: Time,
+}
+
+impl ClusterReport {
+    /// Snapshots `cluster` after a run that ended at `elapsed`.
+    pub fn capture(cluster: &Cluster, elapsed: Time) -> Self {
+        let nodes = (0..cluster.num_nodes())
+            .map(|i| {
+                let nic = cluster.nic(i).counters();
+                let stats = cluster.stats(i);
+                let node = cluster.node(i);
+                NodeReport {
+                    cpu_compute: cluster.cpu(i).total_compute(),
+                    cpu_stolen: cluster.cpu(i).total_stolen(),
+                    bus_busy: node.bus.total_busy(),
+                    bus_transactions: node.bus.transactions(),
+                    du_transfers: nic.du_transfers.get(),
+                    au_packets: nic.au_packets.get(),
+                    au_combined: nic.au_combined_stores.get(),
+                    packets_received: nic.packets_received.get(),
+                    fifo_high_water: nic.fifo_high_water.get(),
+                    interrupts: stats.interrupts_taken.get(),
+                    notifications: stats.notifications.get(),
+                    messages: stats.messages_sent.get(),
+                }
+            })
+            .collect();
+        let net = cluster.network().stats();
+        ClusterReport {
+            elapsed,
+            nodes,
+            net_packets: net.packets(),
+            net_bytes: net.bytes(),
+            net_hops: net.hops(),
+            net_contention: net.contention_wait(),
+        }
+    }
+
+    /// CPU utilization (compute + stolen over elapsed) of a node, 0..=1+.
+    pub fn cpu_utilization(&self, node: usize) -> f64 {
+        let n = &self.nodes[node];
+        (n.cpu_compute + n.cpu_stolen) as f64 / self.elapsed.max(1) as f64
+    }
+
+    /// Memory-bus utilization of a node, 0..=1.
+    pub fn bus_utilization(&self, node: usize) -> f64 {
+        self.nodes[node].bus_busy as f64 / self.elapsed.max(1) as f64
+    }
+
+    /// Mean hops per backplane packet.
+    pub fn mean_hops(&self) -> f64 {
+        if self.net_packets == 0 {
+            0.0
+        } else {
+            self.net_hops as f64 / self.net_packets as f64
+        }
+    }
+
+    /// Renders the machine-wide summary as text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cluster report @ {:.3} s simulated; backplane: {} packets, {} bytes, \
+             {:.2} mean hops, {:.1} us total contention",
+            time::to_secs(self.elapsed),
+            self.net_packets,
+            self.net_bytes,
+            self.mean_hops(),
+            time::to_us(self.net_contention),
+        );
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>7} {:>7} {:>7}  {:>8} {:>8} {:>9}  {:>8} {:>6} {:>6}",
+            "node",
+            "cpu%",
+            "steal%",
+            "bus%",
+            "du-xfer",
+            "au-pkt",
+            "combined",
+            "rx-pkt",
+            "intr",
+            "notif"
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:>6.1}% {:>6.1}% {:>6.1}%  {:>8} {:>8} {:>9}  {:>8} {:>6} {:>6}",
+                i,
+                n.cpu_compute as f64 / self.elapsed.max(1) as f64 * 100.0,
+                n.cpu_stolen as f64 / self.elapsed.max(1) as f64 * 100.0,
+                self.bus_utilization(i) * 100.0,
+                n.du_transfers,
+                n.au_packets,
+                n.au_combined,
+                n.packets_received,
+                n.interrupts,
+                n.notifications,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, DesignConfig};
+    use shrimp_mem::PAGE_SIZE;
+
+    #[test]
+    fn report_reflects_activity() {
+        let cluster = Cluster::new(2, DesignConfig::default());
+        let a = cluster.vmmc(0);
+        let b = cluster.vmmc(1);
+        let recv = b.space().alloc(1);
+        let export = b.export(recv, PAGE_SIZE);
+        let proxy = a.import(export);
+        let src = a.space().alloc(1);
+        let a2 = a.clone();
+        let h = cluster.sim().spawn(async move {
+            a2.compute(time::ms(1)).await;
+            for i in 0..10 {
+                a2.send(src, &proxy, i * 64, 64).await;
+            }
+        });
+        let (elapsed, _) = cluster.run_until_complete(vec![h]);
+        let report = ClusterReport::capture(&cluster, elapsed);
+        assert_eq!(report.nodes.len(), 2);
+        assert_eq!(report.nodes[0].du_transfers, 10);
+        assert_eq!(report.nodes[1].packets_received, 10);
+        assert_eq!(report.net_packets, 10);
+        assert!(report.cpu_utilization(0) > 0.5, "sender mostly computed");
+        assert!(report.bus_utilization(1) > 0.0);
+        let text = report.render();
+        assert!(text.contains("cluster report"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn idle_cluster_reports_zeros() {
+        let cluster = Cluster::new(1, DesignConfig::default());
+        let (elapsed, _) = cluster.run_until_complete::<()>(vec![]);
+        let report = ClusterReport::capture(&cluster, elapsed);
+        assert_eq!(report.net_packets, 0);
+        assert_eq!(report.mean_hops(), 0.0);
+        assert_eq!(report.nodes[0].messages, 0);
+    }
+}

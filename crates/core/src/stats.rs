@@ -1,0 +1,48 @@
+//! Per-node software-level statistics — the raw numbers behind Tables 2–4.
+
+use std::cell::Cell;
+
+/// Counters maintained by one node's VMMC library and system software.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Messages sent (explicit VMMC transfers; the unit of Tables 2–4).
+    pub messages_sent: Cell<u64>,
+    /// Payload bytes sent by deliberate update.
+    pub bytes_sent: Cell<u64>,
+    /// System calls performed on the send path (Table 2 experiment).
+    pub syscalls: Cell<u64>,
+    /// Interrupts taken by system software.
+    pub interrupts_taken: Cell<u64>,
+    /// User-level notifications delivered (Table 3).
+    pub notifications: Cell<u64>,
+}
+
+impl NodeStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+
+    pub(crate) fn add(cell: &Cell<u64>, v: u64) {
+        cell.set(cell.get() + v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_zero_and_bump() {
+        let s = NodeStats::new();
+        assert_eq!(s.messages_sent.get(), 0);
+        NodeStats::bump(&s.messages_sent);
+        NodeStats::add(&s.bytes_sent, 100);
+        assert_eq!(s.messages_sent.get(), 1);
+        assert_eq!(s.bytes_sent.get(), 100);
+    }
+}

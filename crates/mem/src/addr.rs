@@ -1,0 +1,134 @@
+//! Physical and virtual addresses.
+//!
+//! Newtypes keep the two address kinds statically distinct: the network
+//! interface sees only [`Paddr`]s while applications use [`Vaddr`]s — the
+//! central tension of user-level communication the paper discusses in §1.1.
+
+/// Bytes per page (4 KB, matching the i586 MMU and the SHRIMP page tables).
+pub const PAGE_SIZE: usize = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Mask of the in-page offset bits.
+pub const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+/// Bytes per machine word (32-bit Pentium); an automatic-update "single-word
+/// transfer" moves this many bytes.
+pub const WORD_BYTES: usize = 4;
+
+/// A physical memory address on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Paddr(pub u64);
+
+/// A virtual address in one process's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vaddr(pub u64);
+
+macro_rules! addr_impl {
+    ($ty:ident) => {
+        impl $ty {
+            /// Page number containing this address.
+            pub const fn page(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+            /// Offset within the page.
+            pub const fn offset(self) -> usize {
+                (self.0 & PAGE_MASK) as usize
+            }
+            /// Reassembles an address from a page number and offset.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `offset >= PAGE_SIZE`.
+            pub fn from_parts(page: u64, offset: usize) -> Self {
+                assert!(offset < PAGE_SIZE, "offset {offset} out of page");
+                $ty((page << PAGE_SHIFT) | offset as u64)
+            }
+            /// The address `bytes` past this one.
+            pub const fn add(self, bytes: u64) -> Self {
+                $ty(self.0 + bytes)
+            }
+            /// `true` if the address is word-aligned.
+            pub const fn is_word_aligned(self) -> bool {
+                self.0 % WORD_BYTES as u64 == 0
+            }
+            /// `true` if the address is page-aligned.
+            pub const fn is_page_aligned(self) -> bool {
+                self.0 & PAGE_MASK == 0
+            }
+        }
+        impl std::fmt::Display for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}({:#x})", stringify!($ty), self.0)
+            }
+        }
+    };
+}
+
+addr_impl!(Paddr);
+addr_impl!(Vaddr);
+
+/// Splits the byte range `[addr, addr+len)` into per-page `(page, offset,
+/// len)` chunks — the decomposition both page tables and the
+/// deliberate-update engine (which cannot cross page boundaries, §4.5.3)
+/// apply to every transfer.
+pub fn page_chunks(addr: u64, len: usize) -> impl Iterator<Item = (u64, usize, usize)> {
+    let mut cur = addr;
+    let end = addr + len as u64;
+    std::iter::from_fn(move || {
+        if cur >= end {
+            return None;
+        }
+        let page = cur >> PAGE_SHIFT;
+        let offset = (cur & PAGE_MASK) as usize;
+        let in_page = PAGE_SIZE - offset;
+        let take = in_page.min((end - cur) as usize);
+        cur += take as u64;
+        Some((page, offset, take))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_offset_roundtrip() {
+        let a = Paddr(5 * PAGE_SIZE as u64 + 123);
+        assert_eq!(a.page(), 5);
+        assert_eq!(a.offset(), 123);
+        assert_eq!(Paddr::from_parts(a.page(), a.offset()), a);
+    }
+
+    #[test]
+    fn alignment_predicates() {
+        assert!(Vaddr(0).is_page_aligned());
+        assert!(Vaddr(4096).is_page_aligned());
+        assert!(!Vaddr(4100).is_page_aligned());
+        assert!(Vaddr(4100).is_word_aligned());
+        assert!(!Vaddr(4101).is_word_aligned());
+    }
+
+    #[test]
+    fn chunks_within_one_page() {
+        let v: Vec<_> = page_chunks(100, 200).collect();
+        assert_eq!(v, vec![(0, 100, 200)]);
+    }
+
+    #[test]
+    fn chunks_split_at_page_boundaries() {
+        let v: Vec<_> = page_chunks(4000, 5000).collect();
+        assert_eq!(v, vec![(0, 4000, 96), (1, 0, 4096), (2, 0, 808)]);
+        let total: usize = v.iter().map(|c| c.2).sum();
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn chunks_empty_for_zero_len() {
+        assert_eq!(page_chunks(123, 0).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page")]
+    fn from_parts_rejects_large_offset() {
+        let _ = Paddr::from_parts(0, PAGE_SIZE);
+    }
+}

@@ -1,0 +1,128 @@
+//! The Xpress memory bus: exclusively arbitrated, never cycle-shared.
+//!
+//! §2.1: "the memory bus does not cycle-share between the CPU and any other
+//! main memory master." Consequences the paper measures:
+//!
+//! * §4.5.3 — queueing deliberate-update requests on the NIC buys nothing,
+//!   because a second DMA cannot overlap the first on the bus;
+//! * §4.5.2 — the outgoing FIFO cannot drain while an incoming packet is
+//!   being DMA'd to memory, yet a small FIFO still suffices.
+//!
+//! The bus is modeled as a [`Resource`] serving whole transactions in FIFO
+//! order at a configured burst bandwidth plus per-transaction arbitration
+//! overhead.
+
+use shrimp_sim::sync::Resource;
+use shrimp_sim::{time, Sim, Time};
+
+/// The memory bus of one node.
+#[derive(Clone, Debug)]
+pub struct MemBus {
+    resource: Resource,
+    bytes_per_sec: u64,
+    arbitration: Time,
+}
+
+impl MemBus {
+    /// Creates a bus with the given burst bandwidth and per-transaction
+    /// arbitration/setup overhead.
+    pub fn new(bytes_per_sec: u64, arbitration: Time) -> Self {
+        assert!(bytes_per_sec > 0);
+        MemBus {
+            resource: Resource::new(),
+            bytes_per_sec,
+            arbitration,
+        }
+    }
+
+    /// A bus matching the SHRIMP nodes: 64-bit Xpress bus with ~180 MB/s of
+    /// burst bandwidth and ~100 ns arbitration per transaction.
+    pub fn shrimp_default() -> Self {
+        MemBus::new(180_000_000, time::ns(100))
+    }
+
+    /// Duration of a bus transaction moving `bytes`.
+    pub fn transaction_time(&self, bytes: usize) -> Time {
+        self.arbitration + time::transfer(bytes as u64, self.bytes_per_sec)
+    }
+
+    /// Books a `bytes`-long transaction in FIFO order and waits for it to
+    /// complete. Returns the `(start, end)` interval occupied on the bus.
+    pub async fn transact(&self, sim: &Sim, bytes: usize) -> (Time, Time) {
+        let d = self.transaction_time(bytes);
+        self.resource.use_for(sim, d).await
+    }
+
+    /// Books a transaction without waiting (the caller tracks completion).
+    /// Returns the `(start, end)` interval.
+    pub fn reserve(&self, sim: &Sim, bytes: usize) -> (Time, Time) {
+        let d = self.transaction_time(bytes);
+        self.resource.reserve(sim, d)
+    }
+
+    /// Books the bus for a raw `duration` (used by DMA engines whose pace is
+    /// set by a slower bus — EISA — but which still occupy this bus for the
+    /// whole transfer, per the no-cycle-sharing arbitration).
+    pub async fn occupy(&self, sim: &Sim, duration: Time) -> (Time, Time) {
+        self.resource.use_for(sim, duration).await
+    }
+
+    /// Non-waiting variant of [`MemBus::occupy`]; returns the booked
+    /// `(start, end)` interval.
+    pub fn occupy_reserve(&self, sim: &Sim, duration: Time) -> (Time, Time) {
+        self.resource.reserve(sim, duration)
+    }
+
+    /// Time at which the bus becomes free.
+    pub fn busy_until(&self) -> Time {
+        self.resource.busy_until()
+    }
+
+    /// Total busy time booked so far (utilization reporting).
+    pub fn total_busy(&self) -> Time {
+        self.resource.total_busy()
+    }
+
+    /// Number of transactions booked so far.
+    pub fn transactions(&self) -> u64 {
+        self.resource.reservations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transaction_time_includes_arbitration() {
+        let bus = MemBus::new(100_000_000, time::ns(50));
+        // 1000 bytes at 100 MB/s = 10 us, plus 50 ns.
+        assert_eq!(bus.transaction_time(1000), time::us(10) + time::ns(50));
+    }
+
+    #[test]
+    fn transactions_never_overlap() {
+        let sim = Sim::new();
+        let bus = MemBus::new(100_000_000, 0);
+        let b1 = bus.clone();
+        let s1 = sim.clone();
+        let h1 = sim.spawn(async move { b1.transact(&s1, 1000).await });
+        let b2 = bus.clone();
+        let s2 = sim.clone();
+        let h2 = sim.spawn(async move { b2.transact(&s2, 1000).await });
+        sim.run_to_completion();
+        let (a_start, a_end) = h1.try_take().unwrap();
+        let (b_start, b_end) = h2.try_take().unwrap();
+        assert!(a_end <= b_start || b_end <= a_start, "bus cycle-shared");
+        assert_eq!(bus.transactions(), 2);
+        assert_eq!(bus.total_busy(), 2 * time::us(10));
+    }
+
+    #[test]
+    fn shrimp_default_parameters() {
+        let bus = MemBus::shrimp_default();
+        // One 4 KB page: 4096 / 180e6 s = ~22.76 us + 100 ns arbitration.
+        let t = bus.transaction_time(4096);
+        assert!(t > time::us(22) && t < time::us(24), "got {t}");
+    }
+}

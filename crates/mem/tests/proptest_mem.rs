@@ -1,0 +1,84 @@
+//! Property tests for the memory system: reads and writes through the
+//! address space behave exactly like a flat byte array, for arbitrary
+//! access patterns; page chunking partitions every range.
+
+use proptest::prelude::*;
+use shrimp_mem::addr::page_chunks;
+use shrimp_mem::{AddressSpace, NodeMem, PAGE_SIZE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An AddressSpace is observationally a flat byte array.
+    #[test]
+    fn space_matches_flat_model(
+        ops in prop::collection::vec(
+            (0usize..3 * PAGE_SIZE, prop::collection::vec(any::<u8>(), 1..300)),
+            1..20
+        ),
+    ) {
+        let mem = NodeMem::new();
+        let sp = AddressSpace::new(mem);
+        let base = sp.alloc(4);
+        let mut model = vec![0u8; 4 * PAGE_SIZE];
+        for (off, data) in &ops {
+            let off = *off.min(&(4 * PAGE_SIZE - data.len()));
+            sp.store(base.add(off as u64), data);
+            model[off..off + data.len()].copy_from_slice(data);
+        }
+        let mut got = vec![0u8; 4 * PAGE_SIZE];
+        sp.read(base, &mut got);
+        prop_assert_eq!(got, model);
+    }
+
+    /// page_chunks partitions `[addr, addr+len)` exactly: chunks are
+    /// contiguous, within-page, and sum to len.
+    #[test]
+    fn page_chunks_partition(addr in 0u64..100_000, len in 0usize..50_000) {
+        let chunks: Vec<_> = page_chunks(addr, len).collect();
+        let total: usize = chunks.iter().map(|c| c.2).sum();
+        prop_assert_eq!(total, len);
+        let mut cursor = addr;
+        for (page, offset, clen) in &chunks {
+            prop_assert_eq!(page * PAGE_SIZE as u64 + *offset as u64, cursor);
+            prop_assert!(offset + clen <= PAGE_SIZE, "chunk crosses a page");
+            prop_assert!(*clen > 0, "empty chunk");
+            cursor += *clen as u64;
+        }
+    }
+
+    /// Typed accessors agree with byte-level reads at any alignment.
+    #[test]
+    fn typed_accessors_consistent(off in 0usize..(PAGE_SIZE - 8), v in any::<u64>()) {
+        let mem = NodeMem::new();
+        let sp = AddressSpace::new(mem);
+        let base = sp.alloc(2);
+        sp.store_u64(base.add(off as u64), v);
+        let mut bytes = [0u8; 8];
+        sp.read(base.add(off as u64), &mut bytes);
+        prop_assert_eq!(u64::from_le_bytes(bytes), v);
+        prop_assert_eq!(sp.read_u64(base.add(off as u64)), v);
+        prop_assert_eq!(
+            sp.read_u32(base.add(off as u64)) as u64,
+            v & 0xFFFF_FFFF
+        );
+    }
+
+    /// Pin counts balance for arbitrary pin/unpin interleavings.
+    #[test]
+    fn pin_unpin_balance(pattern in prop::collection::vec(any::<bool>(), 1..40)) {
+        let mem = NodeMem::new();
+        let p = mem.alloc_pages(1);
+        let mut depth = 0u32;
+        for pin in pattern {
+            if pin {
+                mem.pin(p);
+                depth += 1;
+            } else if depth > 0 {
+                mem.unpin(p);
+                depth -= 1;
+            }
+            prop_assert_eq!(mem.is_pinned(p), depth > 0);
+        }
+    }
+}

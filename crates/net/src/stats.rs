@@ -1,0 +1,50 @@
+//! Aggregate network statistics.
+
+use std::cell::Cell;
+
+use shrimp_sim::Time;
+
+/// Counters accumulated by a [`Network`](crate::Network) over a run.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    packets: Cell<u64>,
+    bytes: Cell<u64>,
+    hops: Cell<u64>,
+    /// Total time packets spent waiting for busy channels.
+    contention_wait: Cell<Time>,
+}
+
+impl NetStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_packet(&self, bytes: u64, hops: u64, waited: Time) {
+        self.packets.set(self.packets.get() + 1);
+        self.bytes.set(self.bytes.get() + bytes);
+        self.hops.set(self.hops.get() + hops);
+        self.contention_wait
+            .set(self.contention_wait.get() + waited);
+    }
+
+    /// Packets injected.
+    pub fn packets(&self) -> u64 {
+        self.packets.get()
+    }
+
+    /// Payload bytes injected.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.get()
+    }
+
+    /// Sum of per-packet hop counts.
+    pub fn hops(&self) -> u64 {
+        self.hops.get()
+    }
+
+    /// Sum of time packets waited on busy channels (contention indicator).
+    pub fn contention_wait(&self) -> Time {
+        self.contention_wait.get()
+    }
+}

@@ -1,0 +1,1209 @@
+//! The NIC datapaths: deliberate-update engine, automatic-update
+//! snoop/packetize/combine path, outgoing FIFO with threshold interrupt,
+//! and the incoming DMA engine.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use shrimp_mem::{MemBus, NodeMem, Paddr, PAGE_SIZE};
+use shrimp_net::NodeId;
+use shrimp_sim::sync::Resource;
+use shrimp_sim::{time, trace_event, Event, Gate, Queue, Semaphore, Sim, Time};
+
+use crate::config::NicConfig;
+use crate::counters::NicCounters;
+use crate::packet::{Packet, PacketKind};
+use crate::tables::{IptEntry, OptEntry, PageTables};
+use crate::ShrimpNetwork;
+
+/// A deliberate-update transfer request, as written to the NIC by the
+/// two-instruction user-level DMA sequence (§2.3).
+///
+/// Transfers cannot cross a page boundary on either side (§4.5.3) — the
+/// user-level library splits larger sends.
+#[derive(Debug, Clone)]
+pub struct DuRequest {
+    /// Source physical address of the data.
+    pub src: Paddr,
+    /// OPT index of the destination proxy page.
+    pub proxy_index: u64,
+    /// Byte offset within the destination page.
+    pub dst_offset: usize,
+    /// Transfer length in bytes.
+    pub len: usize,
+    /// Interrupt-request header bit for this transfer (deliberate update
+    /// allows it to be set per send, §2.3).
+    pub interrupt: bool,
+    /// Software header bit: this message carries a notification request.
+    pub notify: bool,
+}
+
+/// An interrupt raised to the host by an arriving packet.
+#[derive(Debug, Clone)]
+pub struct Interrupt {
+    /// Node that sent the packet.
+    pub src: NodeId,
+    /// Destination physical page.
+    pub dst_page: u64,
+    /// Offset of the write within the page.
+    pub offset: usize,
+    /// Bytes written.
+    pub len: usize,
+    /// Exported buffer the page belongs to (from the IPT).
+    pub buffer_id: u32,
+    /// The sender requested a user-level notification.
+    pub notify: bool,
+}
+
+struct PendingAu {
+    dst_node: NodeId,
+    dst_page: u64,
+    offset: usize,
+    data: Vec<u8>,
+    interrupt: bool,
+    notify: bool,
+    epoch: u64,
+}
+
+type CpuStallHook = Box<dyn Fn(Time)>;
+
+struct NicInner {
+    sim: Sim,
+    node: NodeId,
+    cfg: NicConfig,
+    mem: NodeMem,
+    membus: MemBus,
+    net: ShrimpNetwork,
+    tables: PageTables,
+    counters: NicCounters,
+    // Deliberate update.
+    du_queue: Queue<(DuRequest, Event)>,
+    du_slots: Semaphore,
+    // Automatic update.
+    pending_au: RefCell<Option<PendingAu>>,
+    au_epoch: Cell<u64>,
+    au_fifo: Queue<Packet>,
+    fifo_bytes: Cell<usize>,
+    au_blocked: Cell<bool>,
+    threshold_pending: Cell<bool>,
+    drain_gate: Gate,
+    // NIC-chip port shared by the outgoing drain and incoming reception.
+    nic_access: Resource,
+    // EISA I/O bus shared by both DMA directions.
+    eisa: Resource,
+    // Interrupts raised to system software.
+    interrupts: Queue<Interrupt>,
+    cpu_stall: RefCell<Option<CpuStallHook>>,
+}
+
+/// One node's SHRIMP network interface. Cheap to clone (shared handle).
+///
+/// Call [`Nic::start`] to spawn the three engine processes, and
+/// [`Nic::shutdown`] at the end of an experiment so they terminate.
+#[derive(Clone)]
+pub struct Nic {
+    inner: Rc<NicInner>,
+}
+
+impl std::fmt::Debug for Nic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic")
+            .field("node", &self.inner.node)
+            .field("fifo_bytes", &self.inner.fifo_bytes.get())
+            .finish()
+    }
+}
+
+impl Nic {
+    /// Creates a NIC for `node`, wired to its memory, memory bus and the
+    /// backplane. Installs itself as the memory snoop hook.
+    pub fn new(
+        sim: Sim,
+        node: NodeId,
+        cfg: NicConfig,
+        mem: NodeMem,
+        membus: MemBus,
+        net: ShrimpNetwork,
+    ) -> Self {
+        assert!(cfg.du_queue_depth >= 1, "DU queue depth must be >= 1");
+        assert!(
+            cfg.out_fifo_threshold <= cfg.out_fifo_capacity,
+            "FIFO threshold above capacity"
+        );
+        let nic = Nic {
+            inner: Rc::new(NicInner {
+                sim,
+                node,
+                du_slots: Semaphore::new(cfg.du_queue_depth),
+                cfg,
+                mem: mem.clone(),
+                membus,
+                net,
+                tables: PageTables::new(),
+                counters: NicCounters::new(),
+                du_queue: Queue::new(),
+                pending_au: RefCell::new(None),
+                au_epoch: Cell::new(0),
+                au_fifo: Queue::new(),
+                fifo_bytes: Cell::new(0),
+                au_blocked: Cell::new(false),
+                threshold_pending: Cell::new(false),
+                drain_gate: Gate::new(),
+                nic_access: Resource::new(),
+                eisa: Resource::new(),
+                interrupts: Queue::new(),
+                cpu_stall: RefCell::new(None),
+            }),
+        };
+        // The Xpress-bus board: snoop every main-memory write.
+        let snoop = nic.clone();
+        mem.set_snoop(move |addr, data| snoop.snoop_store(addr, data));
+        nic
+    }
+
+    /// Spawns the deliberate-update engine, the outgoing-FIFO drain, and the
+    /// incoming engine.
+    pub fn start(&self) {
+        let n = self.clone();
+        self.inner.sim.spawn(async move { n.du_engine().await });
+        let n = self.clone();
+        self.inner.sim.spawn(async move { n.drain_engine().await });
+        let n = self.clone();
+        self.inner
+            .sim
+            .spawn(async move { n.incoming_engine().await });
+    }
+
+    /// Closes all NIC queues so the engine processes terminate once idle.
+    pub fn shutdown(&self) {
+        self.inner.du_queue.close();
+        self.inner.au_fifo.close();
+        self.inner.interrupts.close();
+        self.inner.net.ingress(self.inner.node).close();
+    }
+
+    /// This NIC's node id.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The configuration the NIC was built with.
+    pub fn config(&self) -> &NicConfig {
+        &self.inner.cfg
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &NicCounters {
+        &self.inner.counters
+    }
+
+    /// The page tables (used by the VMMC library at export/import/bind time).
+    pub fn tables(&self) -> &PageTables {
+        &self.inner.tables
+    }
+
+    /// Queue of interrupts raised to system software; the host's interrupt
+    /// dispatch process consumes it.
+    pub fn interrupts(&self) -> Queue<Interrupt> {
+        self.inner.interrupts.clone()
+    }
+
+    /// Installs the hook through which DMA activity steals CPU time
+    /// (the memory bus cannot cycle-share, §2.1).
+    pub fn set_cpu_stall_hook(&self, f: impl Fn(Time) + 'static) {
+        *self.inner.cpu_stall.borrow_mut() = Some(Box::new(f));
+    }
+
+    fn stall_cpu(&self, raw: Time) {
+        let d = (raw as f64 * self.inner.cfg.dma_cpu_stall_fraction) as Time;
+        if d > 0 {
+            if let Some(f) = self.inner.cpu_stall.borrow().as_ref() {
+                f(d);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deliberate update
+    // ------------------------------------------------------------------
+
+    /// Submits a deliberate-update transfer. Completes (returns the
+    /// completion [`Event`]) once the request is accepted by the NIC —
+    /// which waits if the request queue is full, modeling the CPU spinning
+    /// on the engine-busy status. The returned event is set when the packet
+    /// has been injected into the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transfer is empty, crosses a page boundary, or names an
+    /// unmapped proxy index — all software bugs in the simulated stack, which
+    /// the real hardware would reject via its error-checking (§2.3).
+    pub async fn deliberate_update(&self, req: DuRequest) -> Event {
+        assert!(req.len > 0, "empty deliberate update");
+        assert!(
+            req.dst_offset + req.len <= PAGE_SIZE,
+            "deliberate update crosses destination page boundary"
+        );
+        assert!(
+            req.src.offset() + req.len <= PAGE_SIZE,
+            "deliberate update crosses source page boundary"
+        );
+        assert!(
+            self.inner.tables.opt_get(req.proxy_index).is_some(),
+            "deliberate update through unmapped proxy index {}",
+            req.proxy_index
+        );
+        self.inner.du_slots.acquire().await;
+        let done = Event::new();
+        self.inner.du_queue.send((req, done.clone()));
+        done
+    }
+
+    async fn du_engine(&self) {
+        loop {
+            let Some((req, done)) = self.inner.du_queue.recv().await else {
+                break;
+            };
+            let entry = self
+                .inner
+                .tables
+                .opt_get(req.proxy_index)
+                .expect("OPT entry vanished under pending DU transfer");
+            // DMA the data out of main memory across the EISA bus; the
+            // memory bus is occupied for the duration (no cycle sharing).
+            let dur = self.inner.cfg.dma_setup
+                + time::transfer(req.len as u64, self.inner.cfg.eisa_bytes_per_sec);
+            let (_, end) = self.inner.eisa.reserve(&self.inner.sim, dur);
+            let end = end.max(self.inner.membus.occupy_reserve(&self.inner.sim, dur).1);
+            self.inner.sim.sleep_until(end).await;
+            self.stall_cpu(dur);
+
+            let mut data = vec![0u8; req.len];
+            self.inner.mem.read(req.src, &mut data);
+            NicCounters::bump(&self.inner.counters.du_transfers);
+            NicCounters::add(&self.inner.counters.du_bytes, req.len as u64);
+            trace_event!(
+                self.inner.sim.trace(),
+                self.inner.sim.now(),
+                "nic",
+                "{}: DU {} B -> {} page {} +{}",
+                self.inner.node,
+                req.len,
+                entry.dst_node,
+                entry.dst_page,
+                req.dst_offset
+            );
+            let pkt = Packet {
+                src: self.inner.node,
+                dst: entry.dst_node,
+                dst_page: entry.dst_page,
+                offset: req.dst_offset,
+                data,
+                interrupt: req.interrupt,
+                notify: req.notify,
+                kind: PacketKind::DeliberateUpdate,
+            };
+            self.inner
+                .net
+                .send(self.inner.node, entry.dst_node, req.len, pkt);
+            done.set();
+            self.inner.du_slots.release();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Automatic update
+    // ------------------------------------------------------------------
+
+    /// The snoop path: called for every write-through store presented on the
+    /// memory bus. Writes whose OPT entry is absent or not AU-enabled are
+    /// snooped but ignored (§2.3).
+    pub fn snoop_store(&self, addr: Paddr, data: &[u8]) {
+        let Some(entry) = self.inner.tables.opt_get(addr.page()) else {
+            return;
+        };
+        if !entry.au_enable {
+            return;
+        }
+        NicCounters::bump(&self.inner.counters.au_stores);
+        let combining = self.inner.cfg.combining && entry.combine;
+
+        if combining {
+            let mut pending = self.inner.pending_au.borrow_mut();
+            if let Some(p) = pending.as_mut() {
+                let contiguous = p.dst_node == entry.dst_node
+                    && p.dst_page == entry.dst_page
+                    && p.offset + p.data.len() == addr.offset();
+                let same_subpage = addr.offset() + data.len()
+                    <= (p.offset / self.inner.cfg.combine_subpage + 1)
+                        * self.inner.cfg.combine_subpage;
+                if contiguous && same_subpage {
+                    p.data.extend_from_slice(data);
+                    NicCounters::bump(&self.inner.counters.au_combined_stores);
+                    return;
+                }
+            }
+            // Not combinable: flush whatever is pending, then open a new
+            // combined packet with this store.
+            let prev = pending.take();
+            drop(pending);
+            if let Some(p) = prev {
+                self.emit_au_packet(p);
+            }
+            let epoch = self.inner.au_epoch.get() + 1;
+            self.inner.au_epoch.set(epoch);
+            *self.inner.pending_au.borrow_mut() = Some(PendingAu {
+                dst_node: entry.dst_node,
+                dst_page: entry.dst_page,
+                offset: addr.offset(),
+                data: data.to_vec(),
+                interrupt: entry.interrupt,
+                notify: entry.interrupt,
+                epoch,
+            });
+            // Launch on timeout even if no further store arrives.
+            let nic = self.clone();
+            self.inner
+                .sim
+                .schedule_in(self.inner.cfg.combine_timeout, move || {
+                    nic.flush_pending_if_epoch(epoch);
+                });
+        } else {
+            // One packet per store: lowest latency (§4.5.1).
+            self.emit_au_packet(PendingAu {
+                dst_node: entry.dst_node,
+                dst_page: entry.dst_page,
+                offset: addr.offset(),
+                data: data.to_vec(),
+                interrupt: entry.interrupt,
+                notify: entry.interrupt,
+                epoch: 0,
+            });
+        }
+    }
+
+    fn flush_pending_if_epoch(&self, epoch: u64) {
+        let p = {
+            let mut pending = self.inner.pending_au.borrow_mut();
+            match pending.as_ref() {
+                Some(p) if p.epoch == epoch => pending.take(),
+                _ => None,
+            }
+        };
+        if let Some(p) = p {
+            self.emit_au_packet(p);
+        }
+    }
+
+    /// Flushes any pending combined packet immediately (used by software
+    /// barriers/releases that need AU data pushed out).
+    pub fn flush_au(&self) {
+        let p = self.inner.pending_au.borrow_mut().take();
+        if let Some(p) = p {
+            self.emit_au_packet(p);
+        }
+    }
+
+    fn emit_au_packet(&self, p: PendingAu) {
+        let len = p.data.len();
+        let occ = self.inner.fifo_bytes.get() + len;
+        assert!(
+            occ <= self.inner.cfg.out_fifo_capacity,
+            "outgoing FIFO overflow ({occ} > {} bytes): AU writer was not \
+             de-scheduled in time",
+            self.inner.cfg.out_fifo_capacity
+        );
+        self.inner.fifo_bytes.set(occ);
+        if occ > self.inner.counters.fifo_high_water.get() {
+            self.inner.counters.fifo_high_water.set(occ);
+        }
+        NicCounters::bump(&self.inner.counters.au_packets);
+        NicCounters::add(&self.inner.counters.au_bytes, len as u64);
+        trace_event!(
+            self.inner.sim.trace(),
+            self.inner.sim.now(),
+            "nic",
+            "{}: AU packet {} B -> {} page {} +{} (fifo {})",
+            self.inner.node,
+            len,
+            p.dst_node,
+            p.dst_page,
+            p.offset,
+            occ
+        );
+        self.inner.au_fifo.send(Packet {
+            src: self.inner.node,
+            dst: p.dst_node,
+            dst_page: p.dst_page,
+            offset: p.offset,
+            data: p.data,
+            interrupt: p.interrupt,
+            notify: p.notify,
+            kind: PacketKind::AutomaticUpdate,
+        });
+        // Threshold interrupt: after the recognition latency, system
+        // software de-schedules AU writers until the FIFO drains (§4.5.2).
+        if occ > self.inner.cfg.out_fifo_threshold && !self.inner.threshold_pending.get() {
+            self.inner.threshold_pending.set(true);
+            NicCounters::bump(&self.inner.counters.fifo_threshold_interrupts);
+            let nic = self.clone();
+            self.inner
+                .sim
+                .schedule_in(self.inner.cfg.fifo_interrupt_latency, move || {
+                    if nic.inner.fifo_bytes.get() > nic.inner.cfg.out_fifo_threshold {
+                        nic.inner.au_blocked.set(true);
+                    }
+                    nic.inner.threshold_pending.set(false);
+                });
+        }
+    }
+
+    /// `true` while system software has de-scheduled automatic-update
+    /// writers because the outgoing FIFO crossed its threshold.
+    pub fn au_blocked(&self) -> bool {
+        self.inner.au_blocked.get()
+    }
+
+    /// Gate notified whenever the FIFO drains below the resume level; AU
+    /// writers blocked by [`Nic::au_blocked`] wait on it.
+    pub fn drain_gate(&self) -> Gate {
+        self.inner.drain_gate.clone()
+    }
+
+    /// Current outgoing-FIFO occupancy in bytes.
+    pub fn fifo_occupancy(&self) -> usize {
+        self.inner.fifo_bytes.get()
+    }
+
+    async fn drain_engine(&self) {
+        let link_bw = self.inner.net.config().link_bytes_per_sec;
+        loop {
+            let Some(pkt) = self.inner.au_fifo.recv().await else {
+                break;
+            };
+            // The FIFO drains through the NIC chip at link rate; incoming
+            // packets have priority for the chip port, modeled by sharing
+            // `nic_access` with the incoming engine.
+            let d = time::transfer(pkt.len() as u64, link_bw);
+            self.inner.nic_access.use_for(&self.inner.sim, d).await;
+            let occ = self.inner.fifo_bytes.get() - pkt.len();
+            self.inner.fifo_bytes.set(occ);
+            if self.inner.au_blocked.get() && occ * 2 <= self.inner.cfg.out_fifo_threshold {
+                self.inner.au_blocked.set(false);
+                self.inner.drain_gate.notify();
+            }
+            let len = pkt.len();
+            let dst = pkt.dst;
+            self.inner.net.send(self.inner.node, dst, len, pkt);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Incoming
+    // ------------------------------------------------------------------
+
+    async fn incoming_engine(&self) {
+        let ingress = self.inner.net.ingress(self.inner.node);
+        let link_bw = self.inner.net.config().link_bytes_per_sec;
+        loop {
+            let Some(pkt) = ingress.recv().await else {
+                break;
+            };
+            NicCounters::bump(&self.inner.counters.packets_received);
+            let Some(entry) = self.inner.tables.ipt_get(pkt.dst_page) else {
+                NicCounters::bump(&self.inner.counters.protection_drops);
+                continue;
+            };
+            if !entry.accept {
+                NicCounters::bump(&self.inner.counters.protection_drops);
+                continue;
+            }
+            // Receive through the NIC chip port (blocks the outgoing drain),
+            // then DMA to main memory over the EISA and memory buses.
+            let recv_d =
+                self.inner.cfg.incoming_packet_overhead + time::transfer(pkt.len() as u64, link_bw);
+            self.inner.nic_access.use_for(&self.inner.sim, recv_d).await;
+            // The incoming engine streams packets to memory: each packet is
+            // an individual bus transaction (what combining amortizes), not
+            // a full DMA arm-up.
+            let dma_d =
+                time::ns(200) + time::transfer(pkt.len() as u64, self.inner.cfg.eisa_bytes_per_sec);
+            let (_, end) = self.inner.eisa.reserve(&self.inner.sim, dma_d);
+            let end = end.max(self.inner.membus.occupy_reserve(&self.inner.sim, dma_d).1);
+            self.inner.sim.sleep_until(end).await;
+            self.stall_cpu(dma_d);
+            self.inner
+                .mem
+                .dma_write(Paddr::from_parts(pkt.dst_page, pkt.offset), &pkt.data);
+            if pkt.interrupt && (entry.interrupt_enable || self.inner.cfg.force_arrival_interrupts)
+            {
+                NicCounters::bump(&self.inner.counters.interrupts_raised);
+                trace_event!(
+                    self.inner.sim.trace(),
+                    self.inner.sim.now(),
+                    "nic",
+                    "{}: interrupt from {} (buffer {})",
+                    self.inner.node,
+                    pkt.src,
+                    entry.buffer_id
+                );
+                self.inner.interrupts.send(Interrupt {
+                    src: pkt.src,
+                    dst_page: pkt.dst_page,
+                    offset: pkt.offset,
+                    len: pkt.len(),
+                    buffer_id: entry.buffer_id,
+                    notify: pkt.notify,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Table management helpers used by the VMMC library
+    // ------------------------------------------------------------------
+
+    /// Allocates `n` consecutive proxy OPT indices.
+    pub fn alloc_proxy_range(&self, n: usize) -> u64 {
+        self.inner.tables.alloc_proxy_range(n)
+    }
+
+    /// Installs an OPT entry.
+    pub fn opt_set(&self, index: u64, entry: OptEntry) {
+        self.inner.tables.opt_set(index, entry);
+    }
+
+    /// Installs an IPT entry.
+    pub fn ipt_set(&self, page: u64, entry: IptEntry) {
+        self.inner.tables.ipt_set(page, entry);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // knob-flip style mirrors the experiments
+mod tests {
+    use super::*;
+    use shrimp_mem::{AddressSpace, CacheMode};
+    use shrimp_net::{MeshConfig, Network};
+
+    struct Rig {
+        sim: Sim,
+        nics: Vec<Nic>,
+        spaces: Vec<AddressSpace>,
+    }
+
+    fn rig(n: usize, cfg: NicConfig) -> Rig {
+        let sim = Sim::new();
+        let net: ShrimpNetwork = Network::new(sim.clone(), MeshConfig::shrimp_4x4(), n);
+        let mut nics = Vec::new();
+        let mut spaces = Vec::new();
+        for i in 0..n {
+            let mem = NodeMem::new();
+            let bus = MemBus::shrimp_default();
+            let nic = Nic::new(
+                sim.clone(),
+                NodeId(i),
+                cfg.clone(),
+                mem.clone(),
+                bus,
+                net.clone(),
+            );
+            nic.start();
+            nics.push(nic);
+            spaces.push(AddressSpace::new(mem));
+        }
+        Rig { sim, nics, spaces }
+    }
+
+    fn finish(r: &Rig) -> Time {
+        let _t = r.sim.run();
+        for nic in &r.nics {
+            nic.shutdown();
+        }
+        r.sim.run()
+    }
+
+    /// Export one page on node `dst` and import it on node `src`; returns
+    /// (proxy index on src, destination physical page on dst).
+    fn export_import(r: &Rig, src: usize, dst: usize) -> (u64, u64) {
+        let dst_vaddr = r.spaces[dst].alloc(1);
+        let dst_page = r.spaces[dst].translate(dst_vaddr).page();
+        r.nics[dst].ipt_set(
+            dst_page,
+            IptEntry {
+                accept: true,
+                interrupt_enable: false,
+                buffer_id: 0,
+            },
+        );
+        let proxy = r.nics[src].alloc_proxy_range(1);
+        r.nics[src].opt_set(
+            proxy,
+            OptEntry {
+                dst_node: NodeId(dst),
+                dst_page,
+                au_enable: false,
+                combine: false,
+                interrupt: false,
+            },
+        );
+        (proxy, dst_page)
+    }
+
+    #[test]
+    fn deliberate_update_moves_exact_bytes() {
+        let r = rig(2, NicConfig::default());
+        let (proxy, dst_page) = export_import(&r, 0, 1);
+        let src_vaddr = r.spaces[0].alloc(1);
+        let payload: Vec<u8> = (0..200u8).collect();
+        r.spaces[0].write_raw(src_vaddr.add(40), &payload);
+        let src_pa = r.spaces[0].translate(src_vaddr.add(40));
+
+        let nic = r.nics[0].clone();
+        r.sim.spawn(async move {
+            let done = nic
+                .deliberate_update(DuRequest {
+                    src: src_pa,
+                    proxy_index: proxy,
+                    dst_offset: 24,
+                    len: 200,
+                    interrupt: false,
+                    notify: false,
+                })
+                .await;
+            done.wait().await;
+        });
+        finish(&r);
+        let mut got = vec![0u8; 200];
+        r.spaces[1]
+            .mem()
+            .read(Paddr::from_parts(dst_page, 24), &mut got);
+        assert_eq!(got, payload);
+        assert_eq!(r.nics[0].counters().du_transfers.get(), 1);
+        assert_eq!(r.nics[1].counters().packets_received.get(), 1);
+    }
+
+    #[test]
+    fn du_latency_is_about_six_microseconds() {
+        // §4.1: SHRIMP's deliberate-update latency is ~6 us.
+        let r = rig(2, NicConfig::default());
+        let (proxy, dst_page) = export_import(&r, 0, 1);
+        let src_vaddr = r.spaces[0].alloc(1);
+        r.spaces[0].write_raw(src_vaddr, &[7; 4]);
+        let src_pa = r.spaces[0].translate(src_vaddr);
+        let nic = r.nics[0].clone();
+        r.sim.spawn(async move {
+            nic.deliberate_update(DuRequest {
+                src: src_pa,
+                proxy_index: proxy,
+                dst_offset: 0,
+                len: 4,
+                interrupt: false,
+                notify: false,
+            })
+            .await;
+        });
+        r.sim.run();
+        // The word must have landed; measure when.
+        let gate_page = dst_page;
+        let arrived = r.spaces[1].mem().read_u32(Paddr::from_parts(gate_page, 0));
+        assert_eq!(arrived, u32::from_le_bytes([7; 4]));
+        let t = finish(&r);
+        // Hardware-path latency; the user-observed figure adds the UDMA
+        // initiation and receiver polling (~6 us total, per §4.1).
+        assert!(
+            t > time::us(2) && t < time::us(9),
+            "DU single-word hardware latency {} us outside [2,9]",
+            time::to_us(t)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses destination page boundary")]
+    fn du_rejects_page_crossing() {
+        let r = rig(2, NicConfig::default());
+        let (proxy, _) = export_import(&r, 0, 1);
+        let v = r.spaces[0].alloc(1);
+        let pa = r.spaces[0].translate(v);
+        let nic = r.nics[0].clone();
+        r.sim.spawn(async move {
+            nic.deliberate_update(DuRequest {
+                src: pa,
+                proxy_index: proxy,
+                dst_offset: 4000,
+                len: 200,
+                interrupt: false,
+                notify: false,
+            })
+            .await;
+        });
+        r.sim.run();
+    }
+
+    #[test]
+    fn unaccepted_page_is_dropped_by_protection() {
+        let r = rig(2, NicConfig::default());
+        let (proxy, dst_page) = export_import(&r, 0, 1);
+        // Revoke acceptance.
+        r.nics[1].ipt_set(
+            dst_page,
+            IptEntry {
+                accept: false,
+                interrupt_enable: false,
+                buffer_id: 0,
+            },
+        );
+        let v = r.spaces[0].alloc(1);
+        let pa = r.spaces[0].translate(v);
+        let nic = r.nics[0].clone();
+        r.sim.spawn(async move {
+            nic.deliberate_update(DuRequest {
+                src: pa,
+                proxy_index: proxy,
+                dst_offset: 0,
+                len: 8,
+                interrupt: false,
+                notify: false,
+            })
+            .await;
+        });
+        finish(&r);
+        assert_eq!(r.nics[1].counters().protection_drops.get(), 1);
+    }
+
+    /// Binds `src` page for automatic update into `dst`'s page.
+    fn bind_au(r: &Rig, src: usize, dst: usize, combine: bool, interrupt: bool) -> (u64, u64) {
+        let src_vaddr = r.spaces[src].alloc(1);
+        let src_page = r.spaces[src].translate(src_vaddr).page();
+        let dst_vaddr = r.spaces[dst].alloc(1);
+        let dst_page = r.spaces[dst].translate(dst_vaddr).page();
+        r.spaces[src]
+            .mem()
+            .set_cache_mode(src_page, CacheMode::WriteThrough);
+        r.nics[dst].ipt_set(
+            dst_page,
+            IptEntry {
+                accept: true,
+                interrupt_enable: interrupt,
+                buffer_id: 9,
+            },
+        );
+        r.nics[src].opt_set(
+            src_page,
+            OptEntry {
+                dst_node: NodeId(dst),
+                dst_page,
+                au_enable: true,
+                combine,
+                interrupt,
+            },
+        );
+        (src_page, dst_page)
+    }
+
+    #[test]
+    fn automatic_update_propagates_stores() {
+        let r = rig(2, NicConfig::default());
+        let (src_page, dst_page) = bind_au(&r, 0, 1, false, false);
+        r.spaces[0]
+            .mem()
+            .store_u32(Paddr::from_parts(src_page, 100), 0xDEAD_BEEF);
+        finish(&r);
+        assert_eq!(
+            r.spaces[1].mem().read_u32(Paddr::from_parts(dst_page, 100)),
+            0xDEAD_BEEF
+        );
+        assert_eq!(r.nics[0].counters().au_packets.get(), 1);
+        assert_eq!(r.nics[0].counters().au_stores.get(), 1);
+    }
+
+    #[test]
+    fn au_latency_is_under_four_microseconds() {
+        // §4.2: single-word AU end-to-end latency is 3.71 us.
+        let r = rig(2, NicConfig::default());
+        let (src_page, dst_page) = bind_au(&r, 0, 1, false, false);
+        r.spaces[0]
+            .mem()
+            .store_u32(Paddr::from_parts(src_page, 0), 1);
+        let t = finish(&r);
+        assert_eq!(
+            r.spaces[1].mem().read_u32(Paddr::from_parts(dst_page, 0)),
+            1
+        );
+        assert!(
+            t > time::us(1) && t < time::us(4),
+            "AU single-word latency {} us outside [1,4]",
+            time::to_us(t)
+        );
+    }
+
+    #[test]
+    fn au_faster_than_du_for_single_word() {
+        // The latency advantage of AU over DU (§4.2) must hold.
+        let du = {
+            let r = rig(2, NicConfig::default());
+            let (proxy, _) = export_import(&r, 0, 1);
+            let v = r.spaces[0].alloc(1);
+            let pa = r.spaces[0].translate(v);
+            let nic = r.nics[0].clone();
+            r.sim.spawn(async move {
+                nic.deliberate_update(DuRequest {
+                    src: pa,
+                    proxy_index: proxy,
+                    dst_offset: 0,
+                    len: 4,
+                    interrupt: false,
+                    notify: false,
+                })
+                .await;
+            });
+            finish(&r)
+        };
+        let au = {
+            let r = rig(2, NicConfig::default());
+            let (src_page, _) = bind_au(&r, 0, 1, false, false);
+            r.spaces[0]
+                .mem()
+                .store_u32(Paddr::from_parts(src_page, 0), 1);
+            finish(&r)
+        };
+        assert!(au < du, "AU ({au}) not faster than DU ({du})");
+    }
+
+    #[test]
+    fn combining_merges_consecutive_stores() {
+        let r = rig(2, NicConfig::default());
+        let (src_page, dst_page) = bind_au(&r, 0, 1, true, false);
+        // 16 consecutive words within one sub-page: one packet.
+        for i in 0..16u32 {
+            r.spaces[0]
+                .mem()
+                .store_u32(Paddr::from_parts(src_page, (i * 4) as usize), i + 1);
+        }
+        finish(&r);
+        assert_eq!(r.nics[0].counters().au_packets.get(), 1);
+        assert_eq!(r.nics[0].counters().au_combined_stores.get(), 15);
+        for i in 0..16u32 {
+            assert_eq!(
+                r.spaces[1]
+                    .mem()
+                    .read_u32(Paddr::from_parts(dst_page, (i * 4) as usize)),
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn combining_flushes_on_nonconsecutive_store() {
+        let r = rig(2, NicConfig::default());
+        let (src_page, dst_page) = bind_au(&r, 0, 1, true, false);
+        r.spaces[0]
+            .mem()
+            .store_u32(Paddr::from_parts(src_page, 0), 1);
+        r.spaces[0]
+            .mem()
+            .store_u32(Paddr::from_parts(src_page, 64), 2); // gap: flush + new
+        finish(&r);
+        assert_eq!(r.nics[0].counters().au_packets.get(), 2);
+        assert_eq!(
+            r.spaces[1].mem().read_u32(Paddr::from_parts(dst_page, 0)),
+            1
+        );
+        assert_eq!(
+            r.spaces[1].mem().read_u32(Paddr::from_parts(dst_page, 64)),
+            2
+        );
+    }
+
+    #[test]
+    fn combining_respects_subpage_boundary() {
+        let mut cfg = NicConfig::default();
+        cfg.combine_subpage = 64;
+        let r = rig(2, cfg);
+        let (src_page, _) = bind_au(&r, 0, 1, true, false);
+        // 32 consecutive words = 128 bytes crossing the 64-byte sub-page.
+        for i in 0..32u32 {
+            r.spaces[0]
+                .mem()
+                .store_u32(Paddr::from_parts(src_page, (i * 4) as usize), i);
+        }
+        finish(&r);
+        assert_eq!(r.nics[0].counters().au_packets.get(), 2);
+    }
+
+    #[test]
+    fn combining_timeout_flushes_lone_store() {
+        // A single store with combining enabled must still be launched once
+        // the combine window expires, with no explicit flush (§4.5.1: "or a
+        // timer expires").
+        let r = rig(2, NicConfig::default());
+        let (src_page, dst_page) = bind_au(&r, 0, 1, true, false);
+        r.spaces[0]
+            .mem()
+            .store_u32(Paddr::from_parts(src_page, 40), 0xCAFE);
+        let t = finish(&r);
+        assert_eq!(
+            r.spaces[1].mem().read_u32(Paddr::from_parts(dst_page, 40)),
+            0xCAFE
+        );
+        // Launched by the timeout, not immediately.
+        assert!(
+            t >= NicConfig::default().combine_timeout,
+            "flushed before the combine window expired (t={t})"
+        );
+        assert_eq!(r.nics[0].counters().au_packets.get(), 1);
+    }
+
+    #[test]
+    fn packet_to_unmapped_page_is_dropped() {
+        // No IPT entry at all (not even accept=false): protection drops.
+        let r = rig(2, NicConfig::default());
+        let (src_page, _) = bind_au(&r, 0, 1, false, false);
+        // Retarget the OPT at a page the receiver never exported.
+        let opt = r.nics[0].tables().opt_get(src_page).unwrap();
+        r.nics[0].opt_set(
+            src_page,
+            OptEntry {
+                dst_page: opt.dst_page + 999,
+                ..opt
+            },
+        );
+        r.spaces[0]
+            .mem()
+            .store_u32(Paddr::from_parts(src_page, 0), 1);
+        finish(&r);
+        assert_eq!(r.nics[1].counters().protection_drops.get(), 1);
+    }
+
+    #[test]
+    fn combining_disabled_globally_sends_one_packet_per_store() {
+        let mut cfg = NicConfig::default();
+        cfg.combining = false;
+        let r = rig(2, cfg);
+        let (src_page, _) = bind_au(&r, 0, 1, true, false);
+        for i in 0..8u32 {
+            r.spaces[0]
+                .mem()
+                .store_u32(Paddr::from_parts(src_page, (i * 4) as usize), i);
+        }
+        finish(&r);
+        assert_eq!(r.nics[0].counters().au_packets.get(), 8);
+    }
+
+    #[test]
+    fn combining_data_equivalent_to_uncombined() {
+        // §4.5.1's correctness premise: combining changes packetization, not
+        // the bytes that land.
+        let run = |combining: bool| -> Vec<u8> {
+            let mut cfg = NicConfig::default();
+            cfg.combining = combining;
+            let r = rig(2, cfg);
+            let (src_page, dst_page) = bind_au(&r, 0, 1, true, false);
+            let pattern = [3usize, 7, 8, 9, 200, 204, 208, 4092];
+            for (i, off) in pattern.iter().enumerate() {
+                r.spaces[0]
+                    .mem()
+                    .cpu_store(Paddr::from_parts(src_page, *off), &[i as u8 + 1]);
+            }
+            finish(&r);
+            let mut buf = vec![0u8; PAGE_SIZE];
+            r.spaces[1]
+                .mem()
+                .read(Paddr::from_parts(dst_page, 0), &mut buf);
+            buf
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn interrupt_needs_both_bits() {
+        // §2.3: interrupt iff header bit AND IPT bit.
+        for (hdr, ipt, expect) in [
+            (false, false, 0u64),
+            (true, false, 0),
+            (false, true, 0),
+            (true, true, 1),
+        ] {
+            let r = rig(2, NicConfig::default());
+            let (src_page, _) = bind_au(&r, 0, 1, false, hdr);
+            // bind_au sets ipt interrupt_enable = `hdr`; override to `ipt`.
+            let dst_page = {
+                // Rebind IPT with the desired receiver bit.
+                let e = IptEntry {
+                    accept: true,
+                    interrupt_enable: ipt,
+                    buffer_id: 9,
+                };
+                // find dst page via OPT entry
+                let opt = r.nics[0].tables().opt_get(src_page).unwrap();
+                r.nics[1].ipt_set(opt.dst_page, e);
+                opt.dst_page
+            };
+            let _ = dst_page;
+            r.spaces[0]
+                .mem()
+                .store_u32(Paddr::from_parts(src_page, 0), 5);
+            finish(&r);
+            assert_eq!(
+                r.nics[1].counters().interrupts_raised.get(),
+                expect,
+                "hdr={hdr} ipt={ipt}"
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_threshold_blocks_and_drains() {
+        let mut cfg = NicConfig::default();
+        cfg.out_fifo_capacity = 1024;
+        cfg.out_fifo_threshold = 256;
+        cfg.fifo_interrupt_latency = time::ns(100);
+        cfg.combining = false;
+        let r = rig(2, cfg);
+        let (src_page, _) = bind_au(&r, 0, 1, false, false);
+        // Pour stores in, respecting the de-scheduling protocol like the
+        // VMMC layer does.
+        let mem = r.spaces[0].mem().clone();
+        let nic = r.nics[0].clone();
+        let sim = r.sim.clone();
+        r.sim.spawn(async move {
+            for i in 0..200u32 {
+                while nic.au_blocked() {
+                    nic.drain_gate().wait().await;
+                }
+                mem.store_u32(Paddr::from_parts(src_page, ((i * 4) % 4096) as usize), i);
+                // Store faster than the 200 MB/s drain so the FIFO fills.
+                sim.sleep(time::ns(5)).await;
+            }
+        });
+        finish(&r);
+        let c = r.nics[0].counters();
+        assert!(
+            c.fifo_threshold_interrupts.get() >= 1,
+            "threshold never hit"
+        );
+        assert!(c.fifo_high_water.get() <= 1024, "FIFO overflowed");
+        assert_eq!(c.au_packets.get(), 200);
+        assert_eq!(r.nics[1].counters().packets_received.get(), 200);
+    }
+
+    #[test]
+    fn du_queue_depth_two_accepts_second_request_immediately() {
+        let mut cfg = NicConfig::default();
+        cfg.du_queue_depth = 2;
+        let r = rig(2, cfg);
+        let (proxy, _) = export_import(&r, 0, 1);
+        let v = r.spaces[0].alloc(1);
+        let pa = r.spaces[0].translate(v);
+        let nic = r.nics[0].clone();
+        let sim = r.sim.clone();
+        let h = r.sim.spawn(async move {
+            let t0 = sim.now();
+            let _e1 = nic
+                .deliberate_update(DuRequest {
+                    src: pa,
+                    proxy_index: proxy,
+                    dst_offset: 0,
+                    len: 4096,
+                    interrupt: false,
+                    notify: false,
+                })
+                .await;
+            let _e2 = nic
+                .deliberate_update(DuRequest {
+                    src: pa,
+                    proxy_index: proxy,
+                    dst_offset: 0,
+                    len: 4096,
+                    interrupt: false,
+                    notify: false,
+                })
+                .await;
+            sim.now() - t0
+        });
+        finish(&r);
+        // Both submissions accepted with no waiting (the engine has not even
+        // started the first DMA yet at submission time).
+        assert_eq!(h.try_take(), Some(0));
+    }
+
+    #[test]
+    fn du_queue_depth_one_blocks_second_request() {
+        let r = rig(2, NicConfig::default());
+        let (proxy, _) = export_import(&r, 0, 1);
+        let v = r.spaces[0].alloc(1);
+        let pa = r.spaces[0].translate(v);
+        let nic = r.nics[0].clone();
+        let sim = r.sim.clone();
+        let h = r.sim.spawn(async move {
+            let t0 = sim.now();
+            let _e1 = nic
+                .deliberate_update(DuRequest {
+                    src: pa,
+                    proxy_index: proxy,
+                    dst_offset: 0,
+                    len: 4096,
+                    interrupt: false,
+                    notify: false,
+                })
+                .await;
+            let _e2 = nic
+                .deliberate_update(DuRequest {
+                    src: pa,
+                    proxy_index: proxy,
+                    dst_offset: 0,
+                    len: 4096,
+                    interrupt: false,
+                    notify: false,
+                })
+                .await;
+            sim.now() - t0
+        });
+        finish(&r);
+        let waited = h.try_take().unwrap();
+        assert!(waited > 0, "second request should wait for the engine");
+    }
+
+    #[test]
+    fn du_then_au_ordering_not_guaranteed() {
+        // §4.2 second drawback: a DU initiation followed by an AU store may
+        // arrive out of order (separate datapaths).
+        let r = rig(2, NicConfig::default());
+        let (proxy, du_dst) = export_import(&r, 0, 1);
+        let (au_src, au_dst) = bind_au(&r, 0, 1, false, false);
+        let v = r.spaces[0].alloc(1);
+        r.spaces[0].write_raw(v, &[1; 4096]);
+        let pa = r.spaces[0].translate(v);
+        let nic = r.nics[0].clone();
+        let mem = r.spaces[0].mem().clone();
+        r.sim.spawn(async move {
+            // Initiate a big DU, then immediately store through AU.
+            let _done = nic
+                .deliberate_update(DuRequest {
+                    src: pa,
+                    proxy_index: proxy,
+                    dst_offset: 0,
+                    len: 4096,
+                    interrupt: false,
+                    notify: false,
+                })
+                .await;
+            mem.store_u32(Paddr::from_parts(au_src, 0), 0xFEED);
+        });
+        // Track arrival order by reading both at the time the AU word lands.
+        finish(&r);
+        let au_word = r.spaces[1].mem().read_u32(Paddr::from_parts(au_dst, 0));
+        assert_eq!(au_word, 0xFEED);
+        // Both eventually arrive; the AU packet beat the 4 KB DU through the
+        // pipeline in this configuration (launch order inverted).
+        let du_byte = {
+            let mut b = [0u8; 1];
+            r.spaces[1].mem().read(Paddr::from_parts(du_dst, 0), &mut b);
+            b[0]
+        };
+        assert_eq!(du_byte, 1);
+        let c0 = r.nics[0].counters();
+        assert_eq!(c0.du_transfers.get(), 1);
+        assert_eq!(c0.au_packets.get(), 1);
+    }
+}

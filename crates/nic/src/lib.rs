@@ -1,0 +1,44 @@
+//! The SHRIMP network interface model.
+//!
+//! The SHRIMP NIC (Figure 2 of the paper) is two boards: one snoops all
+//! main-memory writes on the Xpress memory bus, the other lives on the EISA
+//! I/O bus and contains the Outgoing Page Table (OPT), the deliberate-update
+//! DMA engine, the automatic-update packetizing/combining logic, the outgoing
+//! FIFO, the Incoming Page Table (IPT), and the incoming DMA engine.
+//!
+//! This crate reproduces all of those mechanisms as a functional + timing
+//! model over [`shrimp_mem`] and [`shrimp_net`]:
+//!
+//! * **Deliberate update** (§2.3, §4.3): user-level DMA initiated by a
+//!   two-instruction sequence; transfers cannot cross page boundaries; an
+//!   optional on-NIC request queue reproduces the §4.5.3 queueing study.
+//! * **Automatic update** (§2.3, §4.2): stores to write-through pages are
+//!   snooped, looked up in the OPT (one OPT entry per physical page), and
+//!   packetized — one packet per store, or combined per §4.5.1 until a
+//!   non-consecutive store, page/sub-page boundary, or timeout.
+//! * **Outgoing FIFO** (§4.5.2): bounded byte capacity with a programmable
+//!   threshold interrupt; system software must de-schedule AU writers until
+//!   the FIFO drains (the Xpress connector cannot stall a memory write).
+//! * **Interrupts & notifications** (§4.4): a packet interrupts the host iff
+//!   the sender's interrupt bit *and* the receiving page's IPT interrupt bit
+//!   are both set.
+//!
+//! The what-if experiments of §4 are all reprogrammings of this model via
+//! [`NicConfig`].
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counters;
+pub mod engine;
+pub mod packet;
+pub mod tables;
+
+pub use config::NicConfig;
+pub use counters::NicCounters;
+pub use engine::{DuRequest, Interrupt, Nic};
+pub use packet::{Packet, PacketKind};
+pub use tables::{IptEntry, OptEntry};
+
+/// The network type instantiated with SHRIMP packets.
+pub type ShrimpNetwork = shrimp_net::Network<Packet>;

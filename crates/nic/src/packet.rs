@@ -1,0 +1,75 @@
+//! The on-wire packet format.
+
+use shrimp_net::NodeId;
+
+/// How a packet was produced; drives per-kind statistics and the receiver's
+/// handling (both kinds take the same incoming-DMA path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Produced by the deliberate-update DMA engine.
+    DeliberateUpdate,
+    /// Produced by the automatic-update snoop/packetizing path.
+    AutomaticUpdate,
+}
+
+/// A packet on the routing backplane.
+///
+/// Destination addressing is *physical* (destination page number + offset):
+/// the sending OPT entry translated the mapping at import/bind time, so the
+/// receiving NIC can DMA directly to memory with no software on the critical
+/// path — the core idea of virtual memory-mapped communication.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Destination *physical* page number on the receiving node.
+    pub dst_page: u64,
+    /// Byte offset within the destination page.
+    pub offset: usize,
+    /// Payload bytes (real data; receivers check contents in tests).
+    pub data: Vec<u8>,
+    /// Sender's interrupt-request bit (header bit; for deliberate update it
+    /// is set per transfer, for automatic update it comes from the OPT).
+    pub interrupt: bool,
+    /// Software header bit: the sender requested a user-level notification
+    /// for this message (distinct from the hardware interrupt bit, which the
+    /// interrupt-per-message experiment of Table 4 forces on).
+    pub notify: bool,
+    /// Producing mechanism.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for an (illegal) empty packet; the NIC never produces one.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_len_reports_payload() {
+        let p = Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            dst_page: 7,
+            offset: 16,
+            data: vec![1, 2, 3],
+            interrupt: false,
+            notify: false,
+            kind: PacketKind::DeliberateUpdate,
+        };
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! The Outgoing and Incoming Page Tables.
+//!
+//! §2.3: the OPT keeps a one-to-one mapping between physical page numbers
+//! and OPT entries, so a snooped write can index the OPT directly with its
+//! page number. Imports for deliberate update also allocate OPT entries,
+//! addressed through proxy indices; we keep both in one table with proxy
+//! indices allocated from a high range (mirroring the single physical OPT
+//! RAM of the real board).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use shrimp_net::NodeId;
+
+/// First OPT index used for proxy (import) entries, far above any physical
+/// page number a node can own.
+pub const PROXY_INDEX_BASE: u64 = 1 << 40;
+
+/// One Outgoing Page Table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptEntry {
+    /// Destination node of the mapped remote page.
+    pub dst_node: NodeId,
+    /// Destination physical page number.
+    pub dst_page: u64,
+    /// Automatic update enabled for this entry (snooped writes to the
+    /// corresponding physical page become packets).
+    pub au_enable: bool,
+    /// Combining enabled for this binding (§4.5.1; per-page bit).
+    pub combine: bool,
+    /// Interrupt-request bit attached to automatic-update packets from this
+    /// page (§2.3: the AU interrupt bit is stored in the OPT).
+    pub interrupt: bool,
+}
+
+/// One Incoming Page Table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IptEntry {
+    /// Packets to this page are accepted (the page is an exported,
+    /// pinned receive-buffer page).
+    pub accept: bool,
+    /// Receiver-side interrupt-enable bit: an arriving packet interrupts the
+    /// host iff this and the packet's header bit are both set (§2.3).
+    pub interrupt_enable: bool,
+    /// Which exported buffer this page belongs to; routes notifications.
+    pub buffer_id: u32,
+}
+
+/// The two page tables of one NIC.
+#[derive(Debug, Default)]
+pub struct PageTables {
+    opt: RefCell<HashMap<u64, OptEntry>>,
+    ipt: RefCell<HashMap<u64, IptEntry>>,
+    next_proxy: RefCell<u64>,
+}
+
+impl PageTables {
+    /// Creates empty tables.
+    pub fn new() -> Self {
+        PageTables {
+            opt: RefCell::new(HashMap::new()),
+            ipt: RefCell::new(HashMap::new()),
+            next_proxy: RefCell::new(PROXY_INDEX_BASE),
+        }
+    }
+
+    /// Allocates `n` consecutive proxy OPT indices (for an import) and
+    /// returns the first.
+    pub fn alloc_proxy_range(&self, n: usize) -> u64 {
+        let mut next = self.next_proxy.borrow_mut();
+        let first = *next;
+        *next += n as u64;
+        first
+    }
+
+    /// Installs or replaces an OPT entry.
+    pub fn opt_set(&self, index: u64, entry: OptEntry) {
+        self.opt.borrow_mut().insert(index, entry);
+    }
+
+    /// Removes an OPT entry.
+    pub fn opt_clear(&self, index: u64) {
+        self.opt.borrow_mut().remove(&index);
+    }
+
+    /// Looks up an OPT entry.
+    pub fn opt_get(&self, index: u64) -> Option<OptEntry> {
+        self.opt.borrow().get(&index).copied()
+    }
+
+    /// Installs or replaces an IPT entry.
+    pub fn ipt_set(&self, page: u64, entry: IptEntry) {
+        self.ipt.borrow_mut().insert(page, entry);
+    }
+
+    /// Removes an IPT entry.
+    pub fn ipt_clear(&self, page: u64) {
+        self.ipt.borrow_mut().remove(&page);
+    }
+
+    /// Looks up an IPT entry.
+    pub fn ipt_get(&self, page: u64) -> Option<IptEntry> {
+        self.ipt.borrow().get(&page).copied()
+    }
+
+    /// Flips the receiver-side interrupt-enable bit on every page of a
+    /// buffer (used by notification enable/disable).
+    pub fn ipt_set_interrupt_for_buffer(&self, buffer_id: u32, enable: bool) {
+        for e in self.ipt.borrow_mut().values_mut() {
+            if e.buffer_id == buffer_id {
+                e.interrupt_enable = enable;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(node: usize) -> OptEntry {
+        OptEntry {
+            dst_node: NodeId(node),
+            dst_page: 42,
+            au_enable: false,
+            combine: false,
+            interrupt: false,
+        }
+    }
+
+    #[test]
+    fn opt_set_get_clear() {
+        let t = PageTables::new();
+        assert_eq!(t.opt_get(3), None);
+        t.opt_set(3, entry(1));
+        assert_eq!(t.opt_get(3).unwrap().dst_node, NodeId(1));
+        t.opt_clear(3);
+        assert_eq!(t.opt_get(3), None);
+    }
+
+    #[test]
+    fn proxy_ranges_are_disjoint_and_above_phys() {
+        let t = PageTables::new();
+        let a = t.alloc_proxy_range(4);
+        let b = t.alloc_proxy_range(2);
+        assert!(a >= PROXY_INDEX_BASE);
+        assert_eq!(b, a + 4);
+    }
+
+    #[test]
+    fn ipt_buffer_interrupt_toggle() {
+        let t = PageTables::new();
+        for p in 0..4 {
+            t.ipt_set(
+                p,
+                IptEntry {
+                    accept: true,
+                    interrupt_enable: false,
+                    buffer_id: (p % 2) as u32,
+                },
+            );
+        }
+        t.ipt_set_interrupt_for_buffer(0, true);
+        assert!(t.ipt_get(0).unwrap().interrupt_enable);
+        assert!(!t.ipt_get(1).unwrap().interrupt_enable);
+        assert!(t.ipt_get(2).unwrap().interrupt_enable);
+    }
+}

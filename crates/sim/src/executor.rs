@@ -1,0 +1,533 @@
+//! The simulation executor: processes, timers, and the deterministic run loop.
+//!
+//! Simulation *processes* are plain `async` blocks spawned with
+//! [`Sim::spawn`]. The executor is strictly single-threaded; determinism comes
+//! from two rules:
+//!
+//! 1. Woken processes are polled in FIFO wake order.
+//! 2. When no process is runnable, the earliest timer fires; ties break on a
+//!    monotonically increasing sequence number assigned at scheduling time.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::Time;
+use crate::trace::TraceSink;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Identifier of a spawned simulation process.
+pub type TaskId = u64;
+
+/// What a timer does when it fires.
+enum TimerAction {
+    Wake(Waker),
+    Call(Box<dyn FnOnce()>),
+}
+
+struct TimerEntry {
+    at: Time,
+    seq: u64,
+    action: TimerAction,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Wake queue shared with `Waker`s. `Waker` must be `Send + Sync`, so this is
+/// the single place the otherwise thread-bound simulator uses a `Mutex`; it is
+/// always uncontended.
+#[derive(Default)]
+struct ReadyQueue {
+    woken: Mutex<VecDeque<TaskId>>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.woken.lock().unwrap().push_back(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.woken.lock().unwrap().push_back(self.id);
+    }
+}
+
+struct SimInner {
+    now: Cell<Time>,
+    trace: TraceSink,
+    next_seq: Cell<u64>,
+    next_task: Cell<TaskId>,
+    timers: RefCell<BinaryHeap<TimerEntry>>,
+    ready: Arc<ReadyQueue>,
+    tasks: RefCell<HashMap<TaskId, Option<BoxFuture>>>,
+    to_spawn: RefCell<Vec<(TaskId, BoxFuture)>>,
+}
+
+/// Handle to the simulator. Cheap to clone; every simulated component and
+/// process holds one.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<SimInner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.inner.now.get())
+            .field("live_tasks", &self.live_tasks())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(SimInner {
+                now: Cell::new(0),
+                trace: TraceSink::new(),
+                next_seq: Cell::new(0),
+                next_task: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                ready: Arc::new(ReadyQueue::default()),
+                tasks: RefCell::new(HashMap::new()),
+                to_spawn: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.inner.now.get()
+    }
+
+    /// The simulator's trace sink (disabled by default; see
+    /// [`TraceSink::enable`]).
+    pub fn trace(&self) -> &TraceSink {
+        &self.inner.trace
+    }
+
+    /// Number of processes that have been spawned and have not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.tasks.borrow().len() + self.inner.to_spawn.borrow().len()
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.inner.next_seq.get();
+        self.inner.next_seq.set(s + 1);
+        s
+    }
+
+    /// Spawns a simulation process; it starts running at the current time on
+    /// the next executor iteration. Returns a [`TaskHandle`] that other
+    /// processes may await for the process's output.
+    pub fn spawn<F>(&self, fut: F) -> TaskHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let id = self.inner.next_task.get();
+        self.inner.next_task.set(id + 1);
+        let state = Rc::new(RefCell::new(JoinState::<F::Output> {
+            value: None,
+            done: false,
+            waiters: Vec::new(),
+        }));
+        let st = state.clone();
+        let wrapped: BoxFuture = Box::pin(async move {
+            let out = fut.await;
+            let mut s = st.borrow_mut();
+            s.value = Some(out);
+            s.done = true;
+            for w in s.waiters.drain(..) {
+                w.wake();
+            }
+        });
+        self.inner.to_spawn.borrow_mut().push((id, wrapped));
+        // Newly spawned tasks are immediately runnable.
+        self.inner.ready.woken.lock().unwrap().push_back(id);
+        TaskHandle { state }
+    }
+
+    /// Schedules `f` to run at absolute simulated time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule<F: FnOnce() + 'static>(&self, at: Time, f: F) {
+        assert!(at >= self.now(), "schedule() into the past");
+        let seq = self.next_seq();
+        self.inner.timers.borrow_mut().push(TimerEntry {
+            at,
+            seq,
+            action: TimerAction::Call(Box::new(f)),
+        });
+    }
+
+    /// Schedules `f` to run after `delay`.
+    pub fn schedule_in<F: FnOnce() + 'static>(&self, delay: Time, f: F) {
+        self.schedule(self.now() + delay, f);
+    }
+
+    /// Returns a future that completes at absolute time `at` (immediately if
+    /// `at` is not in the future).
+    pub fn sleep_until(&self, at: Time) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            at,
+            registered: false,
+        }
+    }
+
+    /// Returns a future that completes after `duration` of simulated time.
+    pub fn sleep(&self, duration: Time) -> Sleep {
+        self.sleep_until(self.now() + duration)
+    }
+
+    fn register_timer_wake(&self, at: Time, waker: Waker) {
+        let seq = self.next_seq();
+        self.inner.timers.borrow_mut().push(TimerEntry {
+            at,
+            seq,
+            action: TimerAction::Wake(waker),
+        });
+    }
+
+    /// Polls every woken process (in wake order), installing new spawns first.
+    /// Returns `true` if any process was polled.
+    fn drain_ready(&self) -> bool {
+        let mut any = false;
+        loop {
+            // Install pending spawns.
+            {
+                let mut sp = self.inner.to_spawn.borrow_mut();
+                if !sp.is_empty() {
+                    let mut tasks = self.inner.tasks.borrow_mut();
+                    for (id, fut) in sp.drain(..) {
+                        tasks.insert(id, Some(fut));
+                    }
+                }
+            }
+            let next = self.inner.ready.woken.lock().unwrap().pop_front();
+            let Some(id) = next else { break };
+            // Take the future out of its slot so the tasks map is not
+            // borrowed while the process body runs (it may spawn/wake).
+            let fut = match self.inner.tasks.borrow_mut().get_mut(&id) {
+                Some(slot) => slot.take(),
+                None => None, // already completed; spurious wake
+            };
+            let Some(mut fut) = fut else { continue };
+            any = true;
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: self.inner.ready.clone(),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    self.inner.tasks.borrow_mut().remove(&id);
+                }
+                Poll::Pending => {
+                    if let Some(slot) = self.inner.tasks.borrow_mut().get_mut(&id) {
+                        *slot = Some(fut);
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Runs the simulation until no process is runnable and no timer is
+    /// pending. Returns the final simulated time.
+    ///
+    /// Processes still alive when `run` returns are *blocked forever*
+    /// (deadlocked or awaiting an event nobody will produce); callers that
+    /// consider this a bug should use [`Sim::run_to_completion`].
+    pub fn run(&self) -> Time {
+        loop {
+            self.drain_ready();
+            let entry = self.inner.timers.borrow_mut().pop();
+            match entry {
+                Some(e) => {
+                    debug_assert!(e.at >= self.inner.now.get());
+                    self.inner.now.set(e.at);
+                    match e.action {
+                        TimerAction::Wake(w) => w.wake(),
+                        TimerAction::Call(f) => f(),
+                    }
+                }
+                None => break,
+            }
+        }
+        self.inner.now.get()
+    }
+
+    /// Like [`Sim::run`], but panics if any process is still alive afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocked (processes remain but no event can
+    /// wake them).
+    pub fn run_to_completion(&self) -> Time {
+        let t = self.run();
+        let live = self.live_tasks();
+        assert!(
+            live == 0,
+            "simulation deadlocked at t={t} ps with {live} blocked process(es)"
+        );
+        t
+    }
+
+    /// Runs until simulated time would exceed `limit`; events at exactly
+    /// `limit` still fire. Returns the final time (`<= limit`).
+    pub fn run_for(&self, limit: Time) -> Time {
+        loop {
+            self.drain_ready();
+            let fire = {
+                let timers = self.inner.timers.borrow();
+                matches!(timers.peek(), Some(e) if e.at <= limit)
+            };
+            if !fire {
+                break;
+            }
+            let e = self.inner.timers.borrow_mut().pop().unwrap();
+            self.inner.now.set(e.at);
+            match e.action {
+                TimerAction::Wake(w) => w.wake(),
+                TimerAction::Call(f) => f(),
+            }
+        }
+        self.inner.now.get()
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+#[derive(Debug)]
+pub struct Sleep {
+    sim: Sim,
+    at: Time,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.at {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let at = self.at;
+            self.sim.register_timer_wake(at, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+struct JoinState<T> {
+    value: Option<T>,
+    done: bool,
+    waiters: Vec<Waker>,
+}
+
+/// Handle to a spawned process; awaiting it yields the process output.
+///
+/// Dropping the handle detaches the process (it keeps running).
+pub struct TaskHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> std::fmt::Debug for TaskHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("done", &self.state.borrow().done)
+            .finish()
+    }
+}
+
+impl<T> TaskHandle<T> {
+    /// Returns the output if the process has completed, without blocking.
+    /// Returns `None` if it is still running or the value was already taken.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().value.take()
+    }
+
+    /// `true` once the process has completed.
+    pub fn is_done(&self) -> bool {
+        self.state.borrow().done
+    }
+}
+
+impl<T> Future for TaskHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if st.done {
+            match st.value.take() {
+                Some(v) => Poll::Ready(v),
+                None => panic!("TaskHandle polled after output was taken"),
+            }
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Awaits all handles in a vector, returning outputs in order.
+///
+/// This is the join-all barrier used by experiment drivers to wait for all
+/// per-node processes.
+pub async fn join_all<T>(handles: Vec<TaskHandle<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{ns, us};
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.run(), 0);
+    }
+
+    #[test]
+    fn sleep_advances_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(us(3)).await;
+            s.sleep(us(2)).await;
+        });
+        assert_eq!(sim.run_to_completion(), us(5));
+    }
+
+    #[test]
+    fn timers_fire_in_time_then_seq_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, t) in [(1u32, us(2)), (2, us(1)), (3, us(2)), (4, us(1))] {
+            let log = log.clone();
+            sim.schedule(t, move || log.borrow_mut().push(i));
+        }
+        sim.run();
+        // Same-time entries keep scheduling order.
+        assert_eq!(*log.borrow(), vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn spawned_tasks_start_at_spawn_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(us(1)).await;
+            let inner = s.spawn(async { 7 });
+            inner.await
+        });
+        sim.run_to_completion();
+        assert_eq!(h.try_take(), Some(7));
+    }
+
+    #[test]
+    fn join_all_collects_in_order() {
+        let sim = Sim::new();
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let s = sim.clone();
+            handles.push(sim.spawn(async move {
+                // Later-indexed tasks sleep less, so completion order is
+                // reversed; join_all must still return spawn order.
+                s.sleep(ns(100 - i * 10)).await;
+                i
+            }));
+        }
+        let joined = sim.spawn(async move { join_all(handles).await });
+        sim.run_to_completion();
+        assert_eq!(joined.try_take(), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn run_for_stops_at_limit() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(us(10)).await;
+        });
+        assert_eq!(sim.run_for(us(4)), 0); // nothing fired before the limit
+        assert_eq!(sim.live_tasks(), 1);
+        assert_eq!(sim.run(), us(10));
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn deadlock_detected() {
+        let sim = Sim::new();
+        let (_tx, rx) = crate::queue::unbounded::<u8>();
+        sim.spawn(async move {
+            rx.recv().await;
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn determinism_two_runs_identical() {
+        fn run_once() -> (Time, Vec<u64>) {
+            let sim = Sim::new();
+            let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..8u64 {
+                let s = sim.clone();
+                let log = log.clone();
+                sim.spawn(async move {
+                    s.sleep(ns(i * 37 % 11)).await;
+                    log.borrow_mut().push(i);
+                    s.sleep(ns(i * 13 % 7)).await;
+                    log.borrow_mut().push(100 + i);
+                });
+            }
+            let t = sim.run_to_completion();
+            let l = log.borrow().clone();
+            (t, l)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

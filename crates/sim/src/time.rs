@@ -1,0 +1,118 @@
+//! Simulated time: picosecond-resolution timestamps and conversion helpers.
+//!
+//! Picoseconds in a `u64` cover roughly 213 days of simulated time, far more
+//! than any experiment in the study, while keeping every hardware latency in
+//! the model (down to single memory-bus cycles at 60 MHz) exactly
+//! representable.
+
+/// A point in (or span of) simulated time, in picoseconds.
+pub type Time = u64;
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: Time = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: Time = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: Time = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_S: Time = 1_000_000_000_000;
+
+/// Converts nanoseconds to [`Time`].
+///
+/// ```
+/// assert_eq!(shrimp_sim::time::ns(3), 3_000);
+/// ```
+pub const fn ns(v: u64) -> Time {
+    v * PS_PER_NS
+}
+
+/// Converts microseconds to [`Time`].
+pub const fn us(v: u64) -> Time {
+    v * PS_PER_US
+}
+
+/// Converts milliseconds to [`Time`].
+pub const fn ms(v: u64) -> Time {
+    v * PS_PER_MS
+}
+
+/// Converts seconds to [`Time`].
+pub const fn s(v: u64) -> Time {
+    v * PS_PER_S
+}
+
+/// Converts a [`Time`] to fractional seconds (for reporting).
+pub fn to_secs(t: Time) -> f64 {
+    t as f64 / PS_PER_S as f64
+}
+
+/// Converts a [`Time`] to fractional microseconds (for reporting).
+pub fn to_us(t: Time) -> f64 {
+    t as f64 / PS_PER_US as f64
+}
+
+/// Duration of `n` cycles of a clock running at `hz`.
+///
+/// Rounds to the nearest picosecond; at the 60 MHz SHRIMP node clock one cycle
+/// is 16 667 ps.
+///
+/// ```
+/// use shrimp_sim::time::cycles;
+/// assert_eq!(cycles(1, 60_000_000), 16_667);
+/// ```
+pub const fn cycles(n: u64, hz: u64) -> Time {
+    // n * PS_PER_S / hz, with u128 to avoid overflow for large n.
+    ((n as u128 * PS_PER_S as u128 + (hz / 2) as u128) / hz as u128) as Time
+}
+
+/// Time to move `bytes` at `bytes_per_sec` (rounded up to whole picoseconds).
+///
+/// ```
+/// use shrimp_sim::time::transfer;
+/// // 200 bytes at 200 MB/s takes 1 microsecond.
+/// assert_eq!(transfer(200, 200_000_000), shrimp_sim::time::us(1));
+/// ```
+pub const fn transfer(bytes: u64, bytes_per_sec: u64) -> Time {
+    ((bytes as u128 * PS_PER_S as u128).div_ceil(bytes_per_sec as u128)) as Time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_compose() {
+        assert_eq!(ns(1_000), us(1));
+        assert_eq!(us(1_000), ms(1));
+        assert_eq!(ms(1_000), s(1));
+    }
+
+    #[test]
+    fn cycles_at_60mhz() {
+        // 60 cycles at 60 MHz is exactly 1 us.
+        assert_eq!(cycles(60, 60_000_000), us(1));
+        // One cycle rounds to 16_667 ps.
+        assert_eq!(cycles(1, 60_000_000), 16_667);
+    }
+
+    #[test]
+    fn transfer_rounds_up() {
+        // 1 byte at 1 GB/s is 1000 ps exactly.
+        assert_eq!(transfer(1, 1_000_000_000), 1_000);
+        // 1 byte at 3 GB/s is 333.3.. ps, rounded up to 334.
+        assert_eq!(transfer(1, 3_000_000_000), 334);
+    }
+
+    #[test]
+    fn to_secs_roundtrip() {
+        assert!((to_secs(s(14)) - 14.0).abs() < 1e-12);
+        assert!((to_us(us(7)) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_large_values_do_not_overflow() {
+        // 4 GiB at 200 MB/s: 4294967296 / 2e8 s = 21.47.. s, or 5000 ps/byte.
+        let t = transfer(4 << 30, 200_000_000);
+        assert_eq!(t, (4u64 << 30) * 5_000);
+    }
+}

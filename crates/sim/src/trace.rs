@@ -1,0 +1,187 @@
+//! Optional event tracing: a timeline of component events for debugging
+//! and for the experiment harness's `SHRIMP_TRACE` dumps.
+//!
+//! Tracing is off by default and costs one branch per call site when
+//! disabled. Components record `(time, category, message)` rows; the
+//! owner of the [`Sim`](crate::Sim) drains them with
+//! [`TraceSink::take`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::Time;
+
+/// One trace row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub at: Time,
+    /// Component category (e.g. `"nic"`, `"svm"`, `"net"`).
+    pub category: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+struct SinkInner {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    /// Bound on retained events (oldest dropped beyond it).
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A shared trace buffer. Cheap to clone.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Rc<RefCell<SinkInner>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("TraceSink")
+            .field("enabled", &inner.enabled)
+            .field("events", &inner.events.len())
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    /// Creates a disabled sink with the default capacity (64 K events).
+    pub fn new() -> Self {
+        TraceSink {
+            inner: Rc::new(RefCell::new(SinkInner {
+                enabled: false,
+                events: Vec::new(),
+                capacity: 64 * 1024,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Enables recording, optionally bounding the retained event count.
+    pub fn enable(&self, capacity: Option<usize>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.enabled = true;
+        if let Some(c) = capacity {
+            inner.capacity = c;
+        }
+    }
+
+    /// Disables recording (already-recorded events are kept).
+    pub fn disable(&self) {
+        self.inner.borrow_mut().enabled = false;
+    }
+
+    /// `true` while recording. Call sites use this to skip formatting work.
+    pub fn enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&self, at: Time, category: &'static str, message: String) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        if inner.events.len() >= inner.capacity {
+            inner.events.remove(0);
+            inner.dropped += 1;
+        }
+        inner.events.push(TraceEvent {
+            at,
+            category,
+            message,
+        });
+    }
+
+    /// Takes all recorded events, leaving the sink empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.inner.borrow_mut().events)
+    }
+
+    /// Events dropped to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Renders events as a plain-text timeline.
+    pub fn render(events: &[TraceEvent]) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in events {
+            let _ = writeln!(
+                out,
+                "{:>14.3} us  {:<6} {}",
+                crate::time::to_us(e.at),
+                e.category,
+                e.message
+            );
+        }
+        out
+    }
+}
+
+/// Records into `sink` only if enabled, deferring message formatting.
+///
+/// ```
+/// use shrimp_sim::{trace_event, Sim};
+/// let sim = Sim::new();
+/// sim.trace().enable(None);
+/// trace_event!(sim.trace(), sim.now(), "demo", "value = {}", 42);
+/// assert_eq!(sim.trace().take().len(), 1);
+/// ```
+#[macro_export]
+macro_rules! trace_event {
+    ($sink:expr, $at:expr, $cat:expr, $($arg:tt)*) => {
+        if $sink.enabled() {
+            $sink.record($at, $cat, format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::new();
+        sink.record(5, "x", "hello".into());
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_sink_records_and_drains() {
+        let sink = TraceSink::new();
+        sink.enable(None);
+        sink.record(1, "a", "one".into());
+        sink.record(2, "b", "two".into());
+        let ev = sink.take();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].message, "one");
+        assert!(sink.take().is_empty());
+        let text = TraceSink::render(&ev);
+        assert!(text.contains("one") && text.contains("two"));
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let sink = TraceSink::new();
+        sink.enable(Some(3));
+        for i in 0..5 {
+            sink.record(i, "c", format!("e{i}"));
+        }
+        let ev = sink.take();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].message, "e2");
+        assert_eq!(sink.dropped(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the simulation kernel: determinism under arbitrary
+//! task graphs, timer ordering, and resource serialization.
+
+use proptest::prelude::*;
+use shrimp_sim::sync::Resource;
+use shrimp_sim::{time, Sim};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any mix of sleeping tasks produces the identical event log on a
+    /// second run — the determinism everything else relies on.
+    #[test]
+    fn arbitrary_task_graphs_are_deterministic(
+        delays in prop::collection::vec(prop::collection::vec(0u64..500, 1..6), 1..8),
+    ) {
+        let run = |delays: &[Vec<u64>]| -> (u64, Vec<(usize, u64)>) {
+            let sim = Sim::new();
+            let log: Rc<RefCell<Vec<(usize, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+            for (id, ds) in delays.iter().enumerate() {
+                let sim2 = sim.clone();
+                let ds = ds.clone();
+                let log = log.clone();
+                sim.spawn(async move {
+                    for d in ds {
+                        sim2.sleep(time::ns(d)).await;
+                        log.borrow_mut().push((id, sim2.now()));
+                    }
+                });
+            }
+            let t = sim.run_to_completion();
+            let l = log.borrow().clone();
+            (t, l)
+        };
+        prop_assert_eq!(run(&delays), run(&delays));
+    }
+
+    /// Scheduled callbacks fire in nondecreasing time order, with ties in
+    /// scheduling order.
+    #[test]
+    fn timers_fire_in_order(times in prop::collection::vec(0u64..1000, 1..30)) {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &t) in times.iter().enumerate() {
+            let log = log.clone();
+            let sim2 = sim.clone();
+            sim.schedule(time::ns(t), move || log.borrow_mut().push((sim2.now(), i)));
+        }
+        sim.run();
+        let l = log.borrow();
+        prop_assert_eq!(l.len(), times.len());
+        for w in l.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "fired out of time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broke scheduling order");
+            }
+        }
+    }
+
+    /// Resource reservations never overlap and preserve request order.
+    #[test]
+    fn resource_intervals_disjoint(durations in prop::collection::vec(1u64..1000, 1..25)) {
+        let sim = Sim::new();
+        let r = Resource::new();
+        let mut prev_end = 0;
+        let mut total = 0;
+        for &d in &durations {
+            let (start, end) = r.reserve(&sim, d);
+            prop_assert!(start >= prev_end, "overlapping reservation");
+            prop_assert_eq!(end - start, d);
+            prev_end = end;
+            total += d;
+        }
+        prop_assert_eq!(r.total_busy(), total);
+    }
+
+    /// Queue delivery preserves FIFO order for any send/receive schedule.
+    #[test]
+    fn queue_is_fifo_under_interleaving(
+        batch_sizes in prop::collection::vec(1usize..6, 1..10),
+    ) {
+        let sim = Sim::new();
+        let (tx, rx) = shrimp_sim::queue::unbounded::<u32>();
+        let total: usize = batch_sizes.iter().sum();
+        {
+            let sim2 = sim.clone();
+            let batches = batch_sizes.clone();
+            sim.spawn(async move {
+                let mut next = 0u32;
+                for b in batches {
+                    for _ in 0..b {
+                        tx.send(next);
+                        next += 1;
+                    }
+                    sim2.sleep(time::ns(50)).await;
+                }
+            });
+        }
+        let h = sim.spawn(async move {
+            let mut got = Vec::new();
+            for _ in 0..total {
+                got.push(rx.recv().await.unwrap());
+            }
+            got
+        });
+        sim.run_to_completion();
+        prop_assert_eq!(h.try_take().unwrap(), (0..total as u32).collect::<Vec<_>>());
+    }
+}

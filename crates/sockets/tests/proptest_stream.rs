@@ -1,0 +1,106 @@
+//! Property tests for the stream sockets: byte streams survive arbitrary
+//! write/read chunkings and block transfers interleave safely with stream
+//! data.
+
+use proptest::prelude::*;
+use shrimp_core::{Cluster, DesignConfig, RingBulk};
+use shrimp_sockets::{Socket, SocketConfig, SocketNet};
+
+fn setup(bulk: RingBulk) -> (Cluster, Socket, Socket) {
+    let cluster = Cluster::new(2, DesignConfig::default());
+    let net = SocketNet::with_config(
+        &cluster,
+        SocketConfig {
+            ring_bytes: 16 * 1024,
+            bulk,
+        },
+    );
+    let listener = net.listen(1, 5000);
+    let client = net.connect_endpoints(0, 1, 5000);
+    let server_handle = cluster.sim().spawn(async move { listener.accept().await });
+    // The accept is synchronous (backlog already filled).
+    cluster.sim().run_for(0);
+    let server = server_handle.try_take().expect("accept did not complete");
+    (cluster, client, server)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The receiver sees exactly the concatenation of the writes, whatever
+    /// the chunk sizes on either side.
+    #[test]
+    fn stream_reassembles_any_chunking(
+        writes in prop::collection::vec(1usize..5000, 1..8),
+        read_chunk in 1usize..4096,
+        automatic in any::<bool>(),
+    ) {
+        let bulk = if automatic { RingBulk::Automatic } else { RingBulk::Deliberate };
+        let (cluster, client, server) = setup(bulk);
+        let payload: Vec<Vec<u8>> = writes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (0..n).map(|j| ((i * 131 + j) % 256) as u8).collect())
+            .collect();
+        let expect: Vec<u8> = payload.iter().flatten().copied().collect();
+        let total = expect.len();
+        let h = cluster.sim().spawn(async move {
+            for w in &payload {
+                client.write(w).await;
+            }
+            client.shutdown().await;
+        });
+        let hr = cluster.sim().spawn(async move {
+            let mut all = Vec::new();
+            let mut buf = vec![0u8; read_chunk];
+            loop {
+                let n = server.read(&mut buf).await;
+                if n == 0 {
+                    break;
+                }
+                all.extend_from_slice(&buf[..n]);
+            }
+            all
+        });
+        cluster.run_until_complete(vec![h]);
+        let got = hr.try_take().unwrap();
+        prop_assert_eq!(got.len(), total);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Blocks and stream bytes interleave without crosstalk.
+    #[test]
+    fn blocks_and_stream_interleave(
+        ops in prop::collection::vec((any::<bool>(), 1usize..2000), 1..10),
+    ) {
+        let (cluster, client, server) = setup(RingBulk::Deliberate);
+        let ops2 = ops.clone();
+        let h = cluster.sim().spawn(async move {
+            for (i, (is_block, n)) in ops2.iter().enumerate() {
+                let data: Vec<u8> = (0..*n).map(|j| ((i + j) % 256) as u8).collect();
+                if *is_block {
+                    client.write_block(&data).await;
+                } else {
+                    client.write(&data).await;
+                }
+            }
+        });
+        let hr = cluster.sim().spawn(async move {
+            let mut ok = true;
+            for (i, (is_block, n)) in ops.iter().enumerate() {
+                let expect: Vec<u8> = (0..*n).map(|j| ((i + j) % 256) as u8).collect();
+                let got = if *is_block {
+                    server.read_block().await
+                } else {
+                    let mut b = vec![0u8; *n];
+                    server.read_exact(&mut b).await;
+                    b
+                };
+                ok &= got == expect;
+            }
+            ok
+        });
+        cluster.run_until_complete(vec![h]);
+        prop_assert!(hr.try_take().unwrap(), "stream/block crosstalk");
+    }
+}

@@ -1,0 +1,86 @@
+//! SVM protocol selection and cost parameters.
+
+use shrimp_sim::{time, Time};
+
+/// Which of the paper's three SVM protocols to run (§4.2, Figure 4 left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Home-based lazy release consistency over deliberate update only.
+    Hlrc,
+    /// HLRC with diffs propagated via automatic update as produced.
+    HlrcAu,
+    /// Automatic Update Release Consistency: diff-free, write-through
+    /// AU mappings onto home pages.
+    Aurc,
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Protocol::Hlrc => "HLRC",
+            Protocol::HlrcAu => "HLRC-AU",
+            Protocol::Aurc => "AURC",
+        })
+    }
+}
+
+/// Cost parameters of the SVM runtime (1994-era PC software costs).
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    /// Protocol to run.
+    pub protocol: Protocol,
+    /// Number of user locks.
+    pub locks: usize,
+    /// Page-fault trap + protocol-handler entry cost.
+    pub fault_cost: Time,
+    /// Per-word cost of the diff scan (compare page against twin).
+    pub diff_word_scan: Time,
+    /// Per-word cost of applying a diff at the home.
+    pub diff_word_apply: Time,
+    /// Handler work per protocol request beyond interrupt/notification
+    /// delivery.
+    pub handler_cost: Time,
+    /// Cost of a lock/barrier operation served locally on its manager.
+    pub local_sync_cost: Time,
+    /// Request-ring capacity per node pair.
+    pub req_ring_bytes: usize,
+    /// Reply-ring capacity per node pair.
+    pub rep_ring_bytes: usize,
+}
+
+impl SvmConfig {
+    /// Default costs for the given protocol.
+    pub fn new(protocol: Protocol) -> Self {
+        SvmConfig {
+            protocol,
+            locks: 64,
+            fault_cost: time::us(35),
+            diff_word_scan: time::ns(150),
+            diff_word_apply: time::ns(100),
+            handler_cost: time::us(8),
+            local_sync_cost: time::us(3),
+            req_ring_bytes: 32 * 1024,
+            rep_ring_bytes: 32 * 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_displays() {
+        assert_eq!(Protocol::Hlrc.to_string(), "HLRC");
+        assert_eq!(Protocol::HlrcAu.to_string(), "HLRC-AU");
+        assert_eq!(Protocol::Aurc.to_string(), "AURC");
+    }
+
+    #[test]
+    fn defaults_sane() {
+        let c = SvmConfig::new(Protocol::Hlrc);
+        assert!(c.locks > 0);
+        assert!(c.fault_cost > 0);
+        assert!(c.req_ring_bytes.is_power_of_two());
+    }
+}

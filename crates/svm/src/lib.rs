@@ -1,0 +1,60 @@
+//! Shared virtual memory over SHRIMP — the three protocols of §4.2.
+//!
+//! The paper evaluates automatic update through three SVM implementations
+//! (Figure 4, left):
+//!
+//! * [`Protocol::Hlrc`] — home-based lazy release consistency using only
+//!   deliberate update: write faults twin the page, releases compute diffs
+//!   against the twins and send them to each page's *home*, and acquires
+//!   invalidate pages named in write notices.
+//! * [`Protocol::HlrcAu`] — HLRC with the diffs *propagated via automatic
+//!   update as they are produced* instead of buffered and sent explicitly.
+//!   Diff computation (the expensive part) remains, which is why the paper
+//!   finds "very little benefit" over HLRC.
+//! * [`Protocol::Aurc`] — Automatic Update Release Consistency: no twins,
+//!   no diffs; written pages are write-through, bound for automatic update
+//!   straight onto their home pages, so updates propagate eagerly word by
+//!   word. Releases need only an AU *fence* per touched home (the fence
+//!   word travels in the ordered AU stream). AURC wins big for write-write
+//!   false sharing (Radix) because the diff machinery disappears.
+//!
+//! Synchronization is centralized: each lock lives on a manager node
+//! (`lock % n`) and the single barrier on node 0. Protocol requests travel
+//! on per-pair rings **with notifications** — SVM is the notification
+//! consumer of Table 3 — while replies are polled by the blocked requester.
+//!
+//! # Example
+//!
+//! ```
+//! use shrimp_core::{Cluster, DesignConfig};
+//! use shrimp_svm::{Protocol, Svm, SvmConfig};
+//!
+//! let cluster = Cluster::new(2, DesignConfig::default());
+//! let svm = Svm::create(&cluster, SvmConfig::new(Protocol::Aurc));
+//! let region = svm.create_region(8192, |page| page % 2);
+//! let a = svm.node(0);
+//! let b = svm.node(1);
+//! let sim = cluster.sim().clone();
+//! let ha = sim.spawn(async move {
+//!     a.write_u32(region, 100, 7).await;
+//!     a.barrier().await;
+//! });
+//! let hb = sim.spawn(async move {
+//!     b.barrier().await;
+//!     b.read_u32(region, 100).await
+//! });
+//! cluster.run_until_complete(vec![ha]);
+//! assert_eq!(hb.try_take(), Some(7));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod msg;
+pub mod stats;
+pub mod system;
+
+pub use config::{Protocol, SvmConfig};
+pub use msg::{Notice, Reply, Request};
+pub use stats::SvmStats;
+pub use system::{RegionId, Svm, SvmNode};

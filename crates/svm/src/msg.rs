@@ -1,0 +1,336 @@
+//! SVM protocol wire messages and their byte encoding.
+//!
+//! Requests travel producer→home/manager on notification rings; replies
+//! return on polled rings. Large payloads (page data, write-notice lists,
+//! diffs) are chunked by the transport in `system.rs`.
+
+/// A write notice: "`writer` modified `page` of `region` this interval".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Notice {
+    /// Writing node.
+    pub writer: u16,
+    /// Region id.
+    pub region: u32,
+    /// Page index within the region.
+    pub page: u32,
+}
+
+/// A protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Fetch the current contents of a page from its home.
+    FetchPage {
+        /// Region id.
+        region: u32,
+        /// Page index.
+        page: u32,
+    },
+    /// Apply a diff to a home page: `(word index, new value)` pairs.
+    ApplyDiff {
+        /// Region id.
+        region: u32,
+        /// Page index.
+        page: u32,
+        /// Modified words.
+        words: Vec<(u16, u32)>,
+    },
+    /// Acquire a lock at its manager.
+    LockAcquire {
+        /// Lock id.
+        lock: u32,
+    },
+    /// Release a lock, publishing this interval's write notices.
+    LockRelease {
+        /// Lock id.
+        lock: u32,
+        /// Write notices of the released interval.
+        notices: Vec<Notice>,
+    },
+    /// Enter the global barrier, publishing write notices.
+    BarrierEnter {
+        /// Write notices of the released interval.
+        notices: Vec<Notice>,
+    },
+    /// AURC fence: wait until the requester's AU stream (which carries the
+    /// fence sequence number) has fully arrived at this home.
+    AuFence {
+        /// Fence sequence number the home must observe.
+        seq: u64,
+    },
+    /// AURC: register a write-through mapping onto a home page for this
+    /// interval (the per-interval control traffic that dominates the
+    /// paper's Radix-SVM message counts).
+    MapPage {
+        /// Region id.
+        region: u32,
+        /// Page index.
+        page: u32,
+    },
+}
+
+/// A protocol reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Page contents.
+    PageData(Vec<u8>),
+    /// Generic acknowledgment.
+    Ack,
+    /// Lock granted, with the write notices the acquirer has not yet seen.
+    LockGrant(Vec<Notice>),
+    /// Barrier released, with the merged write notices of all nodes.
+    BarrierRelease(Vec<Notice>),
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(b: &[u8], at: &mut usize) -> u32 {
+    let v = u32::from_le_bytes(b[*at..*at + 4].try_into().unwrap());
+    *at += 4;
+    v
+}
+
+fn get_u64(b: &[u8], at: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(b[*at..*at + 8].try_into().unwrap());
+    *at += 8;
+    v
+}
+
+fn put_notices(out: &mut Vec<u8>, notices: &[Notice]) {
+    put_u32(out, notices.len() as u32);
+    for n in notices {
+        put_u32(out, n.writer as u32);
+        put_u32(out, n.region);
+        put_u32(out, n.page);
+    }
+}
+
+fn get_notices(b: &[u8], at: &mut usize) -> Vec<Notice> {
+    let count = get_u32(b, at) as usize;
+    (0..count)
+        .map(|_| Notice {
+            writer: get_u32(b, at) as u16,
+            region: get_u32(b, at),
+            page: get_u32(b, at),
+        })
+        .collect()
+}
+
+impl Request {
+    /// Serializes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::FetchPage { region, page } => {
+                put_u32(&mut out, 1);
+                put_u32(&mut out, *region);
+                put_u32(&mut out, *page);
+            }
+            Request::ApplyDiff {
+                region,
+                page,
+                words,
+            } => {
+                put_u32(&mut out, 2);
+                put_u32(&mut out, *region);
+                put_u32(&mut out, *page);
+                put_u32(&mut out, words.len() as u32);
+                for (idx, v) in words {
+                    put_u32(&mut out, *idx as u32);
+                    put_u32(&mut out, *v);
+                }
+            }
+            Request::LockAcquire { lock } => {
+                put_u32(&mut out, 3);
+                put_u32(&mut out, *lock);
+            }
+            Request::LockRelease { lock, notices } => {
+                put_u32(&mut out, 4);
+                put_u32(&mut out, *lock);
+                put_notices(&mut out, notices);
+            }
+            Request::BarrierEnter { notices } => {
+                put_u32(&mut out, 5);
+                put_notices(&mut out, notices);
+            }
+            Request::AuFence { seq } => {
+                put_u32(&mut out, 6);
+                put_u64(&mut out, *seq);
+            }
+            Request::MapPage { region, page } => {
+                put_u32(&mut out, 7);
+                put_u32(&mut out, *region);
+                put_u32(&mut out, *page);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt buffer (a bug in the simulated stack).
+    pub fn decode(b: &[u8]) -> Request {
+        let mut at = 0;
+        match get_u32(b, &mut at) {
+            1 => Request::FetchPage {
+                region: get_u32(b, &mut at),
+                page: get_u32(b, &mut at),
+            },
+            2 => {
+                let region = get_u32(b, &mut at);
+                let page = get_u32(b, &mut at);
+                let count = get_u32(b, &mut at) as usize;
+                let words = (0..count)
+                    .map(|_| {
+                        let idx = get_u32(b, &mut at) as u16;
+                        let v = get_u32(b, &mut at);
+                        (idx, v)
+                    })
+                    .collect();
+                Request::ApplyDiff {
+                    region,
+                    page,
+                    words,
+                }
+            }
+            3 => Request::LockAcquire {
+                lock: get_u32(b, &mut at),
+            },
+            4 => {
+                let lock = get_u32(b, &mut at);
+                let notices = get_notices(b, &mut at);
+                Request::LockRelease { lock, notices }
+            }
+            5 => Request::BarrierEnter {
+                notices: get_notices(b, &mut at),
+            },
+            6 => Request::AuFence {
+                seq: get_u64(b, &mut at),
+            },
+            7 => Request::MapPage {
+                region: get_u32(b, &mut at),
+                page: get_u32(b, &mut at),
+            },
+            k => panic!("corrupt SVM request kind {k}"),
+        }
+    }
+}
+
+impl Reply {
+    /// Serializes the reply.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Reply::PageData(data) => {
+                put_u32(&mut out, 1);
+                put_u32(&mut out, data.len() as u32);
+                out.extend_from_slice(data);
+            }
+            Reply::Ack => put_u32(&mut out, 2),
+            Reply::LockGrant(notices) => {
+                put_u32(&mut out, 3);
+                put_notices(&mut out, notices);
+            }
+            Reply::BarrierRelease(notices) => {
+                put_u32(&mut out, 4);
+                put_notices(&mut out, notices);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt buffer.
+    pub fn decode(b: &[u8]) -> Reply {
+        let mut at = 0;
+        match get_u32(b, &mut at) {
+            1 => {
+                let len = get_u32(b, &mut at) as usize;
+                Reply::PageData(b[at..at + len].to_vec())
+            }
+            2 => Reply::Ack,
+            3 => Reply::LockGrant(get_notices(b, &mut at)),
+            4 => Reply::BarrierRelease(get_notices(b, &mut at)),
+            k => panic!("corrupt SVM reply kind {k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        assert_eq!(Request::decode(&r.encode()), r);
+    }
+
+    fn roundtrip_rep(r: Reply) {
+        assert_eq!(Reply::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::FetchPage {
+            region: 3,
+            page: 99,
+        });
+        roundtrip_req(Request::ApplyDiff {
+            region: 1,
+            page: 2,
+            words: vec![(0, 5), (1023, u32::MAX)],
+        });
+        roundtrip_req(Request::LockAcquire { lock: 7 });
+        roundtrip_req(Request::LockRelease {
+            lock: 7,
+            notices: vec![Notice {
+                writer: 3,
+                region: 0,
+                page: 12,
+            }],
+        });
+        roundtrip_req(Request::BarrierEnter { notices: vec![] });
+        roundtrip_req(Request::AuFence { seq: u64::MAX - 3 });
+        roundtrip_req(Request::MapPage { region: 9, page: 4095 });
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        roundtrip_rep(Reply::PageData(vec![1, 2, 3, 4]));
+        roundtrip_rep(Reply::Ack);
+        roundtrip_rep(Reply::LockGrant(vec![
+            Notice {
+                writer: 0,
+                region: 1,
+                page: 2,
+            },
+            Notice {
+                writer: 15,
+                region: 0,
+                page: 4095,
+            },
+        ]));
+        roundtrip_rep(Reply::BarrierRelease(vec![]));
+    }
+
+    #[test]
+    fn large_notice_lists_roundtrip() {
+        let notices: Vec<Notice> = (0..10_000)
+            .map(|i| Notice {
+                writer: (i % 16) as u16,
+                region: i / 5000,
+                page: i,
+            })
+            .collect();
+        roundtrip_req(Request::BarrierEnter { notices });
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-node SVM time breakdown — the categories of Figure 4's stacked bars.
+
+use std::cell::Cell;
+
+use shrimp_sim::Time;
+
+/// Counters and category timers maintained by one SVM node.
+///
+/// The four wall-time categories partition the application's elapsed time
+/// together with computation (`elapsed - lock - barrier - release - fault`),
+/// matching the paper's Computation / Communication / Lock / Barrier /
+/// Overhead stack (communication ≈ `fault_time`, overhead ≈ diff/twin work
+/// inside `release_time` and `fault_time`).
+#[derive(Debug, Default)]
+pub struct SvmStats {
+    /// Wall time blocked acquiring locks.
+    pub lock_wait: Cell<Time>,
+    /// Wall time in barriers (excluding the release phase).
+    pub barrier_wait: Cell<Time>,
+    /// Wall time in releases: diff scans/sends, AU fences.
+    pub release_time: Cell<Time>,
+    /// Wall time in read/write faults: traps, twins, remote page fetches.
+    pub fault_time: Cell<Time>,
+    /// Page faults taken.
+    pub faults: Cell<u64>,
+    /// Remote page fetches.
+    pub fetches: Cell<u64>,
+    /// Diffs transmitted to homes.
+    pub diffs_sent: Cell<u64>,
+    /// Words modified across all transmitted diffs.
+    pub diff_words: Cell<u64>,
+    /// Write notices produced.
+    pub notices_sent: Cell<u64>,
+    /// AU fences performed (AURC).
+    pub fences: Cell<u64>,
+    /// Lock acquire operations.
+    pub lock_ops: Cell<u64>,
+    /// Barrier crossings.
+    pub barriers: Cell<u64>,
+}
+
+impl SvmStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_time(cell: &Cell<Time>, d: Time) {
+        cell.set(cell.get() + d);
+    }
+
+    pub(crate) fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+
+    pub(crate) fn add(cell: &Cell<u64>, v: u64) {
+        cell.set(cell.get() + v);
+    }
+
+    /// Sum of all categorized (non-compute) wall time.
+    pub fn categorized(&self) -> Time {
+        self.lock_wait.get()
+            + self.barrier_wait.get()
+            + self.release_time.get()
+            + self.fault_time.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorized_sums_categories() {
+        let s = SvmStats::new();
+        SvmStats::add_time(&s.lock_wait, 10);
+        SvmStats::add_time(&s.barrier_wait, 20);
+        SvmStats::add_time(&s.release_time, 30);
+        SvmStats::add_time(&s.fault_time, 40);
+        assert_eq!(s.categorized(), 100);
+    }
+}

@@ -1,0 +1,114 @@
+#![allow(clippy::field_reassign_with_default)]
+//! The empirical method of the paper in miniature: take one workload and
+//! re-run it under each "what-if" firmware/software variant, printing the
+//! slowdowns — a single-screen tour of §4.
+//!
+//! Run with: `cargo run --release --example design_study`
+
+use shrimp::apps::dfs::{run_dfs, DfsParams};
+use shrimp::apps::radix::{run_radix_vmmc, RadixParams};
+use shrimp::apps::Mechanism;
+use shrimp::sim::time;
+use shrimp::sockets::SocketConfig;
+use shrimp::vmmc::{Cluster, DesignConfig};
+
+fn main() {
+    let nodes = 8;
+    let params = RadixParams {
+        total_keys: 64 * 1024,
+        iters: 3,
+        radix_bits: 10,
+        seed: 1,
+    };
+
+    println!(
+        "Radix-VMMC (DU), {} keys on {nodes} nodes:\n",
+        params.total_keys
+    );
+    let base = run_radix_vmmc(
+        &Cluster::new(nodes, DesignConfig::default()),
+        &params,
+        Mechanism::DeliberateUpdate,
+    );
+    println!(
+        "  {:<38} {:>9.2} ms  (baseline)",
+        "as built (UDMA, no forced interrupts)",
+        time::to_secs(base.elapsed) * 1e3
+    );
+
+    let mut syscall = DesignConfig::default();
+    syscall.syscall_send = true;
+    let out = run_radix_vmmc(
+        &Cluster::new(nodes, syscall),
+        &params,
+        Mechanism::DeliberateUpdate,
+    );
+    println!(
+        "  {:<38} {:>9.2} ms  ({:+.1}%)  [Table 2]",
+        "system call before every send",
+        time::to_secs(out.elapsed) * 1e3,
+        (out.elapsed as f64 / base.elapsed as f64 - 1.0) * 100.0
+    );
+
+    let mut intr = DesignConfig::default();
+    intr.interrupt_per_message = true;
+    let out = run_radix_vmmc(
+        &Cluster::new(nodes, intr),
+        &params,
+        Mechanism::DeliberateUpdate,
+    );
+    println!(
+        "  {:<38} {:>9.2} ms  ({:+.1}%)  [Table 4]",
+        "interrupt on every message arrival",
+        time::to_secs(out.elapsed) * 1e3,
+        (out.elapsed as f64 / base.elapsed as f64 - 1.0) * 100.0
+    );
+
+    let mut queue = DesignConfig::default();
+    queue.nic.du_queue_depth = 2;
+    let out = run_radix_vmmc(
+        &Cluster::new(nodes, queue),
+        &params,
+        Mechanism::DeliberateUpdate,
+    );
+    println!(
+        "  {:<38} {:>9.2} ms  ({:+.1}%)  [Sec 4.5.3]",
+        "2-deep DU request queue",
+        time::to_secs(out.elapsed) * 1e3,
+        (out.elapsed as f64 / base.elapsed as f64 - 1.0) * 100.0
+    );
+
+    // The combining story needs a bulk-AU workload: DFS forced onto AU.
+    println!("\nDFS-sockets forced onto automatic update, {nodes} nodes:\n");
+    let dfs = DfsParams {
+        clients: 4,
+        files: 2,
+        file_blocks: 24,
+        block_bytes: 8192,
+        cache_blocks: 12,
+        reads_per_client: 4,
+    };
+    let au = SocketConfig {
+        bulk: shrimp::vmmc::RingBulk::Automatic,
+        ..SocketConfig::default()
+    };
+    let with = run_dfs(
+        &Cluster::new(nodes, DesignConfig::default()),
+        &dfs,
+        au.clone(),
+    );
+    let mut nocomb = DesignConfig::default();
+    nocomb.nic.combining = false;
+    let without = run_dfs(&Cluster::new(nodes, nocomb), &dfs, au);
+    println!(
+        "  {:<38} {:>9.2} ms",
+        "AU bulk with combining",
+        time::to_secs(with.elapsed) * 1e3
+    );
+    println!(
+        "  {:<38} {:>9.2} ms  ({:.1}x slower)  [Sec 4.5.1]",
+        "AU bulk without combining",
+        time::to_secs(without.elapsed) * 1e3,
+        without.elapsed as f64 / with.elapsed as f64
+    );
+}

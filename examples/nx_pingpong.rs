@@ -1,0 +1,62 @@
+//! NX ping-pong: measures round-trip latency and one-way bandwidth of the
+//! NX message-passing library over both bulk mechanisms, like the
+//! microbenchmarks the SHRIMP papers report.
+//!
+//! Run with: `cargo run --release --example nx_pingpong`
+
+use shrimp::nx::{self, NxConfig};
+use shrimp::sim::time;
+use shrimp::vmmc::{Cluster, DesignConfig};
+
+fn pingpong(cfg: NxConfig, bytes: usize, rounds: u32) -> (f64, f64) {
+    let cluster = Cluster::new(2, DesignConfig::default());
+    let endpoints = nx::create(&cluster, cfg);
+    let mut it = endpoints.into_iter();
+    let a = it.next().unwrap();
+    let b = it.next().unwrap();
+
+    let ha = cluster.sim().spawn(async move {
+        let payload = vec![7u8; bytes];
+        let t0 = a.vmmc().sim().now();
+        for _ in 0..rounds {
+            a.csend(1, &payload, 1).await;
+            a.crecv(Some(2), Some(1)).await;
+        }
+        let rtt = (a.vmmc().sim().now() - t0) / rounds as u64;
+        time::to_us(rtt)
+    });
+    let hb = cluster.sim().spawn(async move {
+        let payload = vec![9u8; bytes];
+        for _ in 0..rounds {
+            b.crecv(Some(1), Some(0)).await;
+            b.csend(2, &payload, 0).await;
+        }
+    });
+    let (_, out) = cluster.run_until_complete(vec![ha]);
+    drop(hb); // responder is detached
+    let rtt_us = out[0];
+    let one_way_bw = bytes as f64 / (rtt_us / 2.0) / 1.0; // bytes per us = MB/s
+    (rtt_us, one_way_bw)
+}
+
+fn main() {
+    println!("NX ping-pong on a 2-node SHRIMP (10 rounds per size)\n");
+    println!(
+        "{:>8}  {:>14} {:>10}  {:>14} {:>10}",
+        "bytes", "DU rtt (us)", "MB/s", "AU rtt (us)", "MB/s"
+    );
+    for bytes in [0usize, 8, 64, 512, 4096, 16384] {
+        let (du_rtt, du_bw) = pingpong(NxConfig::default(), bytes, 10);
+        let (au_rtt, au_bw) = pingpong(NxConfig::automatic(), bytes, 10);
+        println!(
+            "{:>8}  {:>14.2} {:>10.1}  {:>14.2} {:>10.1}",
+            bytes, du_rtt, du_bw, au_rtt, au_bw
+        );
+    }
+    println!(
+        "\nAutomatic update's latency advantage shows at small messages and\n\
+         fades with size. In applications deliberate update wins bulk anyway\n\
+         (the paper's §4.2): its DMA overlaps computation, while every AU\n\
+         word costs CPU — run `cargo bench --bench fig4_du_au` to see it."
+    );
+}

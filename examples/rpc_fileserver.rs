@@ -1,0 +1,82 @@
+//! RPC demo: a tiny key-value file server on the SHRIMP fast-RPC path,
+//! comparing the Sun-RPC-compatible marshaled path against the specialized
+//! zero-copy path (the two styles of the paper's §3 RPC systems).
+//!
+//! Run with: `cargo run --release --example rpc_fileserver`
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use shrimp::rpc::RpcSystem;
+use shrimp::sim::time;
+use shrimp::vmmc::{Cluster, DesignConfig};
+
+const PROC_PUT: u32 = 1;
+const PROC_GET: u32 = 2;
+
+fn main() {
+    let cluster = Cluster::new(3, DesignConfig::default());
+    let rpc = RpcSystem::new(&cluster);
+
+    // Node 0 serves a key-value store.
+    let store: Rc<RefCell<HashMap<Vec<u8>, Vec<u8>>>> = Rc::new(RefCell::new(HashMap::new()));
+    let server = rpc.serve(0);
+    {
+        let store = store.clone();
+        server.register(PROC_PUT, move |args| {
+            // args = [klen u32][key][value]
+            let klen = u32::from_le_bytes(args[0..4].try_into().unwrap()) as usize;
+            let key = args[4..4 + klen].to_vec();
+            let value = args[4 + klen..].to_vec();
+            store.borrow_mut().insert(key, value);
+            b"ok".to_vec()
+        });
+    }
+    {
+        let store = store.clone();
+        server.register(PROC_GET, move |args| {
+            store.borrow().get(args).cloned().unwrap_or_default()
+        });
+    }
+    server.start();
+
+    // Two client nodes write and cross-read.
+    let mut handles = Vec::new();
+    for c in 1..3usize {
+        let client = rpc.connect(c, 0);
+        handles.push(cluster.sim().spawn(async move {
+            let key = format!("file-{c}");
+            let value = vec![c as u8; 4096];
+            let mut req = Vec::new();
+            req.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            req.extend_from_slice(key.as_bytes());
+            req.extend_from_slice(&value);
+            // Compatible path for the control-ish put...
+            let t0 = client.vmmc().sim().now();
+            assert_eq!(client.call(PROC_PUT, &req).await, b"ok");
+            let put_us = time::to_us(client.vmmc().sim().now() - t0);
+            // ...fast path for the bulk get.
+            let other = format!("file-{}", 3 - c);
+            let t0 = client.vmmc().sim().now();
+            let mut got = client.call_fast(PROC_GET, other.as_bytes()).await;
+            while got.is_empty() {
+                // The other client may not have written yet; retry.
+                client.vmmc().sim().sleep(time::us(200)).await;
+                got = client.call_fast(PROC_GET, other.as_bytes()).await;
+            }
+            let get_us = time::to_us(client.vmmc().sim().now() - t0);
+            assert_eq!(got, vec![(3 - c) as u8; 4096]);
+            (c, put_us, get_us)
+        }));
+    }
+    let (_, out) = cluster.run_until_complete(handles);
+    for (c, put_us, get_us) in out {
+        println!("client {c}: put (marshaled) {put_us:.1} us, get 4 KB (fast path, incl. retries) {get_us:.1} us");
+    }
+    println!(
+        "server handled {} calls; total messages {}",
+        server.calls_served(),
+        cluster.total(|s| s.messages_sent.get())
+    );
+}

@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: routing, data integrity through every transfer mechanism,
+//! combining equivalence, ring framing, and SVM coherence.
+
+use proptest::prelude::*;
+use shrimp::mem::PAGE_SIZE;
+use shrimp::net::{MeshConfig, Network, NodeId};
+use shrimp::sim::Sim;
+use shrimp::svm::{Protocol, Svm, SvmConfig};
+use shrimp::vmmc::ring::{connect_ring, RingBulk};
+use shrimp::vmmc::{Cluster, DesignConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dimension-order routes visit exactly the Manhattan distance in hops
+    /// and terminate at the destination.
+    #[test]
+    fn mesh_routes_reach_destination(
+        w in 1usize..6, h in 1usize..6, src in 0usize..36, dst in 0usize..36
+    ) {
+        let n = w * h;
+        let src = src % n;
+        let dst = dst % n;
+        let sim = Sim::new();
+        let cfg = MeshConfig { width: w, height: h, ..MeshConfig::shrimp_4x4() };
+        let net: Network<u8> = Network::new(sim, cfg, n);
+        let path = net.route(NodeId(src), NodeId(dst));
+        prop_assert_eq!(*path.first().unwrap(), src);
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        let (sx, sy) = (src % w, src / w);
+        let (dx, dy) = (dst % w, dst / w);
+        let manhattan = sx.abs_diff(dx) + sy.abs_diff(dy);
+        prop_assert_eq!(path.len() - 1, manhattan);
+        // Each hop moves to a mesh neighbor.
+        for win in path.windows(2) {
+            let (ax, ay) = (win[0] % w, win[0] / w);
+            let (bx, by) = (win[1] % w, win[1] / w);
+            prop_assert_eq!(ax.abs_diff(bx) + ay.abs_diff(by), 1);
+        }
+    }
+
+    /// A deliberate-update send of arbitrary offset/length delivers exactly
+    /// the sent bytes, regardless of page-boundary splits.
+    #[test]
+    fn du_transfers_deliver_exact_bytes(
+        src_off in 0usize..PAGE_SIZE,
+        dst_off in 0usize..PAGE_SIZE,
+        len in 1usize..3 * PAGE_SIZE,
+        seed in 0u8..255,
+    ) {
+        let cluster = Cluster::new(2, DesignConfig::default());
+        let a = cluster.vmmc(0);
+        let b = cluster.vmmc(1);
+        let pages = (dst_off + len).div_ceil(PAGE_SIZE) + 1;
+        let recv = b.space().alloc(pages);
+        let export = b.export(recv, pages * PAGE_SIZE);
+        let proxy = a.import(export);
+        let src = a.space().alloc((src_off + len).div_ceil(PAGE_SIZE) + 1);
+        let payload: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_add(seed)).collect();
+        a.space().write_raw(src.add(src_off as u64), &payload);
+        let a2 = a.clone();
+        let h = cluster.sim().spawn(async move {
+            a2.send(src.add(src_off as u64), &proxy, dst_off, len).await;
+        });
+        cluster.run_until_complete(vec![h]);
+        let mut got = vec![0u8; len];
+        b.space().read(recv.add(dst_off as u64), &mut got);
+        prop_assert_eq!(got, payload);
+    }
+
+    /// Automatic update with and without combining delivers identical page
+    /// contents for arbitrary store patterns.
+    #[test]
+    fn au_combining_is_data_equivalent(
+        stores in prop::collection::vec((0usize..PAGE_SIZE - 4, any::<u32>()), 1..40),
+    ) {
+        let run = |combining: bool| -> Vec<u8> {
+            let mut cfg = DesignConfig::default();
+            cfg.nic.combining = combining;
+            let cluster = Cluster::new(2, cfg);
+            let a = cluster.vmmc(0);
+            let b = cluster.vmmc(1);
+            let recv = b.space().alloc(1);
+            let export = b.export(recv, PAGE_SIZE);
+            let proxy = a.import(export);
+            let img = a.space().alloc(1);
+            a.bind(img, &proxy, 0, PAGE_SIZE, true, false);
+            let a2 = a.clone();
+            let stores = stores.clone();
+            let h = cluster.sim().spawn(async move {
+                for (off, v) in stores {
+                    a2.store_u32(img.add(off as u64), v).await;
+                }
+                a2.flush_au();
+            });
+            cluster.run_until_complete(vec![h]);
+            let mut page = vec![0u8; PAGE_SIZE];
+            b.space().read(recv, &mut page);
+            page
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// Ring frames of arbitrary sizes arrive intact and in order, through
+    /// both bulk mechanisms.
+    #[test]
+    fn ring_frames_preserve_payloads(
+        sizes in prop::collection::vec(0usize..1500, 1..12),
+        automatic in any::<bool>(),
+    ) {
+        let cluster = Cluster::new(2, DesignConfig::default());
+        let a = cluster.vmmc(0);
+        let b = cluster.vmmc(1);
+        let bulk = if automatic { RingBulk::Automatic } else { RingBulk::Deliberate };
+        let (tx, rx) = connect_ring(&a, &b, 8192, bulk);
+        let expect: Vec<Vec<u8>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (0..s).map(|j| ((i * 37 + j) % 256) as u8).collect())
+            .collect();
+        let payloads = expect.clone();
+        let h = cluster.sim().spawn(async move {
+            for (i, p) in payloads.iter().enumerate() {
+                tx.send_frame(i as u32, p).await;
+            }
+        });
+        let hr = cluster.sim().spawn(async move {
+            let mut got = Vec::new();
+            for _ in 0..sizes.len() {
+                got.push(rx.recv().await.data);
+            }
+            got
+        });
+        cluster.run_until_complete(vec![h]);
+        prop_assert_eq!(hr.try_take().unwrap(), expect);
+    }
+
+    /// SVM coherence: arbitrary (node, page, word, value) writes in one
+    /// interval; after a barrier every node reads the same final values
+    /// under every protocol. Last-writer-wins conflicts are excluded by
+    /// keying each write slot to its writer.
+    #[test]
+    fn svm_barrier_makes_writes_visible(
+        writes in prop::collection::vec((0usize..3, 0usize..4, any::<u32>()), 1..16),
+    ) {
+        for protocol in [Protocol::Hlrc, Protocol::Aurc] {
+            let nodes = 3;
+            let cluster = Cluster::new(nodes, DesignConfig::default());
+            let svm = Svm::create(&cluster, SvmConfig::new(protocol));
+            let region = svm.create_region(4 * PAGE_SIZE, |p| p % nodes);
+            let mut handles = Vec::new();
+            for me in 0..nodes {
+                let node = svm.node(me);
+                let mine: Vec<(usize, u32)> = writes
+                    .iter()
+                    .filter(|(w, _, _)| *w == me)
+                    .map(|(_, pg, v)| (*pg, *v))
+                    .collect();
+                handles.push(cluster.sim().spawn(async move {
+                    for (pg, v) in &mine {
+                        // Writer-keyed slot: no write-write races.
+                        node.write_u32(region, pg * PAGE_SIZE + node.me() * 4, *v).await;
+                    }
+                    node.barrier().await;
+                    let mut view = Vec::new();
+                    for pg in 0..4usize {
+                        for w in 0..nodes {
+                            view.push(node.read_u32(region, pg * PAGE_SIZE + w * 4).await);
+                        }
+                    }
+                    view
+                }));
+            }
+            let (_, out) = cluster.run_until_complete(handles);
+            for w in out.windows(2) {
+                prop_assert_eq!(&w[0], &w[1], "{} nodes disagree", protocol);
+            }
+        }
+    }
+}
