@@ -19,7 +19,6 @@
 //! Both versions produce **bit-identical** final positions for the same
 //! parameters — asserted by the tests.
 
-use rand::Rng;
 use shrimp_core::Cluster;
 use shrimp_mem::PAGE_SIZE;
 use shrimp_nx::{Nx, NxConfig};

@@ -15,7 +15,6 @@
 //!   scattered writes induce heavy write-write false sharing, which is why
 //!   AURC beats HLRC by the paper's largest margin (Figure 4).
 
-use rand::Rng;
 use shrimp_core::{Cluster, ProxyBuffer, Vmmc};
 use shrimp_mem::{Vaddr, PAGE_SIZE};
 use shrimp_sim::rng::rng_for;
@@ -83,7 +82,7 @@ const CHARGE_BATCH: usize = 512;
 fn generate_keys(params: &RadixParams, node: usize, k: usize) -> Vec<u32> {
     let mut rng = rng_for("radix", params.seed.wrapping_add(node as u64));
     let mask = params.key_mask();
-    (0..k).map(|_| rng.gen::<u32>() & mask).collect()
+    (0..k).map(|_| rng.gen_u32() & mask).collect()
 }
 
 fn checksum_sorted(all: &[u32]) -> u64 {

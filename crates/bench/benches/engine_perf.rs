@@ -1,75 +1,70 @@
-//! Criterion benchmark of the simulator substrate itself: host-side
-//! throughput of the event loop, channels, and the full VMMC send path.
-//! (All other bench targets report *simulated* time; this one keeps an eye
-//! on how fast the reproduction runs on the host.)
+//! Benchmark of the simulator substrate itself: host-side throughput of
+//! the event loop, channels, and the full VMMC send path. (All other
+//! bench targets report *simulated* time; this one keeps an eye on how
+//! fast the reproduction runs on the host.)
+//!
+//! Runs on the in-tree `shrimp_testkit::bench` harness (`harness =
+//! false`): warmup + timed iterations, min/median/p95/max in ns, JSON
+//! summary written to `results/engine_perf.json`. Tune with
+//! `SHRIMP_BENCH_ITERS` / `SHRIMP_BENCH_WARMUP`; the criterion version
+//! used `sample_size(10)`, matching the harness default of 10 iterations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use shrimp_core::{Cluster, DesignConfig};
 use shrimp_sim::{time, Sim};
+use shrimp_testkit::bench::{black_box, Harness};
 
-fn bench_event_loop(c: &mut Criterion) {
-    c.bench_function("sim_10k_sleep_events", |b| {
-        b.iter(|| {
-            let sim = Sim::new();
-            let s = sim.clone();
-            sim.spawn(async move {
-                for _ in 0..10_000 {
-                    s.sleep(time::ns(100)).await;
-                }
-            });
-            sim.run_to_completion()
-        })
+fn sim_10k_sleep_events() -> u64 {
+    let sim = Sim::new();
+    let s = sim.clone();
+    sim.spawn(async move {
+        for _ in 0..10_000 {
+            s.sleep(time::ns(100)).await;
+        }
     });
+    sim.run_to_completion()
 }
 
-fn bench_queue_throughput(c: &mut Criterion) {
-    c.bench_function("queue_10k_messages", |b| {
-        b.iter(|| {
-            let sim = Sim::new();
-            let (tx, rx) = shrimp_sim::queue::unbounded();
-            sim.spawn(async move {
-                for i in 0..10_000u32 {
-                    tx.send(i);
-                }
-                tx.close();
-            });
-            let h = sim.spawn(async move {
-                let mut n = 0u32;
-                while rx.recv().await.is_some() {
-                    n += 1;
-                }
-                n
-            });
-            sim.run_to_completion();
-            h.try_take()
-        })
+fn queue_10k_messages() -> Option<u32> {
+    let sim = Sim::new();
+    let (tx, rx) = shrimp_sim::queue::unbounded();
+    sim.spawn(async move {
+        for i in 0..10_000u32 {
+            tx.send(i);
+        }
+        tx.close();
     });
+    let h = sim.spawn(async move {
+        let mut n = 0u32;
+        while rx.recv().await.is_some() {
+            n += 1;
+        }
+        n
+    });
+    sim.run_to_completion();
+    h.try_take()
 }
 
-fn bench_vmmc_sends(c: &mut Criterion) {
-    c.bench_function("vmmc_1k_page_sends", |b| {
-        b.iter(|| {
-            let cluster = Cluster::new(2, DesignConfig::default());
-            let a = cluster.vmmc(0);
-            let bb = cluster.vmmc(1);
-            let recv = bb.space().alloc(1);
-            let export = bb.export(recv, 4096);
-            let proxy = a.import(export);
-            let src = a.space().alloc(1);
-            let a2 = a.clone();
-            let h = cluster.sim().spawn(async move {
-                for _ in 0..1000 {
-                    a2.send(src, &proxy, 0, 4096).await;
-                }
-            });
-            cluster.run_until_complete(vec![h]).0
-        })
+fn vmmc_1k_page_sends() -> u64 {
+    let cluster = Cluster::new(2, DesignConfig::default());
+    let a = cluster.vmmc(0);
+    let bb = cluster.vmmc(1);
+    let recv = bb.space().alloc(1);
+    let export = bb.export(recv, 4096);
+    let proxy = a.import(export);
+    let src = a.space().alloc(1);
+    let a2 = a.clone();
+    let h = cluster.sim().spawn(async move {
+        for _ in 0..1000 {
+            a2.send(src, &proxy, 0, 4096).await;
+        }
     });
+    cluster.run_until_complete(vec![h]).0
 }
 
-criterion_group!(
-    name = engine;
-    config = Criterion::default().sample_size(10);
-    targets = bench_event_loop, bench_queue_throughput, bench_vmmc_sends
-);
-criterion_main!(engine);
+fn main() {
+    let mut h = Harness::new("engine_perf");
+    h.bench("sim_10k_sleep_events", || black_box(sim_10k_sleep_events()));
+    h.bench("queue_10k_messages", || black_box(queue_10k_messages()));
+    h.bench("vmmc_1k_page_sends", || black_box(vmmc_1k_page_sends()));
+    h.finish();
+}

@@ -1,19 +1,25 @@
 //! Property tests for the memory system: reads and writes through the
 //! address space behave exactly like a flat byte array, for arbitrary
 //! access patterns; page chunking partitions every range.
+//!
+//! Ported from proptest to `shrimp-testkit`. Mapping:
+//! `ProptestConfig::with_cases(48)` → `cases = 48;`; tuple strategies →
+//! `zip`; `prop::collection::vec(any::<u8>(), r)` → `vec_of(any_u8(),
+//! r)`; `any::<bool>()` → `any_bool()`. Property intent and case counts
+//! unchanged.
 
-use proptest::prelude::*;
 use shrimp_mem::addr::page_chunks;
 use shrimp_mem::{AddressSpace, NodeMem, PAGE_SIZE};
+use shrimp_testkit::prop::*;
+use shrimp_testkit::{prop_assert, prop_assert_eq, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    cases = 48;
 
     /// An AddressSpace is observationally a flat byte array.
-    #[test]
     fn space_matches_flat_model(
-        ops in prop::collection::vec(
-            (0usize..3 * PAGE_SIZE, prop::collection::vec(any::<u8>(), 1..300)),
+        ops in vec_of(
+            zip(usize_in(0..3 * PAGE_SIZE), vec_of(any_u8(), 1..300)),
             1..20
         ),
     ) {
@@ -33,8 +39,7 @@ proptest! {
 
     /// page_chunks partitions `[addr, addr+len)` exactly: chunks are
     /// contiguous, within-page, and sum to len.
-    #[test]
-    fn page_chunks_partition(addr in 0u64..100_000, len in 0usize..50_000) {
+    fn page_chunks_partition(addr in u64_in(0..100_000), len in usize_in(0..50_000)) {
         let chunks: Vec<_> = page_chunks(addr, len).collect();
         let total: usize = chunks.iter().map(|c| c.2).sum();
         prop_assert_eq!(total, len);
@@ -48,8 +53,7 @@ proptest! {
     }
 
     /// Typed accessors agree with byte-level reads at any alignment.
-    #[test]
-    fn typed_accessors_consistent(off in 0usize..(PAGE_SIZE - 8), v in any::<u64>()) {
+    fn typed_accessors_consistent(off in usize_in(0..(PAGE_SIZE - 8)), v in any_u64()) {
         let mem = NodeMem::new();
         let sp = AddressSpace::new(mem);
         let base = sp.alloc(2);
@@ -65,8 +69,7 @@ proptest! {
     }
 
     /// Pin counts balance for arbitrary pin/unpin interleavings.
-    #[test]
-    fn pin_unpin_balance(pattern in prop::collection::vec(any::<bool>(), 1..40)) {
+    fn pin_unpin_balance(pattern in vec_of(any_bool(), 1..40)) {
         let mem = NodeMem::new();
         let p = mem.alloc_pages(1);
         let mut depth = 0u32;

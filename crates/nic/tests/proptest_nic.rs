@@ -1,12 +1,19 @@
 //! Property tests for the network interface: arbitrary deliberate-update
 //! transfer schedules and automatic-update store patterns deliver exactly
 //! the written bytes, independent of combining and FIFO parameters.
+//!
+//! Ported from proptest to `shrimp-testkit`. Mapping:
+//! `ProptestConfig::with_cases(24)` → `cases = 24;`; 3-tuple strategies →
+//! `zip3`; `prop::sample::select(vec![...])` → `select(vec![...])`;
+//! `any::<u8>()`/`any::<bool>()` → `any_u8()`/`any_bool()`. Property
+//! intent and case counts unchanged.
 
-use proptest::prelude::*;
 use shrimp_mem::{AddressSpace, CacheMode, MemBus, NodeMem, Paddr, PAGE_SIZE};
 use shrimp_net::{MeshConfig, Network, NodeId};
 use shrimp_nic::{DuRequest, IptEntry, Nic, NicConfig, OptEntry, ShrimpNetwork};
 use shrimp_sim::Sim;
+use shrimp_testkit::prop::*;
+use shrimp_testkit::{prop_assert_eq, props};
 
 struct Rig {
     sim: Sim,
@@ -36,18 +43,17 @@ fn rig(n: usize, cfg: NicConfig) -> Rig {
     Rig { sim, nics, spaces }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    cases = 24;
 
     /// A schedule of valid DU transfers lands exactly its bytes, whatever
     /// the interleaving and queue depth.
-    #[test]
     fn du_schedule_delivers_exact_bytes(
-        transfers in prop::collection::vec(
-            (0usize..PAGE_SIZE, 1usize..PAGE_SIZE, any::<u8>()),
+        transfers in vec_of(
+            zip3(usize_in(0..PAGE_SIZE), usize_in(1..PAGE_SIZE), any_u8()),
             1..12
         ),
-        depth in 1usize..3,
+        depth in usize_in(1..3),
     ) {
         let cfg = NicConfig {
             du_queue_depth: depth,
@@ -122,11 +128,10 @@ proptest! {
 
     /// AU store streams land exactly, independent of combining, sub-page
     /// size, and FIFO capacity.
-    #[test]
     fn au_streams_land_exactly(
-        stores in prop::collection::vec((0usize..PAGE_SIZE - 8, 1usize..8), 1..30),
-        combining in any::<bool>(),
-        subpage in prop::sample::select(vec![64usize, 256, 4096]),
+        stores in vec_of(zip(usize_in(0..PAGE_SIZE - 8), usize_in(1..8)), 1..30),
+        combining in any_bool(),
+        subpage in select(vec![64usize, 256, 4096]),
     ) {
         let cfg = NicConfig {
             combining,

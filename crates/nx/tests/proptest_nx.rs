@@ -1,19 +1,24 @@
 //! Property tests for the NX library: arbitrary typed message sequences
 //! are delivered intact, in per-pair order, under both bulk mechanisms.
+//!
+//! Ported from proptest to `shrimp-testkit`. Mapping: tuple strategies →
+//! `zip`; `-1e6f64..1e6` → `f64_in(-1e6..1e6)`; `any::<bool>()` →
+//! `any_bool()`. Case count raised from the original 12 to the
+//! repo-wide floor of 24 (property intent unchanged).
 
-use proptest::prelude::*;
 use shrimp_core::{Cluster, DesignConfig};
 use shrimp_nx::{Bulk, NxConfig};
+use shrimp_testkit::prop::*;
+use shrimp_testkit::{prop_assert, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+props! {
+    cases = 24;
 
     /// A random script of (type, size) messages from node 0 to node 1 is
     /// received intact and in order, whatever the sizes and bulk mechanism.
-    #[test]
     fn message_scripts_deliver_in_order(
-        script in prop::collection::vec((0u32..5, 0usize..2000), 1..15),
-        automatic in any::<bool>(),
+        script in vec_of(zip(u32_in(0..5), usize_in(0..2000)), 1..15),
+        automatic in any_bool(),
     ) {
         let cluster = Cluster::new(2, DesignConfig::default());
         let cfg = NxConfig {
@@ -48,8 +53,7 @@ proptest! {
     }
 
     /// gdsum over arbitrary values equals the plain sum on every rank.
-    #[test]
-    fn gdsum_is_a_correct_allreduce(values in prop::collection::vec(-1e6f64..1e6, 2..6)) {
+    fn gdsum_is_a_correct_allreduce(values in vec_of(f64_in(-1e6..1e6), 2..6)) {
         let n = values.len();
         let cluster = Cluster::new(n, DesignConfig::default());
         let endpoints = shrimp_nx::create(&cluster, NxConfig::default());

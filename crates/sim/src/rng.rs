@@ -3,51 +3,69 @@
 //! Every experiment seeds a [`SimRng`] explicitly, so a given
 //! (experiment, seed) pair always produces the same workload and therefore
 //! the same simulated schedule — a property the determinism tests assert.
+//!
+//! The generator is the in-tree [`shrimp_testkit::rng::DetRng`]
+//! (SplitMix64-seeded xoshiro256++): identical streams on every platform,
+//! no external crates in the loop. The first draws of well-known
+//! experiment seeds are pinned by `tests/rng_golden.rs`, so a future RNG
+//! change cannot silently reshuffle every experiment.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+pub use shrimp_testkit::rng::{splitmix64, DetRng, RangeSample};
 
-/// The RNG type used across the reproduction. A thin alias today; a newtype
-/// would forbid the `Rng` trait methods workloads rely on.
-pub type SimRng = StdRng;
+/// The RNG type used across the reproduction.
+pub type SimRng = DetRng;
 
 /// Creates the deterministic RNG for `(experiment, seed)`.
 ///
-/// The experiment name is folded into the seed so different experiments using
-/// the same numeric seed draw independent streams.
+/// The experiment name is folded into the seed so different experiments
+/// using the same numeric seed draw independent streams.
 ///
 /// ```
-/// use rand::Rng;
 /// let mut a = shrimp_sim::rng::rng_for("fig3", 1);
 /// let mut b = shrimp_sim::rng::rng_for("fig3", 1);
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.gen_u64(), b.gen_u64());
+/// ```
+///
+/// Streams are independent across both coordinates:
+///
+/// ```
+/// let mut a = shrimp_sim::rng::rng_for("fig3", 1);
+/// let mut b = shrimp_sim::rng::rng_for("fig4", 1);
+/// let mut c = shrimp_sim::rng::rng_for("fig3", 2);
+/// let first = a.gen_u64();
+/// assert_ne!(first, b.gen_u64());
+/// assert_ne!(first, c.gen_u64());
 /// ```
 pub fn rng_for(experiment: &str, seed: u64) -> SimRng {
-    let mut bytes = [0u8; 32];
-    bytes[..8].copy_from_slice(&seed.to_le_bytes());
-    // FNV-1a over the experiment name, spread across the remaining words.
+    // FNV-1a over the experiment name…
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in experiment.as_bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    bytes[8..16].copy_from_slice(&h.to_le_bytes());
-    bytes[16..24].copy_from_slice(&h.rotate_left(17).to_le_bytes());
-    bytes[24..32].copy_from_slice(&seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes());
-    StdRng::from_seed(bytes)
+    // …diffused once, then combined with the numeric seed, expands into the
+    // xoshiro state through SplitMix64.
+    let mut st = h;
+    let _ = splitmix64(&mut st);
+    st = st.wrapping_add(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    DetRng::from_state([
+        splitmix64(&mut st),
+        splitmix64(&mut st),
+        splitmix64(&mut st),
+        splitmix64(&mut st),
+    ])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_inputs_same_stream() {
         let mut a = rng_for("x", 42);
         let mut b = rng_for("x", 42);
-        let va: Vec<u64> = (0..16).map(|_| a.gen()).collect();
-        let vb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let va: Vec<u64> = (0..16).map(|_| a.gen_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen_u64()).collect();
         assert_eq!(va, vb);
     }
 
@@ -55,13 +73,13 @@ mod tests {
     fn different_experiment_different_stream() {
         let mut a = rng_for("x", 42);
         let mut b = rng_for("y", 42);
-        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+        assert_ne!(a.gen_u64(), b.gen_u64());
     }
 
     #[test]
     fn different_seed_different_stream() {
         let mut a = rng_for("x", 1);
         let mut b = rng_for("x", 2);
-        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+        assert_ne!(a.gen_u64(), b.gen_u64());
     }
 }

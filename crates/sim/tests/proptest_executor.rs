@@ -1,20 +1,26 @@
 //! Property tests for the simulation kernel: determinism under arbitrary
 //! task graphs, timer ordering, and resource serialization.
+//!
+//! Ported from proptest to `shrimp-testkit` (hermetic, zero external
+//! deps). Mapping: `proptest! { #![proptest_config(with_cases(32))] }` →
+//! `props! { cases = 32; }`; `prop::collection::vec(g, r)` → `vec_of(g,
+//! r)`; `0u64..500` → `u64_in(0..500)`. Property intent and case counts
+//! unchanged.
 
-use proptest::prelude::*;
 use shrimp_sim::sync::Resource;
 use shrimp_sim::{time, Sim};
+use shrimp_testkit::prop::*;
+use shrimp_testkit::{prop_assert, prop_assert_eq, props};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    cases = 32;
 
     /// Any mix of sleeping tasks produces the identical event log on a
     /// second run — the determinism everything else relies on.
-    #[test]
     fn arbitrary_task_graphs_are_deterministic(
-        delays in prop::collection::vec(prop::collection::vec(0u64..500, 1..6), 1..8),
+        delays in vec_of(vec_of(u64_in(0..500), 1..6), 1..8),
     ) {
         let run = |delays: &[Vec<u64>]| -> (u64, Vec<(usize, u64)>) {
             let sim = Sim::new();
@@ -39,8 +45,7 @@ proptest! {
 
     /// Scheduled callbacks fire in nondecreasing time order, with ties in
     /// scheduling order.
-    #[test]
-    fn timers_fire_in_order(times in prop::collection::vec(0u64..1000, 1..30)) {
+    fn timers_fire_in_order(times in vec_of(u64_in(0..1000), 1..30)) {
         let sim = Sim::new();
         let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
         for (i, &t) in times.iter().enumerate() {
@@ -60,8 +65,7 @@ proptest! {
     }
 
     /// Resource reservations never overlap and preserve request order.
-    #[test]
-    fn resource_intervals_disjoint(durations in prop::collection::vec(1u64..1000, 1..25)) {
+    fn resource_intervals_disjoint(durations in vec_of(u64_in(1..1000), 1..25)) {
         let sim = Sim::new();
         let r = Resource::new();
         let mut prev_end = 0;
@@ -77,9 +81,8 @@ proptest! {
     }
 
     /// Queue delivery preserves FIFO order for any send/receive schedule.
-    #[test]
     fn queue_is_fifo_under_interleaving(
-        batch_sizes in prop::collection::vec(1usize..6, 1..10),
+        batch_sizes in vec_of(usize_in(1..6), 1..10),
     ) {
         let sim = Sim::new();
         let (tx, rx) = shrimp_sim::queue::unbounded::<u32>();

@@ -1,10 +1,16 @@
 //! Property tests for the stream sockets: byte streams survive arbitrary
 //! write/read chunkings and block transfers interleave safely with stream
 //! data.
+//!
+//! Ported from proptest to `shrimp-testkit`. Mapping: tuple strategies →
+//! `zip`; `1usize..5000` → `usize_in(1..5000)`; `any::<bool>()` →
+//! `any_bool()`. Case count raised from the original 16 to the
+//! repo-wide floor of 24 (property intent unchanged).
 
-use proptest::prelude::*;
 use shrimp_core::{Cluster, DesignConfig, RingBulk};
 use shrimp_sockets::{Socket, SocketConfig, SocketNet};
+use shrimp_testkit::prop::*;
+use shrimp_testkit::{prop_assert, prop_assert_eq, props};
 
 fn setup(bulk: RingBulk) -> (Cluster, Socket, Socket) {
     let cluster = Cluster::new(2, DesignConfig::default());
@@ -24,16 +30,15 @@ fn setup(bulk: RingBulk) -> (Cluster, Socket, Socket) {
     (cluster, client, server)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+props! {
+    cases = 24;
 
     /// The receiver sees exactly the concatenation of the writes, whatever
     /// the chunk sizes on either side.
-    #[test]
     fn stream_reassembles_any_chunking(
-        writes in prop::collection::vec(1usize..5000, 1..8),
-        read_chunk in 1usize..4096,
-        automatic in any::<bool>(),
+        writes in vec_of(usize_in(1..5000), 1..8),
+        read_chunk in usize_in(1..4096),
+        automatic in any_bool(),
     ) {
         let bulk = if automatic { RingBulk::Automatic } else { RingBulk::Deliberate };
         let (cluster, client, server) = setup(bulk);
@@ -69,9 +74,8 @@ proptest! {
     }
 
     /// Blocks and stream bytes interleave without crosstalk.
-    #[test]
     fn blocks_and_stream_interleave(
-        ops in prop::collection::vec((any::<bool>(), 1usize..2000), 1..10),
+        ops in vec_of(zip(any_bool(), usize_in(1..2000)), 1..10),
     ) {
         let (cluster, client, server) = setup(RingBulk::Deliberate);
         let ops2 = ops.clone();

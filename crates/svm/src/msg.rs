@@ -300,7 +300,10 @@ mod tests {
         });
         roundtrip_req(Request::BarrierEnter { notices: vec![] });
         roundtrip_req(Request::AuFence { seq: u64::MAX - 3 });
-        roundtrip_req(Request::MapPage { region: 9, page: 4095 });
+        roundtrip_req(Request::MapPage {
+            region: 9,
+            page: 4095,
+        });
     }
 
     #[test]

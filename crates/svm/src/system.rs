@@ -1213,7 +1213,9 @@ mod tests {
         let h0 = cluster.sim().spawn(async move {
             for round in 0..2 {
                 for pg in 0..4usize {
-                    node0.write_u32(region, pg * 4096, round * 10 + pg as u32).await;
+                    node0
+                        .write_u32(region, pg * 4096, round * 10 + pg as u32)
+                        .await;
                 }
                 node0.barrier().await;
             }

@@ -1,68 +1,70 @@
 //! Property tests for the SVM wire format: every request and reply
 //! round-trips through encode/decode for arbitrary contents.
+//!
+//! Ported from proptest to `shrimp-testkit`. Mapping: `impl Strategy<Value
+//! = T>` helper fns → `Gen<T>` helper fns; `prop_oneof![...]` →
+//! `one_of(vec![...])`; `.prop_map` → `.map`; `Just` → `just`; tuple
+//! strategies → `zip`/`zip3`. Property intent and case counts unchanged.
 
-use proptest::prelude::*;
 use shrimp_svm::{Notice, Reply, Request};
+use shrimp_testkit::prop::*;
+use shrimp_testkit::{prop_assert_eq, props};
 
-fn arb_notice() -> impl Strategy<Value = Notice> {
-    (any::<u16>(), any::<u32>(), any::<u32>()).prop_map(|(writer, region, page)| Notice {
+fn arb_notice() -> Gen<Notice> {
+    zip3(any_u16(), any_u32(), any_u32()).map(|(writer, region, page)| Notice {
         writer,
         region,
         page,
     })
 }
 
-fn arb_notices() -> impl Strategy<Value = Vec<Notice>> {
-    prop::collection::vec(arb_notice(), 0..50)
+fn arb_notices() -> Gen<Vec<Notice>> {
+    vec_of(arb_notice(), 0..50)
 }
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    prop_oneof![
-        (any::<u32>(), any::<u32>()).prop_map(|(region, page)| Request::FetchPage { region, page }),
-        (
-            any::<u32>(),
-            any::<u32>(),
-            prop::collection::vec((0u16..1024, any::<u32>()), 0..200)
+fn arb_request() -> Gen<Request> {
+    one_of(vec![
+        zip(any_u32(), any_u32()).map(|(region, page)| Request::FetchPage { region, page }),
+        zip3(
+            any_u32(),
+            any_u32(),
+            vec_of(zip(u16_in(0..1024), any_u32()), 0..200),
         )
-            .prop_map(|(region, page, words)| Request::ApplyDiff {
-                region,
-                page,
-                words
-            }),
-        any::<u32>().prop_map(|lock| Request::LockAcquire { lock }),
-        (any::<u32>(), arb_notices())
-            .prop_map(|(lock, notices)| Request::LockRelease { lock, notices }),
-        arb_notices().prop_map(|notices| Request::BarrierEnter { notices }),
-        any::<u64>().prop_map(|seq| Request::AuFence { seq }),
-    ]
+        .map(|(region, page, words)| Request::ApplyDiff {
+            region,
+            page,
+            words,
+        }),
+        any_u32().map(|lock| Request::LockAcquire { lock }),
+        zip(any_u32(), arb_notices()).map(|(lock, notices)| Request::LockRelease { lock, notices }),
+        arb_notices().map(|notices| Request::BarrierEnter { notices }),
+        any_u64().map(|seq| Request::AuFence { seq }),
+    ])
 }
 
-fn arb_reply() -> impl Strategy<Value = Reply> {
-    prop_oneof![
-        prop::collection::vec(any::<u8>(), 0..2000).prop_map(Reply::PageData),
-        Just(Reply::Ack),
-        arb_notices().prop_map(Reply::LockGrant),
-        arb_notices().prop_map(Reply::BarrierRelease),
-    ]
+fn arb_reply() -> Gen<Reply> {
+    one_of(vec![
+        vec_of(any_u8(), 0..2000).map(Reply::PageData),
+        just(Reply::Ack),
+        arb_notices().map(Reply::LockGrant),
+        arb_notices().map(Reply::BarrierRelease),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    cases = 128;
 
-    #[test]
     fn requests_roundtrip(req in arb_request()) {
         prop_assert_eq!(Request::decode(&req.encode()), req);
     }
 
-    #[test]
     fn replies_roundtrip(rep in arb_reply()) {
         prop_assert_eq!(Reply::decode(&rep.encode()), rep);
     }
 
     /// Encodings are self-delimiting for the fixed-header kinds: appending
     /// junk never changes the decoded value.
-    #[test]
-    fn decode_ignores_trailing_bytes(req in arb_request(), junk in prop::collection::vec(any::<u8>(), 0..16)) {
+    fn decode_ignores_trailing_bytes(req in arb_request(), junk in vec_of(any_u8(), 0..16)) {
         let mut bytes = req.encode();
         bytes.extend_from_slice(&junk);
         prop_assert_eq!(Request::decode(&bytes), req);

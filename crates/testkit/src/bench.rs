@@ -1,0 +1,253 @@
+//! A tiny statistics-reporting benchmark harness (the workspace's
+//! criterion replacement).
+//!
+//! Bench targets are plain `harness = false` binaries: build a
+//! [`Harness`], register closures with [`Harness::bench`], and call
+//! [`Harness::finish`]. Each benchmark runs a configurable warmup followed
+//! by timed iterations; the harness reports min/median/p95/max wall-clock
+//! nanoseconds as a table and writes the same numbers as JSON into the
+//! repository's `results/` directory (next to the captured experiment
+//! tables), so runs can be diffed and tracked by machines as well as
+//! humans.
+//!
+//! Knobs: `SHRIMP_BENCH_ITERS` (timed iterations, default 10),
+//! `SHRIMP_BENCH_WARMUP` (warmup iterations, default 3),
+//! `SHRIMP_BENCH_DIR` (JSON output directory; default: the nearest
+//! ancestor `results/` directory, created in the working directory if none
+//! exists), `SHRIMP_BENCH_JSON=0` (disable the JSON artifact).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] for keeping benchmark results
+/// alive past the optimizer.
+pub use std::hint::black_box;
+
+/// Summary statistics of one benchmark, in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Median sample (mean of the middle two for even counts).
+    pub median_ns: u128,
+    /// 95th-percentile sample (nearest-rank).
+    pub p95_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Arithmetic mean.
+    pub mean_ns: u128,
+}
+
+/// Computes summary statistics over raw samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn summarize(name: &str, samples: &[u128]) -> Summary {
+    assert!(!samples.is_empty(), "summarize on no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    };
+    // Nearest-rank p95: smallest sample with at least 95 % of the mass at
+    // or below it.
+    let rank = (n * 95).div_ceil(100).max(1);
+    Summary {
+        name: name.to_string(),
+        iters: n as u32,
+        min_ns: sorted[0],
+        median_ns: median,
+        p95_ns: sorted[rank - 1],
+        max_ns: sorted[n - 1],
+        mean_ns: sorted.iter().sum::<u128>() / n as u128,
+    }
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A benchmark suite runner.
+pub struct Harness {
+    suite: String,
+    warmup: u32,
+    iters: u32,
+    results: Vec<Summary>,
+}
+
+impl Harness {
+    /// Creates a harness for the named suite, reading iteration knobs from
+    /// the environment.
+    pub fn new(suite: &str) -> Harness {
+        let warmup = env_u32("SHRIMP_BENCH_WARMUP", 3);
+        let iters = env_u32("SHRIMP_BENCH_ITERS", 10).max(1);
+        println!("[shrimp-testkit] suite '{suite}': {warmup} warmup + {iters} timed iterations");
+        Harness {
+            suite: suite.to_string(),
+            warmup,
+            iters,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs one benchmark: warmup iterations, then timed iterations of
+    /// `f`, recording wall-clock time per call.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed().as_nanos());
+        }
+        let s = summarize(name, &samples);
+        println!(
+            "  {name:<28} median {:>12}  p95 {:>12}  min {:>12}  max {:>12}",
+            fmt_ns(s.median_ns),
+            fmt_ns(s.p95_ns),
+            fmt_ns(s.min_ns),
+            fmt_ns(s.max_ns),
+        );
+        self.results.push(s);
+    }
+
+    /// Renders the suite's JSON artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", self.suite));
+        out.push_str(&format!("  \"warmup_iters\": {},\n", self.warmup));
+        out.push_str(&format!("  \"measured_iters\": {},\n", self.iters));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \
+                 \"p95_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}{}\n",
+                s.name,
+                s.iters,
+                s.min_ns,
+                s.median_ns,
+                s.p95_ns,
+                s.max_ns,
+                s.mean_ns,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Finishes the suite: writes `results/<suite>.json` (unless
+    /// `SHRIMP_BENCH_JSON=0`) and returns the summaries.
+    pub fn finish(self) -> Vec<Summary> {
+        let json_enabled = std::env::var("SHRIMP_BENCH_JSON")
+            .map(|v| v != "0")
+            .unwrap_or(true);
+        if json_enabled {
+            let dir = results_dir();
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("[shrimp-testkit] cannot create {}: {e}", dir.display());
+            } else {
+                let path = dir.join(format!("{}.json", self.suite));
+                match std::fs::write(&path, self.to_json()) {
+                    Ok(()) => println!("[shrimp-testkit] wrote {}", path.display()),
+                    Err(e) => eprintln!("[shrimp-testkit] cannot write {}: {e}", path.display()),
+                }
+            }
+        }
+        self.results
+    }
+}
+
+/// The JSON output directory: `SHRIMP_BENCH_DIR`, else the nearest
+/// `results/` directory walking up from the working directory (bench
+/// binaries run from the package root, two levels below the workspace's
+/// `results/`), else `results/` in the working directory.
+fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("SHRIMP_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..4 {
+        let cand = cur.join("results");
+        if cand.is_dir() {
+            return cand;
+        }
+        if !cur.pop() {
+            break;
+        }
+    }
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let s = summarize("x", &[50, 10, 40, 20, 30]);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 50);
+        assert_eq!(s.median_ns, 30);
+        assert_eq!(s.mean_ns, 30);
+        assert_eq!(s.p95_ns, 50);
+        assert_eq!(s.iters, 5);
+    }
+
+    #[test]
+    fn even_count_median_averages() {
+        let s = summarize("x", &[10, 20, 30, 40]);
+        assert_eq!(s.median_ns, 25);
+    }
+
+    #[test]
+    fn p95_nearest_rank() {
+        let samples: Vec<u128> = (1..=100).collect();
+        let s = summarize("x", &samples);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.median_ns, 50);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut h = Harness {
+            suite: "demo".into(),
+            warmup: 0,
+            iters: 3,
+            results: Vec::new(),
+        };
+        h.bench("noop", || 1 + 1);
+        let json = h.to_json();
+        assert!(json.contains("\"suite\": \"demo\""));
+        assert!(json.contains("\"name\": \"noop\""));
+        assert!(json.contains("\"median_ns\""));
+        // Trailing-comma hygiene: single entry, no comma before ].
+        assert!(!json.contains("},\n  ]"));
+    }
+}

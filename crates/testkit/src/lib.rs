@@ -1,0 +1,27 @@
+//! Hermetic, deterministic test infrastructure for the SHRIMP reproduction.
+//!
+//! The whole methodology of the reproduction is deterministic what-if
+//! replay: rerun the same workload with one design knob changed and compare
+//! schedules. That only holds if the repository is self-contained — every
+//! byte of randomness, every property-test case, and every benchmark number
+//! must be derivable from `(experiment, seed)` with no external crates in
+//! the loop. This crate is the workspace's only test/bench substrate and
+//! has **zero dependencies**:
+//!
+//! * [`rng`] — a SplitMix64-seeded xoshiro256++ generator ([`rng::DetRng`])
+//!   used as `shrimp_sim::SimRng` by every workload.
+//! * [`prop`] — a minimal property-testing engine: generator combinators,
+//!   a seeded case runner, and iterative choice-stream shrinking, driven by
+//!   the [`props!`] macro. Case counts are tunable via `SHRIMP_PROP_CASES`.
+//! * [`mod@bench`] — a statistics-reporting benchmark harness (`harness =
+//!   false` targets): warmup, min/median/p95/max over wall-clock samples,
+//!   and machine-readable JSON written next to the human tables in
+//!   `results/`.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::DetRng;

@@ -1,23 +1,30 @@
-//! Property-based tests (proptest) over the core invariants of the
+//! Property-based tests (shrimp-testkit) over the core invariants of the
 //! reproduction: routing, data integrity through every transfer mechanism,
 //! combining equivalence, ring framing, and SVM coherence.
+//!
+//! Ported from proptest to `shrimp-testkit`. Mapping:
+//! `ProptestConfig::with_cases(24)` → `cases = 24;`; tuple strategies →
+//! `zip`/`zip3`; `prop::collection::vec` → `vec_of`; `any::<u32>()` /
+//! `any::<bool>()` → `any_u32()` / `any_bool()`. Property intent and
+//! case counts unchanged.
 
-use proptest::prelude::*;
 use shrimp::mem::PAGE_SIZE;
 use shrimp::net::{MeshConfig, Network, NodeId};
 use shrimp::sim::Sim;
 use shrimp::svm::{Protocol, Svm, SvmConfig};
 use shrimp::vmmc::ring::{connect_ring, RingBulk};
 use shrimp::vmmc::{Cluster, DesignConfig};
+use shrimp_testkit::prop::*;
+use shrimp_testkit::{prop_assert_eq, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    cases = 24;
 
     /// Dimension-order routes visit exactly the Manhattan distance in hops
     /// and terminate at the destination.
-    #[test]
     fn mesh_routes_reach_destination(
-        w in 1usize..6, h in 1usize..6, src in 0usize..36, dst in 0usize..36
+        w in usize_in(1..6), h in usize_in(1..6),
+        src in usize_in(0..36), dst in usize_in(0..36),
     ) {
         let n = w * h;
         let src = src % n;
@@ -42,12 +49,11 @@ proptest! {
 
     /// A deliberate-update send of arbitrary offset/length delivers exactly
     /// the sent bytes, regardless of page-boundary splits.
-    #[test]
     fn du_transfers_deliver_exact_bytes(
-        src_off in 0usize..PAGE_SIZE,
-        dst_off in 0usize..PAGE_SIZE,
-        len in 1usize..3 * PAGE_SIZE,
-        seed in 0u8..255,
+        src_off in usize_in(0..PAGE_SIZE),
+        dst_off in usize_in(0..PAGE_SIZE),
+        len in usize_in(1..3 * PAGE_SIZE),
+        seed in u8_in(0..255),
     ) {
         let cluster = Cluster::new(2, DesignConfig::default());
         let a = cluster.vmmc(0);
@@ -71,9 +77,8 @@ proptest! {
 
     /// Automatic update with and without combining delivers identical page
     /// contents for arbitrary store patterns.
-    #[test]
     fn au_combining_is_data_equivalent(
-        stores in prop::collection::vec((0usize..PAGE_SIZE - 4, any::<u32>()), 1..40),
+        stores in vec_of(zip(usize_in(0..PAGE_SIZE - 4), any_u32()), 1..40),
     ) {
         let run = |combining: bool| -> Vec<u8> {
             let mut cfg = DesignConfig::default();
@@ -104,10 +109,9 @@ proptest! {
 
     /// Ring frames of arbitrary sizes arrive intact and in order, through
     /// both bulk mechanisms.
-    #[test]
     fn ring_frames_preserve_payloads(
-        sizes in prop::collection::vec(0usize..1500, 1..12),
-        automatic in any::<bool>(),
+        sizes in vec_of(usize_in(0..1500), 1..12),
+        automatic in any_bool(),
     ) {
         let cluster = Cluster::new(2, DesignConfig::default());
         let a = cluster.vmmc(0);
@@ -140,9 +144,8 @@ proptest! {
     /// interval; after a barrier every node reads the same final values
     /// under every protocol. Last-writer-wins conflicts are excluded by
     /// keying each write slot to its writer.
-    #[test]
     fn svm_barrier_makes_writes_visible(
-        writes in prop::collection::vec((0usize..3, 0usize..4, any::<u32>()), 1..16),
+        writes in vec_of(zip3(usize_in(0..3), usize_in(0..4), any_u32()), 1..16),
     ) {
         for protocol in [Protocol::Hlrc, Protocol::Aurc] {
             let nodes = 3;
