@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/combining-d6236066412d9f6a.d: crates/bench/benches/combining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcombining-d6236066412d9f6a.rmeta: crates/bench/benches/combining.rs Cargo.toml
+
+crates/bench/benches/combining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8f166f6d36d2aa50.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-8f166f6d36d2aa50: tests/determinism.rs
+
+tests/determinism.rs:

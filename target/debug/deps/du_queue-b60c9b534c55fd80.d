@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/du_queue-b60c9b534c55fd80.d: crates/bench/benches/du_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdu_queue-b60c9b534c55fd80.rmeta: crates/bench/benches/du_queue.rs Cargo.toml
+
+crates/bench/benches/du_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

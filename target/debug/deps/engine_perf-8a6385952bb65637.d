@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_perf-8a6385952bb65637.d: crates/bench/benches/engine_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_perf-8a6385952bb65637.rmeta: crates/bench/benches/engine_perf.rs Cargo.toml
+
+crates/bench/benches/engine_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fifo_capacity-fe3534b34d7db3ed.d: crates/bench/benches/fifo_capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfifo_capacity-fe3534b34d7db3ed.rmeta: crates/bench/benches/fifo_capacity.rs Cargo.toml
+
+crates/bench/benches/fifo_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_speedup-36e3e1cab470607b.d: crates/bench/benches/fig3_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_speedup-36e3e1cab470607b.rmeta: crates/bench/benches/fig3_speedup.rs Cargo.toml
+
+crates/bench/benches/fig3_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_du_au-0a01afde6e353929.d: crates/bench/benches/fig4_du_au.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_du_au-0a01afde6e353929.rmeta: crates/bench/benches/fig4_du_au.rs Cargo.toml
+
+crates/bench/benches/fig4_du_au.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_svm_au-cb5b355ce135f72c.d: crates/bench/benches/fig4_svm_au.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_svm_au-cb5b355ce135f72c.rmeta: crates/bench/benches/fig4_svm_au.rs Cargo.toml
+
+crates/bench/benches/fig4_svm_au.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_stack-a90b59755e5aeaa2.d: tests/full_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_stack-a90b59755e5aeaa2.rmeta: tests/full_stack.rs Cargo.toml
+
+tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

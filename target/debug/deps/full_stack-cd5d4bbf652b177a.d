@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-cd5d4bbf652b177a.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-cd5d4bbf652b177a: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_latency-8b57506b7f7ea8c7.d: crates/bench/benches/micro_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_latency-8b57506b7f7ea8c7.rmeta: crates/bench/benches/micro_latency.rs Cargo.toml
+
+crates/bench/benches/micro_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

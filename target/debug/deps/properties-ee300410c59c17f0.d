@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ee300410c59c17f0.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ee300410c59c17f0: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_executor-99baa5567235f208.d: crates/sim/tests/proptest_executor.rs
+
+/root/repo/target/debug/deps/proptest_executor-99baa5567235f208: crates/sim/tests/proptest_executor.rs
+
+crates/sim/tests/proptest_executor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_executor-c67e3f7d98619ab3.d: crates/sim/tests/proptest_executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_executor-c67e3f7d98619ab3.rmeta: crates/sim/tests/proptest_executor.rs Cargo.toml
+
+crates/sim/tests/proptest_executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_mem-2821baaabfffc564.d: crates/mem/tests/proptest_mem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_mem-2821baaabfffc564.rmeta: crates/mem/tests/proptest_mem.rs Cargo.toml
+
+crates/mem/tests/proptest_mem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_mem-5695db286863db62.d: crates/mem/tests/proptest_mem.rs
+
+/root/repo/target/debug/deps/proptest_mem-5695db286863db62: crates/mem/tests/proptest_mem.rs
+
+crates/mem/tests/proptest_mem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_msg-986f434513e0ea01.d: crates/svm/tests/proptest_msg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_msg-986f434513e0ea01.rmeta: crates/svm/tests/proptest_msg.rs Cargo.toml
+
+crates/svm/tests/proptest_msg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_msg-f0ced27523710817.d: crates/svm/tests/proptest_msg.rs
+
+/root/repo/target/debug/deps/proptest_msg-f0ced27523710817: crates/svm/tests/proptest_msg.rs
+
+crates/svm/tests/proptest_msg.rs:

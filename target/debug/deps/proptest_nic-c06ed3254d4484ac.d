@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_nic-c06ed3254d4484ac.d: crates/nic/tests/proptest_nic.rs
+
+/root/repo/target/debug/deps/proptest_nic-c06ed3254d4484ac: crates/nic/tests/proptest_nic.rs
+
+crates/nic/tests/proptest_nic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_nic-f9cee14922d49663.d: crates/nic/tests/proptest_nic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_nic-f9cee14922d49663.rmeta: crates/nic/tests/proptest_nic.rs Cargo.toml
+
+crates/nic/tests/proptest_nic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_nx-1e082a0bfce4bf64.d: crates/nx/tests/proptest_nx.rs
+
+/root/repo/target/debug/deps/proptest_nx-1e082a0bfce4bf64: crates/nx/tests/proptest_nx.rs
+
+crates/nx/tests/proptest_nx.rs:

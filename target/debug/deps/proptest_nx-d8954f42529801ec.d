@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_nx-d8954f42529801ec.d: crates/nx/tests/proptest_nx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_nx-d8954f42529801ec.rmeta: crates/nx/tests/proptest_nx.rs Cargo.toml
+
+crates/nx/tests/proptest_nx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

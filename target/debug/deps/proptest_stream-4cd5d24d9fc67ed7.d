@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_stream-4cd5d24d9fc67ed7.d: crates/sockets/tests/proptest_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_stream-4cd5d24d9fc67ed7.rmeta: crates/sockets/tests/proptest_stream.rs Cargo.toml
+
+crates/sockets/tests/proptest_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_stream-7ebea1b1b44bde0c.d: crates/sockets/tests/proptest_stream.rs
+
+/root/repo/target/debug/deps/proptest_stream-7ebea1b1b44bde0c: crates/sockets/tests/proptest_stream.rs
+
+crates/sockets/tests/proptest_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rng_golden-1fcb86f3c04281fe.d: crates/sim/tests/rng_golden.rs
+
+/root/repo/target/debug/deps/rng_golden-1fcb86f3c04281fe: crates/sim/tests/rng_golden.rs
+
+crates/sim/tests/rng_golden.rs:

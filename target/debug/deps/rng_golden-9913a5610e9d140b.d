@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rng_golden-9913a5610e9d140b.d: crates/sim/tests/rng_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/librng_golden-9913a5610e9d140b.rmeta: crates/sim/tests/rng_golden.rs Cargo.toml
+
+crates/sim/tests/rng_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_verify_prop-d84d27421acc7664.d: tests/scratch_verify_prop.rs
+
+/root/repo/target/debug/deps/scratch_verify_prop-d84d27421acc7664: tests/scratch_verify_prop.rs
+
+tests/scratch_verify_prop.rs:

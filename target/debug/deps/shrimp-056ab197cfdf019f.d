@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp-056ab197cfdf019f.d: src/lib.rs
+
+/root/repo/target/debug/deps/shrimp-056ab197cfdf019f: src/lib.rs
+
+src/lib.rs:

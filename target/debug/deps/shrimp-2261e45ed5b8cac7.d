@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shrimp-2261e45ed5b8cac7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp-2261e45ed5b8cac7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp-2261e45ed5b8cac7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp-85288df75c1caf9e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp-85288df75c1caf9e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shrimp_apps-6cd320ce80311a0a.d: crates/apps/src/lib.rs crates/apps/src/barnes.rs crates/apps/src/dfs.rs crates/apps/src/ocean.rs crates/apps/src/radix.rs crates/apps/src/render.rs crates/apps/src/util.rs
+
+/root/repo/target/debug/deps/shrimp_apps-6cd320ce80311a0a: crates/apps/src/lib.rs crates/apps/src/barnes.rs crates/apps/src/dfs.rs crates/apps/src/ocean.rs crates/apps/src/radix.rs crates/apps/src/render.rs crates/apps/src/util.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes.rs:
+crates/apps/src/dfs.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/radix.rs:
+crates/apps/src/render.rs:
+crates/apps/src/util.rs:

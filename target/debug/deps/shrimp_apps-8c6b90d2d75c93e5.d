@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shrimp_apps-8c6b90d2d75c93e5.d: crates/apps/src/lib.rs crates/apps/src/barnes.rs crates/apps/src/dfs.rs crates/apps/src/ocean.rs crates/apps/src/radix.rs crates/apps/src/render.rs crates/apps/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_apps-8c6b90d2d75c93e5.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes.rs crates/apps/src/dfs.rs crates/apps/src/ocean.rs crates/apps/src/radix.rs crates/apps/src/render.rs crates/apps/src/util.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes.rs:
+crates/apps/src/dfs.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/radix.rs:
+crates/apps/src/render.rs:
+crates/apps/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shrimp_apps-ed0954affe4cd11d.d: crates/apps/src/lib.rs crates/apps/src/barnes.rs crates/apps/src/dfs.rs crates/apps/src/ocean.rs crates/apps/src/radix.rs crates/apps/src/render.rs crates/apps/src/util.rs
+
+/root/repo/target/debug/deps/libshrimp_apps-ed0954affe4cd11d.rlib: crates/apps/src/lib.rs crates/apps/src/barnes.rs crates/apps/src/dfs.rs crates/apps/src/ocean.rs crates/apps/src/radix.rs crates/apps/src/render.rs crates/apps/src/util.rs
+
+/root/repo/target/debug/deps/libshrimp_apps-ed0954affe4cd11d.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes.rs crates/apps/src/dfs.rs crates/apps/src/ocean.rs crates/apps/src/radix.rs crates/apps/src/render.rs crates/apps/src/util.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes.rs:
+crates/apps/src/dfs.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/radix.rs:
+crates/apps/src/render.rs:
+crates/apps/src/util.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shrimp_bench-20152bdd332f8c2b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_bench-20152bdd332f8c2b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_bench-20152bdd332f8c2b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

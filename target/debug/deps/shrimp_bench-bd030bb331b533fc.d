@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp_bench-bd030bb331b533fc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_bench-bd030bb331b533fc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

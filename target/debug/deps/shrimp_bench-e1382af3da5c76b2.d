@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp_bench-e1382af3da5c76b2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/shrimp_bench-e1382af3da5c76b2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

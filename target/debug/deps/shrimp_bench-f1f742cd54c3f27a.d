@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp_bench-f1f742cd54c3f27a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_bench-f1f742cd54c3f27a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

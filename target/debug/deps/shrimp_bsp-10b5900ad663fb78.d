@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shrimp_bsp-10b5900ad663fb78.d: crates/bsp/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_bsp-10b5900ad663fb78.rlib: crates/bsp/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_bsp-10b5900ad663fb78.rmeta: crates/bsp/src/lib.rs
+
+crates/bsp/src/lib.rs:

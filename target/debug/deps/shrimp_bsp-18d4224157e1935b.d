@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp_bsp-18d4224157e1935b.d: crates/bsp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_bsp-18d4224157e1935b.rmeta: crates/bsp/src/lib.rs Cargo.toml
+
+crates/bsp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp_bsp-2c9162f89ab323a3.d: crates/bsp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_bsp-2c9162f89ab323a3.rmeta: crates/bsp/src/lib.rs Cargo.toml
+
+crates/bsp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

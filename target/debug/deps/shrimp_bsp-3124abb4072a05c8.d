@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp_bsp-3124abb4072a05c8.d: crates/bsp/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_bsp-3124abb4072a05c8.rmeta: crates/bsp/src/lib.rs
+
+crates/bsp/src/lib.rs:

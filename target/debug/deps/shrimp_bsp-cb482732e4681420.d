@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp_bsp-cb482732e4681420.d: crates/bsp/src/lib.rs
+
+/root/repo/target/debug/deps/shrimp_bsp-cb482732e4681420: crates/bsp/src/lib.rs
+
+crates/bsp/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shrimp_core-2b015fae9e76b7d5.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/report.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/vmmc.rs
+
+/root/repo/target/debug/deps/libshrimp_core-2b015fae9e76b7d5.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/report.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/vmmc.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/report.rs:
+crates/core/src/ring.rs:
+crates/core/src/stats.rs:
+crates/core/src/vmmc.rs:

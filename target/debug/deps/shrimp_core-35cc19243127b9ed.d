@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shrimp_core-35cc19243127b9ed.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/report.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/vmmc.rs
+
+/root/repo/target/debug/deps/libshrimp_core-35cc19243127b9ed.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/report.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/vmmc.rs
+
+/root/repo/target/debug/deps/libshrimp_core-35cc19243127b9ed.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/report.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/vmmc.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/report.rs:
+crates/core/src/ring.rs:
+crates/core/src/stats.rs:
+crates/core/src/vmmc.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shrimp_core-c41d4288abc3e544.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/report.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/vmmc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_core-c41d4288abc3e544.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/report.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/vmmc.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/report.rs:
+crates/core/src/ring.rs:
+crates/core/src/stats.rs:
+crates/core/src/vmmc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp_mem-51a668c3ad2d4ac2.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs
+
+/root/repo/target/debug/deps/libshrimp_mem-51a668c3ad2d4ac2.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/node.rs:
+crates/mem/src/space.rs:

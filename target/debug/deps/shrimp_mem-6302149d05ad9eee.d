@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shrimp_mem-6302149d05ad9eee.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs
+
+/root/repo/target/debug/deps/libshrimp_mem-6302149d05ad9eee.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs
+
+/root/repo/target/debug/deps/libshrimp_mem-6302149d05ad9eee.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/node.rs:
+crates/mem/src/space.rs:

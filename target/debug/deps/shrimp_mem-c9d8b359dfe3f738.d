@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shrimp_mem-c9d8b359dfe3f738.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_mem-c9d8b359dfe3f738.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/node.rs:
+crates/mem/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

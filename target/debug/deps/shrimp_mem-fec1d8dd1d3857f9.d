@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp_mem-fec1d8dd1d3857f9.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs
+
+/root/repo/target/debug/deps/shrimp_mem-fec1d8dd1d3857f9: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/node.rs:
+crates/mem/src/space.rs:

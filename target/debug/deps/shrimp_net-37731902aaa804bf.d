@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp_net-37731902aaa804bf.d: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs
+
+/root/repo/target/debug/deps/libshrimp_net-37731902aaa804bf.rlib: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs
+
+/root/repo/target/debug/deps/libshrimp_net-37731902aaa804bf.rmeta: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/mesh.rs:
+crates/net/src/stats.rs:

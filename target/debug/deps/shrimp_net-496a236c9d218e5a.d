@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shrimp_net-496a236c9d218e5a.d: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs
+
+/root/repo/target/debug/deps/libshrimp_net-496a236c9d218e5a.rmeta: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/mesh.rs:
+crates/net/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shrimp_net-6879584727a1230c.d: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_net-6879584727a1230c.rmeta: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/mesh.rs:
+crates/net/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

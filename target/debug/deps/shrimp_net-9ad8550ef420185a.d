@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shrimp_net-9ad8550ef420185a.d: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs
+
+/root/repo/target/debug/deps/shrimp_net-9ad8550ef420185a: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/mesh.rs:
+crates/net/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shrimp_net-eca6c85c7b610420.d: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_net-eca6c85c7b610420.rmeta: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/mesh.rs:
+crates/net/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

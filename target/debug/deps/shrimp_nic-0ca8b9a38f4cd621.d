@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shrimp_nic-0ca8b9a38f4cd621.d: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs
+
+/root/repo/target/debug/deps/libshrimp_nic-0ca8b9a38f4cd621.rmeta: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/config.rs:
+crates/nic/src/counters.rs:
+crates/nic/src/engine.rs:
+crates/nic/src/packet.rs:
+crates/nic/src/tables.rs:

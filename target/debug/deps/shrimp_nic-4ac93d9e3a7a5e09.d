@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shrimp_nic-4ac93d9e3a7a5e09.d: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_nic-4ac93d9e3a7a5e09.rmeta: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs Cargo.toml
+
+crates/nic/src/lib.rs:
+crates/nic/src/config.rs:
+crates/nic/src/counters.rs:
+crates/nic/src/engine.rs:
+crates/nic/src/packet.rs:
+crates/nic/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shrimp_nic-87127b6c40d310e9.d: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs
+
+/root/repo/target/debug/deps/shrimp_nic-87127b6c40d310e9: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/config.rs:
+crates/nic/src/counters.rs:
+crates/nic/src/engine.rs:
+crates/nic/src/packet.rs:
+crates/nic/src/tables.rs:

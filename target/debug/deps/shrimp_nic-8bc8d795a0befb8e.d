@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shrimp_nic-8bc8d795a0befb8e.d: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs
+
+/root/repo/target/debug/deps/libshrimp_nic-8bc8d795a0befb8e.rlib: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs
+
+/root/repo/target/debug/deps/libshrimp_nic-8bc8d795a0befb8e.rmeta: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/config.rs:
+crates/nic/src/counters.rs:
+crates/nic/src/engine.rs:
+crates/nic/src/packet.rs:
+crates/nic/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shrimp_nx-099172dd4a120a7b.d: crates/nx/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_nx-099172dd4a120a7b.rlib: crates/nx/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_nx-099172dd4a120a7b.rmeta: crates/nx/src/lib.rs
+
+crates/nx/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp_nx-658dce2a773c908a.d: crates/nx/src/lib.rs
+
+/root/repo/target/debug/deps/shrimp_nx-658dce2a773c908a: crates/nx/src/lib.rs
+
+crates/nx/src/lib.rs:

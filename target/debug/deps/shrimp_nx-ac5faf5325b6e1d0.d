@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp_nx-ac5faf5325b6e1d0.d: crates/nx/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_nx-ac5faf5325b6e1d0.rmeta: crates/nx/src/lib.rs
+
+crates/nx/src/lib.rs:

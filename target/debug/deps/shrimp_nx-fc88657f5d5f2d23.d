@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp_nx-fc88657f5d5f2d23.d: crates/nx/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_nx-fc88657f5d5f2d23.rmeta: crates/nx/src/lib.rs Cargo.toml
+
+crates/nx/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shrimp_rpc-5283648daf48b251.d: crates/rpc/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_rpc-5283648daf48b251.rlib: crates/rpc/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_rpc-5283648daf48b251.rmeta: crates/rpc/src/lib.rs
+
+crates/rpc/src/lib.rs:

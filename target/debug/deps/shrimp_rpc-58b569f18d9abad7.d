@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp_rpc-58b569f18d9abad7.d: crates/rpc/src/lib.rs
+
+/root/repo/target/debug/deps/shrimp_rpc-58b569f18d9abad7: crates/rpc/src/lib.rs
+
+crates/rpc/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp_rpc-8b4342616a1babf8.d: crates/rpc/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_rpc-8b4342616a1babf8.rmeta: crates/rpc/src/lib.rs
+
+crates/rpc/src/lib.rs:

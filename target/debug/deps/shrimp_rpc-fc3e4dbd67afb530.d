@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp_rpc-fc3e4dbd67afb530.d: crates/rpc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_rpc-fc3e4dbd67afb530.rmeta: crates/rpc/src/lib.rs Cargo.toml
+
+crates/rpc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shrimp_sim-4df6d2a531c7576b.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_sim-4df6d2a531c7576b.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

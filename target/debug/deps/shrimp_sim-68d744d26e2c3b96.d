@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shrimp_sim-68d744d26e2c3b96.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libshrimp_sim-68d744d26e2c3b96.rlib: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libshrimp_sim-68d744d26e2c3b96.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shrimp_sim-fbe3d5c68ab14ff5.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libshrimp_sim-fbe3d5c68ab14ff5.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp_sockets-02c5f03d2e089e0b.d: crates/sockets/src/lib.rs
+
+/root/repo/target/debug/deps/shrimp_sockets-02c5f03d2e089e0b: crates/sockets/src/lib.rs
+
+crates/sockets/src/lib.rs:

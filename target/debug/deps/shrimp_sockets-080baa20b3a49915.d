@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp_sockets-080baa20b3a49915.d: crates/sockets/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_sockets-080baa20b3a49915.rmeta: crates/sockets/src/lib.rs Cargo.toml
+
+crates/sockets/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

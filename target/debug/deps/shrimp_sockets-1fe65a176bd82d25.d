@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shrimp_sockets-1fe65a176bd82d25.d: crates/sockets/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_sockets-1fe65a176bd82d25.rlib: crates/sockets/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_sockets-1fe65a176bd82d25.rmeta: crates/sockets/src/lib.rs
+
+crates/sockets/src/lib.rs:

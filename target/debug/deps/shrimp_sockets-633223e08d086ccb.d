@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrimp_sockets-633223e08d086ccb.d: crates/sockets/src/lib.rs
+
+/root/repo/target/debug/deps/libshrimp_sockets-633223e08d086ccb.rmeta: crates/sockets/src/lib.rs
+
+crates/sockets/src/lib.rs:

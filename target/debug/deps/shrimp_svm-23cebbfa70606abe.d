@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shrimp_svm-23cebbfa70606abe.d: crates/svm/src/lib.rs crates/svm/src/config.rs crates/svm/src/msg.rs crates/svm/src/stats.rs crates/svm/src/system.rs
+
+/root/repo/target/debug/deps/shrimp_svm-23cebbfa70606abe: crates/svm/src/lib.rs crates/svm/src/config.rs crates/svm/src/msg.rs crates/svm/src/stats.rs crates/svm/src/system.rs
+
+crates/svm/src/lib.rs:
+crates/svm/src/config.rs:
+crates/svm/src/msg.rs:
+crates/svm/src/stats.rs:
+crates/svm/src/system.rs:

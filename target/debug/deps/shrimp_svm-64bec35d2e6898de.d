@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shrimp_svm-64bec35d2e6898de.d: crates/svm/src/lib.rs crates/svm/src/config.rs crates/svm/src/msg.rs crates/svm/src/stats.rs crates/svm/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_svm-64bec35d2e6898de.rmeta: crates/svm/src/lib.rs crates/svm/src/config.rs crates/svm/src/msg.rs crates/svm/src/stats.rs crates/svm/src/system.rs Cargo.toml
+
+crates/svm/src/lib.rs:
+crates/svm/src/config.rs:
+crates/svm/src/msg.rs:
+crates/svm/src/stats.rs:
+crates/svm/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shrimp_svm-ddb48444c8b45d95.d: crates/svm/src/lib.rs crates/svm/src/config.rs crates/svm/src/msg.rs crates/svm/src/stats.rs crates/svm/src/system.rs
+
+/root/repo/target/debug/deps/libshrimp_svm-ddb48444c8b45d95.rlib: crates/svm/src/lib.rs crates/svm/src/config.rs crates/svm/src/msg.rs crates/svm/src/stats.rs crates/svm/src/system.rs
+
+/root/repo/target/debug/deps/libshrimp_svm-ddb48444c8b45d95.rmeta: crates/svm/src/lib.rs crates/svm/src/config.rs crates/svm/src/msg.rs crates/svm/src/stats.rs crates/svm/src/system.rs
+
+crates/svm/src/lib.rs:
+crates/svm/src/config.rs:
+crates/svm/src/msg.rs:
+crates/svm/src/stats.rs:
+crates/svm/src/system.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/shrimp_testkit-38f26dc70ee8d107.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+/root/repo/target/debug/deps/libshrimp_testkit-38f26dc70ee8d107.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shrimp_testkit-56a451c9d8635a2a.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshrimp_testkit-56a451c9d8635a2a.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shrimp_testkit-6d0758346377d1f0.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+/root/repo/target/debug/deps/libshrimp_testkit-6d0758346377d1f0.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+/root/repo/target/debug/deps/libshrimp_testkit-6d0758346377d1f0.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:

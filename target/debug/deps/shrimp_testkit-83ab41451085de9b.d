@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/shrimp_testkit-83ab41451085de9b.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+/root/repo/target/debug/deps/shrimp_testkit-83ab41451085de9b: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_apps-433c69d143f37252.d: crates/bench/benches/table1_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_apps-433c69d143f37252.rmeta: crates/bench/benches/table1_apps.rs Cargo.toml
+
+crates/bench/benches/table1_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_syscall-f2fc75c9eb3048d9.d: crates/bench/benches/table2_syscall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_syscall-f2fc75c9eb3048d9.rmeta: crates/bench/benches/table2_syscall.rs Cargo.toml
+
+crates/bench/benches/table2_syscall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

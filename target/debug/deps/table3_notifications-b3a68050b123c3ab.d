@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_notifications-b3a68050b123c3ab.d: crates/bench/benches/table3_notifications.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_notifications-b3a68050b123c3ab.rmeta: crates/bench/benches/table3_notifications.rs Cargo.toml
+
+crates/bench/benches/table3_notifications.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_interrupts-7c5da8e30efc6422.d: crates/bench/benches/table4_interrupts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_interrupts-7c5da8e30efc6422.rmeta: crates/bench/benches/table4_interrupts.rs Cargo.toml
+
+crates/bench/benches/table4_interrupts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

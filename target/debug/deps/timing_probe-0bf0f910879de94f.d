@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing_probe-0bf0f910879de94f.d: crates/bench/src/bin/timing_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming_probe-0bf0f910879de94f.rmeta: crates/bench/src/bin/timing_probe.rs Cargo.toml
+
+crates/bench/src/bin/timing_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_probe-bef054dccb9fa5e5.d: crates/bench/src/bin/timing_probe.rs
+
+/root/repo/target/debug/deps/timing_probe-bef054dccb9fa5e5: crates/bench/src/bin/timing_probe.rs
+
+crates/bench/src/bin/timing_probe.rs:

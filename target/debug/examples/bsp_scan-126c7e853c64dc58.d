@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bsp_scan-126c7e853c64dc58.d: examples/bsp_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbsp_scan-126c7e853c64dc58.rmeta: examples/bsp_scan.rs Cargo.toml
+
+examples/bsp_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

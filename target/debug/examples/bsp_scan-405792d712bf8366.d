@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bsp_scan-405792d712bf8366.d: examples/bsp_scan.rs
+
+/root/repo/target/debug/examples/bsp_scan-405792d712bf8366: examples/bsp_scan.rs
+
+examples/bsp_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_study-58efbe00bbfa33d6.d: examples/design_study.rs
+
+/root/repo/target/debug/examples/design_study-58efbe00bbfa33d6: examples/design_study.rs
+
+examples/design_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_study-91cbf5c835cc2e86.d: examples/design_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_study-91cbf5c835cc2e86.rmeta: examples/design_study.rs Cargo.toml
+
+examples/design_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

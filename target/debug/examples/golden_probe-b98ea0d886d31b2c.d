@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/golden_probe-b98ea0d886d31b2c.d: crates/sim/examples/golden_probe.rs
+
+/root/repo/target/debug/examples/golden_probe-b98ea0d886d31b2c: crates/sim/examples/golden_probe.rs
+
+crates/sim/examples/golden_probe.rs:

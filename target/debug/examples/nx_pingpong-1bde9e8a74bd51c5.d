@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nx_pingpong-1bde9e8a74bd51c5.d: examples/nx_pingpong.rs
+
+/root/repo/target/debug/examples/nx_pingpong-1bde9e8a74bd51c5: examples/nx_pingpong.rs
+
+examples/nx_pingpong.rs:

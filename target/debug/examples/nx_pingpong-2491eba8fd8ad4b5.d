@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nx_pingpong-2491eba8fd8ad4b5.d: examples/nx_pingpong.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnx_pingpong-2491eba8fd8ad4b5.rmeta: examples/nx_pingpong.rs Cargo.toml
+
+examples/nx_pingpong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

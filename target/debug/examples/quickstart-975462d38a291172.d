@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-975462d38a291172.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-975462d38a291172: examples/quickstart.rs
+
+examples/quickstart.rs:

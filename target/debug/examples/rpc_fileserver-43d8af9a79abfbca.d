@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rpc_fileserver-43d8af9a79abfbca.d: examples/rpc_fileserver.rs
+
+/root/repo/target/debug/examples/rpc_fileserver-43d8af9a79abfbca: examples/rpc_fileserver.rs
+
+examples/rpc_fileserver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rpc_fileserver-c73bdf8a9e92e979.d: examples/rpc_fileserver.rs Cargo.toml
+
+/root/repo/target/debug/examples/librpc_fileserver-c73bdf8a9e92e979.rmeta: examples/rpc_fileserver.rs Cargo.toml
+
+examples/rpc_fileserver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/svm_protocols-7fad7174c3f7f59e.d: examples/svm_protocols.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsvm_protocols-7fad7174c3f7f59e.rmeta: examples/svm_protocols.rs Cargo.toml
+
+examples/svm_protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

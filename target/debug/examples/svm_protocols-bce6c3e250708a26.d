@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/svm_protocols-bce6c3e250708a26.d: examples/svm_protocols.rs
+
+/root/repo/target/debug/examples/svm_protocols-bce6c3e250708a26: examples/svm_protocols.rs
+
+examples/svm_protocols.rs:

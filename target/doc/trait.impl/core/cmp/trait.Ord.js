@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["shrimp_mem",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"shrimp_mem/addr/struct.Paddr.html\" title=\"struct shrimp_mem::addr::Paddr\">Paddr</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"shrimp_mem/addr/struct.Vaddr.html\" title=\"struct shrimp_mem::addr::Vaddr\">Vaddr</a>",0]]],["shrimp_net",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"shrimp_net/mesh/struct.NodeId.html\" title=\"struct shrimp_net::mesh::NodeId\">NodeId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[522,273]}

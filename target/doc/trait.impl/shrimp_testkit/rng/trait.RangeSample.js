@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["shrimp_sim",[]],["shrimp_testkit",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[17,22]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_perf-460c505833f9d6aa.d: crates/bench/benches/engine_perf.rs
+
+/root/repo/target/release/deps/engine_perf-460c505833f9d6aa: crates/bench/benches/engine_perf.rs
+
+crates/bench/benches/engine_perf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shrimp-09ccbd6b17046d67.d: src/lib.rs
+
+/root/repo/target/release/deps/libshrimp-09ccbd6b17046d67.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libshrimp-09ccbd6b17046d67.rmeta: src/lib.rs
+
+src/lib.rs:

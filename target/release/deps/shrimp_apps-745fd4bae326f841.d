@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/shrimp_apps-745fd4bae326f841.d: crates/apps/src/lib.rs crates/apps/src/barnes.rs crates/apps/src/dfs.rs crates/apps/src/ocean.rs crates/apps/src/radix.rs crates/apps/src/render.rs crates/apps/src/util.rs
+
+/root/repo/target/release/deps/libshrimp_apps-745fd4bae326f841.rlib: crates/apps/src/lib.rs crates/apps/src/barnes.rs crates/apps/src/dfs.rs crates/apps/src/ocean.rs crates/apps/src/radix.rs crates/apps/src/render.rs crates/apps/src/util.rs
+
+/root/repo/target/release/deps/libshrimp_apps-745fd4bae326f841.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes.rs crates/apps/src/dfs.rs crates/apps/src/ocean.rs crates/apps/src/radix.rs crates/apps/src/render.rs crates/apps/src/util.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes.rs:
+crates/apps/src/dfs.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/radix.rs:
+crates/apps/src/render.rs:
+crates/apps/src/util.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shrimp_bench-f10532789d503132.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshrimp_bench-f10532789d503132.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshrimp_bench-f10532789d503132.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

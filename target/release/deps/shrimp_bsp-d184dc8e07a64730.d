@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shrimp_bsp-d184dc8e07a64730.d: crates/bsp/src/lib.rs
+
+/root/repo/target/release/deps/libshrimp_bsp-d184dc8e07a64730.rlib: crates/bsp/src/lib.rs
+
+/root/repo/target/release/deps/libshrimp_bsp-d184dc8e07a64730.rmeta: crates/bsp/src/lib.rs
+
+crates/bsp/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/shrimp_core-63a87829b5a48663.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/report.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/vmmc.rs
+
+/root/repo/target/release/deps/libshrimp_core-63a87829b5a48663.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/report.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/vmmc.rs
+
+/root/repo/target/release/deps/libshrimp_core-63a87829b5a48663.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/report.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/vmmc.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/report.rs:
+crates/core/src/ring.rs:
+crates/core/src/stats.rs:
+crates/core/src/vmmc.rs:

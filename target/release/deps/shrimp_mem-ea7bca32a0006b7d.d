@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shrimp_mem-ea7bca32a0006b7d.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs
+
+/root/repo/target/release/deps/libshrimp_mem-ea7bca32a0006b7d.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs
+
+/root/repo/target/release/deps/libshrimp_mem-ea7bca32a0006b7d.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/bus.rs crates/mem/src/node.rs crates/mem/src/space.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/node.rs:
+crates/mem/src/space.rs:

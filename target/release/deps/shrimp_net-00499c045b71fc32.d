@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/shrimp_net-00499c045b71fc32.d: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs
+
+/root/repo/target/release/deps/libshrimp_net-00499c045b71fc32.rlib: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs
+
+/root/repo/target/release/deps/libshrimp_net-00499c045b71fc32.rmeta: crates/net/src/lib.rs crates/net/src/mesh.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/mesh.rs:
+crates/net/src/stats.rs:

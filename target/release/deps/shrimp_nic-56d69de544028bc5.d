@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/shrimp_nic-56d69de544028bc5.d: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs
+
+/root/repo/target/release/deps/libshrimp_nic-56d69de544028bc5.rlib: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs
+
+/root/repo/target/release/deps/libshrimp_nic-56d69de544028bc5.rmeta: crates/nic/src/lib.rs crates/nic/src/config.rs crates/nic/src/counters.rs crates/nic/src/engine.rs crates/nic/src/packet.rs crates/nic/src/tables.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/config.rs:
+crates/nic/src/counters.rs:
+crates/nic/src/engine.rs:
+crates/nic/src/packet.rs:
+crates/nic/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shrimp_nx-5db02252c3ad08e8.d: crates/nx/src/lib.rs
+
+/root/repo/target/release/deps/libshrimp_nx-5db02252c3ad08e8.rlib: crates/nx/src/lib.rs
+
+/root/repo/target/release/deps/libshrimp_nx-5db02252c3ad08e8.rmeta: crates/nx/src/lib.rs
+
+crates/nx/src/lib.rs:

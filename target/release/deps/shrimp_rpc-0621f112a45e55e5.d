@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shrimp_rpc-0621f112a45e55e5.d: crates/rpc/src/lib.rs
+
+/root/repo/target/release/deps/libshrimp_rpc-0621f112a45e55e5.rlib: crates/rpc/src/lib.rs
+
+/root/repo/target/release/deps/libshrimp_rpc-0621f112a45e55e5.rmeta: crates/rpc/src/lib.rs
+
+crates/rpc/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/shrimp_sim-ef5e4e6449087824.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libshrimp_sim-ef5e4e6449087824.rlib: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libshrimp_sim-ef5e4e6449087824.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

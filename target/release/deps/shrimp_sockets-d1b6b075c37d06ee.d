@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shrimp_sockets-d1b6b075c37d06ee.d: crates/sockets/src/lib.rs
+
+/root/repo/target/release/deps/libshrimp_sockets-d1b6b075c37d06ee.rlib: crates/sockets/src/lib.rs
+
+/root/repo/target/release/deps/libshrimp_sockets-d1b6b075c37d06ee.rmeta: crates/sockets/src/lib.rs
+
+crates/sockets/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shrimp_svm-13ab30aae8864453.d: crates/svm/src/lib.rs crates/svm/src/config.rs crates/svm/src/msg.rs crates/svm/src/stats.rs crates/svm/src/system.rs
+
+/root/repo/target/release/deps/libshrimp_svm-13ab30aae8864453.rlib: crates/svm/src/lib.rs crates/svm/src/config.rs crates/svm/src/msg.rs crates/svm/src/stats.rs crates/svm/src/system.rs
+
+/root/repo/target/release/deps/libshrimp_svm-13ab30aae8864453.rmeta: crates/svm/src/lib.rs crates/svm/src/config.rs crates/svm/src/msg.rs crates/svm/src/stats.rs crates/svm/src/system.rs
+
+crates/svm/src/lib.rs:
+crates/svm/src/config.rs:
+crates/svm/src/msg.rs:
+crates/svm/src/stats.rs:
+crates/svm/src/system.rs:

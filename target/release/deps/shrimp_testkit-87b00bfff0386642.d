@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/shrimp_testkit-87b00bfff0386642.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+/root/repo/target/release/deps/libshrimp_testkit-87b00bfff0386642.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+/root/repo/target/release/deps/libshrimp_testkit-87b00bfff0386642.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:

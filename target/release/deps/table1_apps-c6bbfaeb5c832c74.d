@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_apps-c6bbfaeb5c832c74.d: crates/bench/benches/table1_apps.rs
+
+/root/repo/target/release/deps/table1_apps-c6bbfaeb5c832c74: crates/bench/benches/table1_apps.rs
+
+crates/bench/benches/table1_apps.rs:

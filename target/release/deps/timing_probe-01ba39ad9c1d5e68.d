@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing_probe-01ba39ad9c1d5e68.d: crates/bench/src/bin/timing_probe.rs
+
+/root/repo/target/release/deps/timing_probe-01ba39ad9c1d5e68: crates/bench/src/bin/timing_probe.rs
+
+crates/bench/src/bin/timing_probe.rs:

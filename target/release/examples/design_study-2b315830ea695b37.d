@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_study-2b315830ea695b37.d: examples/design_study.rs
+
+/root/repo/target/release/examples/design_study-2b315830ea695b37: examples/design_study.rs
+
+examples/design_study.rs:

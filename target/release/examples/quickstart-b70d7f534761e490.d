@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b70d7f534761e490.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b70d7f534761e490: examples/quickstart.rs
+
+examples/quickstart.rs:
