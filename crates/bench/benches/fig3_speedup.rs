@@ -2,78 +2,53 @@
 //! processors (best of AU/DU per application, as plotted in the paper:
 //! Ocean-NX (AU), Radix-VMMC (AU), Barnes-NX (DU), Radix-SVM (AU),
 //! Ocean-SVM (AU), Barnes-SVM (AU)).
+//!
+//! Thin wrapper over the `fig3` rows of [`shrimp_bench::matrix`] — the
+//! sweep harness executes the identical specs.
 
-use shrimp_apps::barnes::{run_barnes_nx, run_barnes_svm};
-use shrimp_apps::ocean::{run_ocean_nx, run_ocean_svm};
-use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc};
-use shrimp_apps::{Mechanism, RunOutcome};
-use shrimp_bench::{
-    announce, barnes_nx_params, barnes_svm_params, max_nodes, ocean_nx_params, ocean_svm_params,
-    print_table, radix_params,
-};
-use shrimp_core::{Cluster, DesignConfig};
-use shrimp_svm::Protocol;
+use shrimp_bench::{announce, global_scale, matrix, max_nodes, print_table};
 
 fn main() {
     announce("Figure 3: speedup curves");
-    let counts: Vec<usize> = [1usize, 2, 4, 8, 16]
+    let specs: Vec<_> = matrix(global_scale(), max_nodes())
         .into_iter()
-        .filter(|&n| n <= max_nodes())
+        .filter(|s| s.experiment == "fig3")
         .collect();
+    let counts: Vec<usize> = {
+        let mut c: Vec<usize> = specs.iter().map(|s| s.nodes).collect();
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
 
-    type Runner = Box<dyn Fn(usize) -> RunOutcome>;
-    let apps: Vec<(&str, Runner)> = vec![
-        (
-            "Ocean-NX (AU)",
-            Box::new(|n| {
-                let c = Cluster::new(n, DesignConfig::default());
-                run_ocean_nx(&c, &ocean_nx_params(), Mechanism::AutomaticUpdate)
-            }),
-        ),
-        (
-            "Radix-VMMC (AU)",
-            Box::new(|n| {
-                let c = Cluster::new(n, DesignConfig::default());
-                run_radix_vmmc(&c, &radix_params(), Mechanism::AutomaticUpdate)
-            }),
-        ),
-        (
-            "Barnes-NX (DU)",
-            Box::new(|n| {
-                let c = Cluster::new(n, DesignConfig::default());
-                run_barnes_nx(&c, &barnes_nx_params(), Mechanism::DeliberateUpdate)
-            }),
-        ),
-        (
-            "Radix-SVM (AU)",
-            Box::new(|n| {
-                let c = Cluster::new(n, DesignConfig::default());
-                run_radix_svm(&c, Protocol::Aurc, &radix_params())
-            }),
-        ),
-        (
-            "Ocean-SVM (AU)",
-            Box::new(|n| {
-                let c = Cluster::new(n, DesignConfig::default());
-                run_ocean_svm(&c, Protocol::Aurc, &ocean_svm_params())
-            }),
-        ),
-        (
-            "Barnes-SVM (AU)",
-            Box::new(|n| {
-                let c = Cluster::new(n, DesignConfig::default());
-                run_barnes_svm(&c, Protocol::Aurc, &barnes_svm_params())
-            }),
-        ),
-    ];
-
+    // Group rows by (app, variant) preserving matrix order.
     let mut rows = Vec::new();
-    for (name, run) in &apps {
-        let seq = run(1).elapsed;
-        let mut row = vec![name.to_string()];
-        for &n in &counts {
-            let t = if n == 1 { seq } else { run(n).elapsed };
-            row.push(format!("{:.2}", seq as f64 / t as f64));
+    let mut seen: Vec<(shrimp_bench::App, shrimp_bench::Variant)> = Vec::new();
+    for s in &specs {
+        if !seen.contains(&(s.app, s.variant)) {
+            seen.push((s.app, s.variant));
+        }
+    }
+    for (app, variant) in seen {
+        let mut times = Vec::new();
+        for s in specs
+            .iter()
+            .filter(|s| s.app == app && s.variant == variant)
+        {
+            times.push((s.nodes, s.execute().elapsed));
+        }
+        let seq = times
+            .iter()
+            .find(|&&(n, _)| n == 1)
+            .map(|&(_, t)| t)
+            .expect("fig3 matrix includes p=1");
+        let name = format!("{} ({})", app.name(), variant.label().to_uppercase());
+        let mut row = vec![name.clone()];
+        for &c in &counts {
+            match times.iter().find(|&&(n, _)| n == c) {
+                Some(&(_, t)) => row.push(format!("{:.2}", seq as f64 / t as f64)),
+                None => row.push("-".to_string()),
+            }
         }
         rows.push(row);
         // Checkpoint output per app (runs are long at full scale).

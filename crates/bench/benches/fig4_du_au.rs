@@ -2,49 +2,39 @@
 //! mechanism at 16 nodes: Radix-VMMC (AU wins by ~3.4x), Ocean-NX and
 //! Barnes-NX (AU does not help message passing; DU's DMA bandwidth and
 //! overlap dominate).
+//!
+//! Thin wrapper over the `fig4-du-au` rows of [`shrimp_bench::matrix`],
+//! plus each application's own sequential run for the speedup base.
 
-use shrimp_apps::barnes::run_barnes_nx;
-use shrimp_apps::ocean::run_ocean_nx;
-use shrimp_apps::radix::run_radix_vmmc;
-use shrimp_apps::{Mechanism, RunOutcome};
-use shrimp_bench::{
-    announce, barnes_nx_params, max_nodes, ocean_nx_params, print_table, radix_params,
-};
-use shrimp_core::{Cluster, DesignConfig};
+use shrimp_apps::Mechanism;
+use shrimp_bench::{announce, global_scale, matrix, max_nodes, print_table, Variant};
 
 fn main() {
     announce("Figure 4 (right): DU vs AU bulk transfer");
     let nodes = max_nodes();
-    type Runner = Box<dyn Fn(usize, Mechanism) -> RunOutcome>;
-    let apps: Vec<(&str, Runner)> = vec![
-        (
-            "Radix-VMMC",
-            Box::new(|n, m| {
-                let c = Cluster::new(n, DesignConfig::default());
-                run_radix_vmmc(&c, &radix_params(), m)
-            }),
-        ),
-        (
-            "Ocean-NX",
-            Box::new(|n, m| {
-                let c = Cluster::new(n, DesignConfig::default());
-                run_ocean_nx(&c, &ocean_nx_params(), m)
-            }),
-        ),
-        (
-            "Barnes-NX",
-            Box::new(|n, m| {
-                let c = Cluster::new(n, DesignConfig::default());
-                run_barnes_nx(&c, &barnes_nx_params(), m)
-            }),
-        ),
-    ];
+    let specs: Vec<_> = matrix(global_scale(), nodes)
+        .into_iter()
+        .filter(|s| s.experiment == "fig4-du-au")
+        .collect();
+    let apps: Vec<_> = {
+        let mut a: Vec<_> = specs.iter().map(|s| s.app).collect();
+        a.dedup();
+        a
+    };
 
     let mut rows = Vec::new();
-    for (name, run) in &apps {
-        let seq = run(1, Mechanism::DeliberateUpdate).elapsed as f64;
-        let du = run(nodes, Mechanism::DeliberateUpdate);
-        let au = run(nodes, Mechanism::AutomaticUpdate);
+    for app in apps {
+        let pick = |m: Mechanism| {
+            specs
+                .iter()
+                .find(|s| s.app == app && s.variant == Variant::Mechanism(m))
+                .expect("matrix covers both mechanisms")
+        };
+        let du_spec = pick(Mechanism::DeliberateUpdate);
+        let seq = du_spec.clone().with_nodes(1).execute().elapsed as f64;
+        let du = du_spec.execute();
+        let au = pick(Mechanism::AutomaticUpdate).execute();
+        let name = app.name();
         assert_eq!(du.checksum, au.checksum, "{name}: DU/AU results differ");
         let s_du = seq / du.elapsed as f64;
         let s_au = seq / au.elapsed as f64;

@@ -3,47 +3,38 @@
 //! kernel-based implementation" of §4.3).
 //!
 //! Paper: 2.3%–52.2% slowdown depending on the application's message rate
-//! (worst: Barnes-NX with its ~1 M small sends).
+//! (worst: Barnes-NX with its ~1 M small sends). Thin wrapper over the
+//! `table2` rows of [`shrimp_bench::matrix`]: each syscall spec is re-run
+//! with the knob cleared to get its own baseline.
 
-use shrimp_bench::{announce, max_nodes, pct_increase, print_table, secs, App};
-use shrimp_core::DesignConfig;
+use shrimp_bench::{
+    announce, global_scale, matrix, max_nodes, pct_increase, print_table, secs, Knobs,
+};
 
 fn main() {
     announce("Table 2: system call per send");
     let nodes = max_nodes();
-    // The paper's Table 2 covers all applications except DFS.
-    let apps = [
-        App::BarnesSvm,
-        App::OceanSvm,
-        App::RadixSvm,
-        App::RadixVmmc,
-        App::BarnesNx,
-        App::OceanNx,
-        App::RenderSockets,
-    ];
     let mut rows = Vec::new();
-    for app in apps {
-        let n = nodes.max(app.min_nodes());
-        let base = app.run(n, DesignConfig::default());
-        let cfg = DesignConfig {
-            syscall_send: true,
-            ..DesignConfig::default()
-        };
-        let sys = app.run(n, cfg);
+    for spec in matrix(global_scale(), nodes)
+        .into_iter()
+        .filter(|s| s.experiment == "table2")
+    {
+        let base = spec.clone().with_knobs(Knobs::as_built()).execute();
+        let sys = spec.execute();
         assert_eq!(
             base.checksum,
             sys.checksum,
             "{}: results differ",
-            app.name()
+            spec.app.name()
         );
         rows.push(vec![
-            app.name().to_string(),
+            spec.app.name().to_string(),
             secs(base.elapsed),
             secs(sys.elapsed),
             format!("{}", base.messages),
             format!("{:.1}%", pct_increase(base.elapsed, sys.elapsed)),
         ]);
-        println!("[table2] {}: done", app.name());
+        println!("[table2] {}: done", spec.app.name());
     }
     print_table(
         &format!("Table 2: execution-time increase with a syscall per send ({nodes} nodes)"),

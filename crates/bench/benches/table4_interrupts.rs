@@ -3,40 +3,35 @@
 //! handler (§4.4 firmware what-if). All applications at 16 nodes except
 //! Barnes-NX at 8, matching the paper.
 //!
-//! Paper: 0.3%–25.1% slowdown — and a real handler would cost more.
+//! Paper: 0.3%–25.1% slowdown — and a real handler would cost more. Thin
+//! wrapper over the `table4` rows of [`shrimp_bench::matrix`].
 
-use shrimp_bench::{announce, max_nodes, pct_increase, print_table, secs, App};
-use shrimp_core::DesignConfig;
+use shrimp_bench::{
+    announce, global_scale, matrix, max_nodes, pct_increase, print_table, secs, Knobs,
+};
 
 fn main() {
     announce("Table 4: interrupt per message arrival");
     let nodes = max_nodes();
     let mut rows = Vec::new();
-    for app in App::all() {
-        // The paper measured Barnes-NX on 8 nodes for this table.
-        let n = if app == App::BarnesNx {
-            nodes.min(8)
-        } else {
-            nodes.max(app.min_nodes())
-        };
-        let base = app.run(n, DesignConfig::default());
-        let cfg = DesignConfig {
-            interrupt_per_message: true,
-            ..DesignConfig::default()
-        };
-        let forced = app.run(n, cfg);
+    for spec in matrix(global_scale(), nodes)
+        .into_iter()
+        .filter(|s| s.experiment == "table4")
+    {
+        let base = spec.clone().with_knobs(Knobs::as_built()).execute();
+        let forced = spec.execute();
         assert_eq!(
             base.checksum,
             forced.checksum,
             "{}: results differ",
-            app.name()
+            spec.app.name()
         );
         rows.push(vec![
             format!(
                 "{}{}",
-                app.name(),
-                if n != nodes {
-                    format!(" ({n} nodes)")
+                spec.app.name(),
+                if spec.nodes != nodes {
+                    format!(" ({} nodes)", spec.nodes)
                 } else {
                     String::new()
                 }
@@ -45,7 +40,7 @@ fn main() {
             secs(forced.elapsed),
             format!("{:.1}%", pct_increase(base.elapsed, forced.elapsed)),
         ]);
-        println!("[table4] {}: done", app.name());
+        println!("[table4] {}: done", spec.app.name());
     }
     print_table(
         &format!("Table 4: execution-time increase with an interrupt per arrival ({nodes} nodes)"),

@@ -1,134 +1,90 @@
-//! Experiment harness shared by the per-table/figure bench targets.
+//! Experiment harness shared by the per-table/figure bench targets and the
+//! `shrimp-harness` sweep runner.
 //!
 //! Each bench target (`benches/*.rs`, `harness = false`) regenerates one
-//! table or figure of the paper. Problem sizes default to scaled-down
-//! instances so `cargo bench` completes quickly; set `SHRIMP_FULL=1` for
-//! the paper's sizes (documented in `EXPERIMENTS.md`), and
-//! `SHRIMP_NODES=<n>` to override the 16-node default.
+//! table or figure of the paper by executing the corresponding
+//! [`spec::RunSpec`]s. Problem sizes default to scaled-down instances so
+//! `cargo bench` completes quickly; set `SHRIMP_FULL=1` for the paper's
+//! sizes (documented in `EXPERIMENTS.md`), and `SHRIMP_NODES=<n>` to
+//! override the 16-node default. Both are thin shims over the typed
+//! [`HarnessConfig`], which drivers can also build programmatically.
 
 #![warn(missing_docs)]
 
-use shrimp_apps::barnes::{run_barnes_nx, run_barnes_svm, BarnesParams};
-use shrimp_apps::dfs::{run_dfs, DfsParams};
-use shrimp_apps::ocean::{run_ocean_nx, run_ocean_svm, OceanParams};
-use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc, RadixParams};
-use shrimp_apps::render::{run_render, RenderParams};
-use shrimp_apps::{Mechanism, RunOutcome};
+pub mod spec;
+
+use shrimp_apps::barnes::BarnesParams;
+use shrimp_apps::dfs::DfsParams;
+use shrimp_apps::ocean::OceanParams;
+use shrimp_apps::radix::RadixParams;
+use shrimp_apps::render::RenderParams;
+use shrimp_apps::RunOutcome;
 use shrimp_core::{Cluster, DesignConfig};
 use shrimp_sim::{time, Time};
-use shrimp_sockets::SocketConfig;
-use shrimp_svm::Protocol;
+use shrimp_testkit::HarnessConfig;
 
-/// `true` when `SHRIMP_FULL=1`: run the paper's problem sizes.
+pub use spec::{matrix, Knobs, RunRecord, RunSpec, Scale, Variant};
+
+/// The problem scale a harness configuration selects (`Full` under
+/// `SHRIMP_FULL=1`, `Reduced` otherwise; [`Scale::Smoke`] is only reachable
+/// programmatically).
+pub fn scale_of(cfg: &HarnessConfig) -> Scale {
+    if cfg.full_scale {
+        Scale::Full
+    } else {
+        Scale::Reduced
+    }
+}
+
+/// `true` when the process-global configuration asks for the paper's
+/// problem sizes (`SHRIMP_FULL=1`).
 pub fn full_scale() -> bool {
-    std::env::var("SHRIMP_FULL")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    HarnessConfig::global().full_scale
 }
 
 /// Cluster size for the headline experiments (paper: 16).
 pub fn max_nodes() -> usize {
-    std::env::var("SHRIMP_NODES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(16)
+    HarnessConfig::global().nodes
 }
 
-/// Radix problem size (paper: 2 M keys, 3 iters).
+/// The scale selected by the process-global configuration.
+pub fn global_scale() -> Scale {
+    scale_of(HarnessConfig::global())
+}
+
+/// Radix problem size at the global scale (paper: 2 M keys, 3 iters).
 pub fn radix_params() -> RadixParams {
-    if full_scale() {
-        RadixParams::paper()
-    } else {
-        RadixParams {
-            total_keys: 128 * 1024,
-            iters: 3,
-            radix_bits: 10,
-            seed: 1,
-        }
-    }
+    spec::radix_params_at(global_scale(), 1)
 }
 
-/// Ocean-SVM problem size (paper: 514 x 514).
+/// Ocean-SVM problem size at the global scale (paper: 514 x 514).
 pub fn ocean_svm_params() -> OceanParams {
-    if full_scale() {
-        OceanParams::paper_svm()
-    } else {
-        OceanParams {
-            n: 130,
-            sweeps: 24,
-            reduce_every: 4,
-        }
-    }
+    spec::ocean_svm_params_at(global_scale())
 }
 
-/// Ocean-NX problem size (paper: 258 x 258).
+/// Ocean-NX problem size at the global scale (paper: 258 x 258).
 pub fn ocean_nx_params() -> OceanParams {
-    if full_scale() {
-        OceanParams::paper_nx()
-    } else {
-        OceanParams {
-            n: 130,
-            sweeps: 24,
-            reduce_every: 4,
-        }
-    }
+    spec::ocean_nx_params_at(global_scale())
 }
 
-/// Barnes-NX problem size (paper: 4 K bodies, 20 iters).
+/// Barnes-NX problem size at the global scale (paper: 4 K bodies, 20 iters).
 pub fn barnes_nx_params() -> BarnesParams {
-    if full_scale() {
-        BarnesParams::paper_nx()
-    } else {
-        BarnesParams {
-            bodies: 1024,
-            steps: 4,
-            chunk_bodies: 2,
-            ..BarnesParams::paper_nx()
-        }
-    }
+    spec::barnes_nx_params_at(global_scale())
 }
 
-/// Barnes-SVM problem size (paper: 16 K bodies).
+/// Barnes-SVM problem size at the global scale (paper: 16 K bodies).
 pub fn barnes_svm_params() -> BarnesParams {
-    if full_scale() {
-        BarnesParams::paper_svm()
-    } else {
-        BarnesParams {
-            bodies: 2048,
-            steps: 2,
-            ..BarnesParams::paper_svm()
-        }
-    }
+    spec::barnes_svm_params_at(global_scale())
 }
 
-/// DFS workload.
+/// DFS workload at the global scale.
 pub fn dfs_params() -> DfsParams {
-    if full_scale() {
-        DfsParams::paper()
-    } else {
-        DfsParams {
-            clients: 4,
-            files: 4,
-            file_blocks: 48,
-            block_bytes: 8192,
-            cache_blocks: 24,
-            reads_per_client: 8,
-        }
-    }
+    spec::dfs_params_at(global_scale())
 }
 
-/// Render workload.
+/// Render workload at the global scale.
 pub fn render_params() -> RenderParams {
-    if full_scale() {
-        RenderParams::paper()
-    } else {
-        RenderParams {
-            image: 64,
-            tile: 8,
-            steps: 48,
-            fail_worker: None,
-        }
-    }
+    spec::render_params_at(global_scale())
 }
 
 /// The applications of Table 1, with their default versions: AURC for the
@@ -222,18 +178,24 @@ impl App {
     }
 
     /// Runs this application on `nodes` nodes under `cfg`, in its default
-    /// version. Set `SHRIMP_REPORT=1` to print the machine-wide
-    /// utilization report after the run.
+    /// version, honouring the process-global [`HarnessConfig`]
+    /// (`SHRIMP_TRACE=1` dumps the trace, `SHRIMP_REPORT=1` the machine-wide
+    /// utilization report).
     pub fn run(&self, nodes: usize, cfg: DesignConfig) -> RunOutcome {
+        self.run_with(nodes, cfg, HarnessConfig::global())
+    }
+
+    /// [`App::run`] with an explicit harness configuration — the
+    /// programmatic entry the sweep runner's worker threads use (no
+    /// process-environment reads).
+    pub fn run_with(&self, nodes: usize, cfg: DesignConfig, harness: &HarnessConfig) -> RunOutcome {
         let cluster = Cluster::new(nodes, cfg);
-        let tracing = std::env::var("SHRIMP_TRACE")
-            .map(|v| v == "1")
-            .unwrap_or(false);
-        if tracing {
-            cluster.sim().trace().enable(Some(512));
+        if harness.trace {
+            cluster.sim().trace().enable(Some(harness.trace_capacity));
         }
-        let out = self.run_on(&cluster);
-        if tracing {
+        let spec = RunSpec::new("adhoc", *self, nodes, scale_of(harness));
+        let out = spec.run_on(&cluster);
+        if harness.trace {
             let events = cluster.sim().trace().take();
             println!(
                 "--- {} trace (last {} events, {} dropped) ---\n{}",
@@ -243,10 +205,7 @@ impl App {
                 shrimp_sim::TraceSink::render(&events)
             );
         }
-        if std::env::var("SHRIMP_REPORT")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-        {
+        if harness.report {
             let report = shrimp_core::ClusterReport::capture(&cluster, out.elapsed);
             println!(
                 "--- {} on {} nodes ---\n{}",
@@ -256,25 +215,6 @@ impl App {
             );
         }
         out
-    }
-
-    fn run_on(&self, cluster: &Cluster) -> RunOutcome {
-        match self {
-            App::BarnesSvm => run_barnes_svm(cluster, Protocol::Aurc, &barnes_svm_params()),
-            App::OceanSvm => run_ocean_svm(cluster, Protocol::Aurc, &ocean_svm_params()),
-            App::RadixSvm => run_radix_svm(cluster, Protocol::Aurc, &radix_params()),
-            App::RadixVmmc => run_radix_vmmc(cluster, &radix_params(), Mechanism::DeliberateUpdate),
-            App::BarnesNx => {
-                run_barnes_nx(cluster, &barnes_nx_params(), Mechanism::DeliberateUpdate)
-            }
-            App::OceanNx => run_ocean_nx(cluster, &ocean_nx_params(), Mechanism::DeliberateUpdate),
-            App::DfsSockets => {
-                let mut p = dfs_params();
-                p.clients = p.clients.min(cluster.num_nodes());
-                run_dfs(cluster, &p, SocketConfig::default())
-            }
-            App::RenderSockets => run_render(cluster, &render_params(), SocketConfig::default()),
-        }
     }
 
     /// Smallest sensible node count for this application (Ocean-NX "does
@@ -336,12 +276,18 @@ mod tests {
 
     #[test]
     fn every_app_runs_at_small_scale() {
-        // Smoke: each Table 1 app completes on 2 nodes at reduced scale.
+        // Smoke: each Table 1 app completes on 2 nodes at smoke scale, via
+        // the programmatic (environment-free) entry point.
+        let quiet = HarnessConfig::new();
         for app in App::all() {
             let nodes = app.min_nodes().max(2);
-            let out = app.run(nodes, DesignConfig::default());
+            let spec = RunSpec::new("test", app, nodes, Scale::Smoke);
+            let cluster = Cluster::new(nodes, spec.design_config());
+            let out = spec.run_on(&cluster);
             assert!(out.elapsed > 0, "{} produced no time", app.name());
         }
+        let out = App::DfsSockets.run_with(2, DesignConfig::default(), &quiet);
+        assert!(out.elapsed > 0);
     }
 
     #[test]

@@ -1,0 +1,702 @@
+//! Typed experiment run specifications.
+//!
+//! A [`RunSpec`] names one deterministic DES run of the paper's matrix:
+//! an application, a version ([`Variant`]), a node count, the design
+//! knobs flipped relative to the machine as built ([`Knobs`]), a problem
+//! [`Scale`] and a workload seed. Specs are plain `Send` data — the
+//! `shrimp-harness` sweep runner shards them across worker threads —
+//! and [`RunSpec::execute`] builds the cluster, runs the application and
+//! returns the deterministic [`RunRecord`] metrics. The per-table bench
+//! binaries are thin wrappers over the same specs, so a number printed
+//! by `cargo bench` and a row in `results/sweep.json` come from the
+//! identical run.
+
+use shrimp_apps::barnes::{run_barnes_nx, run_barnes_svm, BarnesParams};
+use shrimp_apps::dfs::{run_dfs, DfsParams};
+use shrimp_apps::ocean::{run_ocean_nx, run_ocean_svm, OceanParams};
+use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc, RadixParams};
+use shrimp_apps::render::{run_render, RenderParams};
+use shrimp_apps::{Mechanism, RunOutcome};
+use shrimp_core::{Cluster, ClusterReport, DesignConfig, RingBulk};
+use shrimp_sim::{time, Time};
+use shrimp_sockets::SocketConfig;
+use shrimp_svm::Protocol;
+
+use crate::App;
+
+// ---------------------------------------------------------------------------
+// Scale
+// ---------------------------------------------------------------------------
+
+/// Problem scale of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smallest sizes: every application in seconds, for CI and the
+    /// harness determinism/regression gates.
+    Smoke,
+    /// The default `cargo bench` sizes (minutes, same shapes as paper).
+    Reduced,
+    /// The paper's problem sizes (`SHRIMP_FULL=1`).
+    Full,
+}
+
+impl Scale {
+    /// Stable lowercase label used in run ids and artifact names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Reduced => "reduced",
+            Scale::Full => "full",
+        }
+    }
+
+    /// The headline cluster size at this scale (paper: 16).
+    pub fn default_nodes(&self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            _ => 16,
+        }
+    }
+}
+
+/// Radix problem size at a scale (paper: 2 M keys, 3 iters).
+pub fn radix_params_at(scale: Scale, seed: u64) -> RadixParams {
+    let mut p = match scale {
+        Scale::Full => RadixParams::paper(),
+        Scale::Reduced => RadixParams {
+            total_keys: 128 * 1024,
+            iters: 3,
+            radix_bits: 10,
+            seed: 1,
+        },
+        Scale::Smoke => RadixParams {
+            total_keys: 32 * 1024,
+            iters: 2,
+            radix_bits: 8,
+            seed: 1,
+        },
+    };
+    p.seed = seed;
+    p
+}
+
+/// Ocean-SVM problem size at a scale (paper: 514 x 514).
+pub fn ocean_svm_params_at(scale: Scale) -> OceanParams {
+    match scale {
+        Scale::Full => OceanParams::paper_svm(),
+        Scale::Reduced => OceanParams {
+            n: 130,
+            sweeps: 24,
+            reduce_every: 4,
+        },
+        Scale::Smoke => OceanParams {
+            n: 66,
+            sweeps: 8,
+            reduce_every: 4,
+        },
+    }
+}
+
+/// Ocean-NX problem size at a scale (paper: 258 x 258).
+pub fn ocean_nx_params_at(scale: Scale) -> OceanParams {
+    match scale {
+        Scale::Full => OceanParams::paper_nx(),
+        _ => ocean_svm_params_at(scale),
+    }
+}
+
+/// Barnes-NX problem size at a scale (paper: 4 K bodies, 20 iters).
+pub fn barnes_nx_params_at(scale: Scale) -> BarnesParams {
+    match scale {
+        Scale::Full => BarnesParams::paper_nx(),
+        Scale::Reduced => BarnesParams {
+            bodies: 1024,
+            steps: 4,
+            chunk_bodies: 2,
+            ..BarnesParams::paper_nx()
+        },
+        Scale::Smoke => BarnesParams {
+            bodies: 256,
+            steps: 2,
+            chunk_bodies: 4,
+            work_chunk: 8,
+            ..BarnesParams::paper_nx()
+        },
+    }
+}
+
+/// Barnes-SVM problem size at a scale (paper: 16 K bodies).
+pub fn barnes_svm_params_at(scale: Scale) -> BarnesParams {
+    match scale {
+        Scale::Full => BarnesParams::paper_svm(),
+        Scale::Reduced => BarnesParams {
+            bodies: 2048,
+            steps: 2,
+            ..BarnesParams::paper_svm()
+        },
+        Scale::Smoke => BarnesParams {
+            bodies: 512,
+            steps: 1,
+            chunk_bodies: 4,
+            work_chunk: 16,
+            ..BarnesParams::paper_svm()
+        },
+    }
+}
+
+/// DFS workload at a scale.
+pub fn dfs_params_at(scale: Scale) -> DfsParams {
+    match scale {
+        Scale::Full => DfsParams::paper(),
+        Scale::Reduced => DfsParams {
+            clients: 4,
+            files: 4,
+            file_blocks: 48,
+            block_bytes: 8192,
+            cache_blocks: 24,
+            reads_per_client: 8,
+        },
+        Scale::Smoke => DfsParams {
+            clients: 2,
+            files: 2,
+            file_blocks: 16,
+            block_bytes: 4096,
+            cache_blocks: 8,
+            reads_per_client: 4,
+        },
+    }
+}
+
+/// Render workload at a scale.
+pub fn render_params_at(scale: Scale) -> RenderParams {
+    match scale {
+        Scale::Full => RenderParams::paper(),
+        Scale::Reduced => RenderParams {
+            image: 64,
+            tile: 8,
+            steps: 48,
+            fail_worker: None,
+        },
+        Scale::Smoke => RenderParams {
+            image: 32,
+            tile: 8,
+            steps: 12,
+            fail_worker: None,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Variants and knobs
+// ---------------------------------------------------------------------------
+
+/// Which version of an application a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The application's default version (AURC for the SVM applications,
+    /// deliberate update for the rest — the Table 1 configurations).
+    Default,
+    /// An explicit SVM protocol (SVM applications only).
+    Protocol(Protocol),
+    /// An explicit bulk mechanism (VMMC/NX applications only).
+    Mechanism(Mechanism),
+    /// Sockets forced onto automatic-update bulk transfers (§4.5.1).
+    ForcedAu,
+}
+
+impl Variant {
+    /// Stable lowercase label used in run ids.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Default => "default",
+            Variant::Protocol(Protocol::Hlrc) => "hlrc",
+            Variant::Protocol(Protocol::HlrcAu) => "hlrc-au",
+            Variant::Protocol(Protocol::Aurc) => "aurc",
+            Variant::Mechanism(Mechanism::AutomaticUpdate) => "au",
+            Variant::Mechanism(Mechanism::DeliberateUpdate) => "du",
+            Variant::ForcedAu => "forced-au",
+        }
+    }
+}
+
+/// Design knobs flipped relative to the machine as built. `None`/`false`
+/// everywhere reproduces [`DesignConfig::as_built`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Knobs {
+    /// Table 2: a system call before every message send.
+    pub syscall_send: bool,
+    /// Table 4: an interrupt on every message arrival.
+    pub interrupt_per_message: bool,
+    /// §4.5.1: automatic-update combining override.
+    pub combining: Option<bool>,
+    /// §4.5.2: outgoing FIFO capacity override (threshold = half).
+    pub fifo_bytes: Option<usize>,
+    /// §4.5.3: deliberate-update request queue depth override.
+    pub du_queue_depth: Option<usize>,
+}
+
+impl Knobs {
+    /// The machine as built.
+    pub fn as_built() -> Self {
+        Knobs::default()
+    }
+
+    /// Applies the knobs to a design configuration.
+    pub fn apply(&self, cfg: &mut DesignConfig) {
+        cfg.syscall_send = self.syscall_send;
+        cfg.interrupt_per_message = self.interrupt_per_message;
+        if let Some(c) = self.combining {
+            cfg.nic.combining = c;
+        }
+        if let Some(bytes) = self.fifo_bytes {
+            // The §4.5.2 configuration: threshold at half capacity, 2 us
+            // interrupt dispatch (applied for every override, including
+            // re-stating the default 32 KB, so FIFO pairs differ only in
+            // the capacity).
+            cfg.nic.out_fifo_capacity = bytes;
+            cfg.nic.out_fifo_threshold = bytes / 2;
+            cfg.nic.fifo_interrupt_latency = time::us(2);
+        }
+        if let Some(depth) = self.du_queue_depth {
+            cfg.nic.du_queue_depth = depth;
+        }
+    }
+
+    /// Stable label used in run ids ("as-built" when nothing is flipped).
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.syscall_send {
+            parts.push("syscall".to_string());
+        }
+        if self.interrupt_per_message {
+            parts.push("intr".to_string());
+        }
+        match self.combining {
+            Some(true) => parts.push("comb".to_string()),
+            Some(false) => parts.push("nocomb".to_string()),
+            None => {}
+        }
+        if let Some(b) = self.fifo_bytes {
+            parts.push(format!("fifo{b}"));
+        }
+        if let Some(d) = self.du_queue_depth {
+            parts.push(format!("duq{d}"));
+        }
+        if parts.is_empty() {
+            "as-built".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunSpec
+// ---------------------------------------------------------------------------
+
+/// One deterministic DES run of the experiment matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Experiment group this run belongs to (`"fig3"`, `"table2"`, ...).
+    pub experiment: &'static str,
+    /// The application.
+    pub app: App,
+    /// Application version.
+    pub variant: Variant,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Design knobs flipped for this run.
+    pub knobs: Knobs,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Workload seed (radix data; other workloads use fixed seeds).
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A default-version, as-built run of `app` on `nodes` nodes.
+    pub fn new(experiment: &'static str, app: App, nodes: usize, scale: Scale) -> Self {
+        RunSpec {
+            experiment,
+            app,
+            variant: Variant::Default,
+            nodes,
+            knobs: Knobs::as_built(),
+            scale,
+            seed: 1,
+        }
+    }
+
+    /// Builder: application version.
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Builder: cluster size.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Builder: design knobs.
+    pub fn with_knobs(mut self, knobs: Knobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Builder: workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The unique, deterministic identifier of this run — the key that
+    /// joins sweep rows, baselines and logs.
+    pub fn id(&self) -> String {
+        let mut id = format!(
+            "{}/{}-{}/p{}/{}",
+            self.experiment,
+            self.app.name().to_lowercase(),
+            self.variant.label(),
+            self.nodes,
+            self.knobs.label()
+        );
+        if self.seed != 1 {
+            id.push_str(&format!("/s{}", self.seed));
+        }
+        id
+    }
+
+    /// The design configuration of this run.
+    pub fn design_config(&self) -> DesignConfig {
+        let mut cfg = DesignConfig::default();
+        self.knobs.apply(&mut cfg);
+        cfg
+    }
+
+    /// Runs the spec to completion on a fresh cluster and collects the
+    /// deterministic metrics.
+    pub fn execute(&self) -> RunRecord {
+        let cluster = Cluster::new(self.nodes, self.design_config());
+        let out = self.run_on(&cluster);
+        let report = ClusterReport::capture(&cluster, out.elapsed);
+        RunRecord {
+            elapsed: out.elapsed,
+            checksum: out.checksum,
+            messages: out.messages,
+            notifications: out.notifications,
+            interrupts: cluster.total(|s| s.interrupts_taken.get()),
+            syscalls: cluster.total(|s| s.syscalls.get()),
+            net_packets: report.net_packets,
+            net_bytes: report.net_bytes,
+        }
+    }
+
+    /// Runs the spec's application on a caller-provided cluster (the thin
+    /// bench wrappers use this to reuse [`RunOutcome`] directly).
+    pub fn run_on(&self, cluster: &Cluster) -> RunOutcome {
+        let scale = self.scale;
+        match self.app {
+            App::BarnesSvm => {
+                run_barnes_svm(cluster, self.protocol(), &barnes_svm_params_at(scale))
+            }
+            App::OceanSvm => run_ocean_svm(cluster, self.protocol(), &ocean_svm_params_at(scale)),
+            App::RadixSvm => {
+                run_radix_svm(cluster, self.protocol(), &radix_params_at(scale, self.seed))
+            }
+            App::RadixVmmc => run_radix_vmmc(
+                cluster,
+                &radix_params_at(scale, self.seed),
+                self.mechanism(),
+            ),
+            App::BarnesNx => run_barnes_nx(cluster, &barnes_nx_params_at(scale), self.mechanism()),
+            App::OceanNx => run_ocean_nx(cluster, &ocean_nx_params_at(scale), self.mechanism()),
+            App::DfsSockets => {
+                let mut p = dfs_params_at(scale);
+                p.clients = p.clients.min(cluster.num_nodes());
+                run_dfs(cluster, &p, self.socket_config())
+            }
+            App::RenderSockets => {
+                run_render(cluster, &render_params_at(scale), self.socket_config())
+            }
+        }
+    }
+
+    fn protocol(&self) -> Protocol {
+        match self.variant {
+            Variant::Protocol(p) => p,
+            Variant::Default => Protocol::Aurc,
+            v => panic!("variant {v:?} does not apply to {}", self.app.name()),
+        }
+    }
+
+    fn mechanism(&self) -> Mechanism {
+        match self.variant {
+            Variant::Mechanism(m) => m,
+            Variant::Default => Mechanism::DeliberateUpdate,
+            v => panic!("variant {v:?} does not apply to {}", self.app.name()),
+        }
+    }
+
+    fn socket_config(&self) -> SocketConfig {
+        match self.variant {
+            Variant::ForcedAu => SocketConfig {
+                bulk: RingBulk::Automatic,
+                ..SocketConfig::default()
+            },
+            Variant::Default => SocketConfig::default(),
+            v => panic!("variant {v:?} does not apply to {}", self.app.name()),
+        }
+    }
+}
+
+/// The deterministic metrics of one completed run. Simulated quantities
+/// only — wall-clock time is kept out so rows are byte-identical across
+/// worker counts and machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Simulated completion time.
+    pub elapsed: Time,
+    /// Deterministic digest of the application's numerical output.
+    pub checksum: u64,
+    /// VMMC messages sent (Table 3's totals).
+    pub messages: u64,
+    /// User-level notifications delivered.
+    pub notifications: u64,
+    /// Host interrupts taken.
+    pub interrupts: u64,
+    /// Send syscalls taken (Table 2 runs only).
+    pub syscalls: u64,
+    /// Backplane packets.
+    pub net_packets: u64,
+    /// Backplane payload bytes.
+    pub net_bytes: u64,
+}
+
+impl RunRecord {
+    /// The gated metrics as stable `(name, value)` pairs — the flat row
+    /// schema shared by `sweep.json` and the committed baselines.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("elapsed_ns", self.elapsed),
+            ("checksum", self.checksum),
+            ("messages", self.messages),
+            ("notifications", self.notifications),
+            ("interrupts", self.interrupts),
+            ("syscalls", self.syscalls),
+            ("net_packets", self.net_packets),
+            ("net_bytes", self.net_bytes),
+        ]
+    }
+
+    /// Looks up a metric by its field name.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields()
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The matrix
+// ---------------------------------------------------------------------------
+
+/// Enumerates the whole EXPERIMENTS.md matrix at a scale: every table and
+/// figure of the paper as independent [`RunSpec`]s, capped at `max_nodes`.
+pub fn matrix(scale: Scale, max_nodes: usize) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    let n = max_nodes;
+    let du = Variant::Mechanism(Mechanism::DeliberateUpdate);
+    let au = Variant::Mechanism(Mechanism::AutomaticUpdate);
+
+    // Figure 3: speedup curves, best version per application. p=1 rows
+    // are each version's own sequential run.
+    let counts: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&c| c <= n)
+        .collect();
+    let fig3: [(App, Variant); 6] = [
+        (App::OceanNx, au),
+        (App::RadixVmmc, au),
+        (App::BarnesNx, du),
+        (App::RadixSvm, Variant::Protocol(Protocol::Aurc)),
+        (App::OceanSvm, Variant::Protocol(Protocol::Aurc)),
+        (App::BarnesSvm, Variant::Protocol(Protocol::Aurc)),
+    ];
+    for (app, variant) in fig3 {
+        for &c in &counts {
+            specs.push(RunSpec::new("fig3", app, c, scale).with_variant(variant));
+        }
+    }
+
+    // Figure 4 (left): HLRC vs HLRC-AU vs AURC for the SVM applications.
+    for app in [App::BarnesSvm, App::OceanSvm, App::RadixSvm] {
+        for proto in [Protocol::Hlrc, Protocol::HlrcAu, Protocol::Aurc] {
+            specs.push(
+                RunSpec::new("fig4-svm-au", app, n, scale).with_variant(Variant::Protocol(proto)),
+            );
+        }
+    }
+
+    // Figure 4 (right): DU vs AU as the bulk mechanism.
+    for app in [App::RadixVmmc, App::OceanNx, App::BarnesNx] {
+        for m in [du, au] {
+            specs.push(RunSpec::new("fig4-du-au", app, n, scale).with_variant(m));
+        }
+    }
+
+    // Tables 1 and 3: the default versions as built (sequential times,
+    // message and notification counts).
+    for app in App::all() {
+        specs.push(RunSpec::new("table1", app, n.max(app.min_nodes()), scale));
+    }
+
+    // Table 2: a system call before every send (paper: all except DFS).
+    for app in [
+        App::BarnesSvm,
+        App::OceanSvm,
+        App::RadixSvm,
+        App::RadixVmmc,
+        App::BarnesNx,
+        App::OceanNx,
+        App::RenderSockets,
+    ] {
+        specs.push(
+            RunSpec::new("table2", app, n.max(app.min_nodes()), scale).with_knobs(Knobs {
+                syscall_send: true,
+                ..Knobs::as_built()
+            }),
+        );
+    }
+
+    // Table 4: an interrupt per arrival (paper: Barnes-NX on 8 nodes).
+    for app in App::all() {
+        let c = if app == App::BarnesNx {
+            n.min(8)
+        } else {
+            n.max(app.min_nodes())
+        };
+        specs.push(RunSpec::new("table4", app, c, scale).with_knobs(Knobs {
+            interrupt_per_message: true,
+            ..Knobs::as_built()
+        }));
+    }
+
+    // §4.5.1 combining: on/off for sparse-AU and bulk-AU workloads.
+    for (app, variant) in [
+        (App::RadixVmmc, au),
+        (App::RadixSvm, Variant::Protocol(Protocol::Aurc)),
+        (App::DfsSockets, Variant::ForcedAu),
+    ] {
+        for on in [true, false] {
+            specs.push(
+                RunSpec::new("combining", app, n, scale)
+                    .with_variant(variant)
+                    .with_knobs(Knobs {
+                        combining: Some(on),
+                        ..Knobs::as_built()
+                    }),
+            );
+        }
+    }
+
+    // §4.5.2 FIFO capacity: 32 KB vs 1 KB.
+    for (app, variant) in [
+        (App::RadixVmmc, au),
+        (App::RadixSvm, Variant::Protocol(Protocol::Aurc)),
+        (App::OceanSvm, Variant::Protocol(Protocol::Aurc)),
+        (App::DfsSockets, Variant::ForcedAu),
+    ] {
+        for bytes in [32 * 1024, 1024] {
+            specs.push(
+                RunSpec::new("fifo", app, n, scale)
+                    .with_variant(variant)
+                    .with_knobs(Knobs {
+                        fifo_bytes: Some(bytes),
+                        ..Knobs::as_built()
+                    }),
+            );
+        }
+    }
+
+    // §4.5.3 DU queue depth: 1 vs 2 for the HLRC SVM applications.
+    for app in [App::BarnesSvm, App::OceanSvm, App::RadixSvm] {
+        for depth in [1usize, 2] {
+            specs.push(
+                RunSpec::new("du-queue", app, n, scale)
+                    .with_variant(Variant::Protocol(Protocol::Hlrc))
+                    .with_knobs(Knobs {
+                        du_queue_depth: Some(depth),
+                        ..Knobs::as_built()
+                    }),
+            );
+        }
+    }
+
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_stable() {
+        let specs = matrix(Scale::Smoke, 4);
+        let mut ids: Vec<String> = specs.iter().map(|s| s.id()).collect();
+        let count = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), count, "duplicate run ids in the matrix");
+        // A spot check against the documented id scheme.
+        let spec = RunSpec::new("table2", App::RadixVmmc, 4, Scale::Smoke).with_knobs(Knobs {
+            syscall_send: true,
+            ..Knobs::as_built()
+        });
+        assert_eq!(spec.id(), "table2/radix-vmmc-default/p4/syscall");
+    }
+
+    #[test]
+    fn matrix_covers_every_experiment_group() {
+        let specs = matrix(Scale::Smoke, 4);
+        for exp in [
+            "fig3",
+            "fig4-svm-au",
+            "fig4-du-au",
+            "table1",
+            "table2",
+            "table4",
+            "combining",
+            "fifo",
+            "du-queue",
+        ] {
+            assert!(
+                specs.iter().any(|s| s.experiment == exp),
+                "matrix missing {exp}"
+            );
+        }
+        // Smoke at 4 nodes keeps fig3 to p in {1, 2, 4}.
+        assert!(specs
+            .iter()
+            .filter(|s| s.experiment == "fig3")
+            .all(|s| s.nodes <= 4));
+    }
+
+    #[test]
+    fn execute_is_deterministic_and_knobs_bite() {
+        let spec = RunSpec::new("test", App::RadixVmmc, 2, Scale::Smoke);
+        let a = spec.execute();
+        let b = spec.execute();
+        assert_eq!(a, b, "same spec, different metrics");
+        let sys = RunSpec::new("test", App::RadixVmmc, 2, Scale::Smoke).with_knobs(Knobs {
+            syscall_send: true,
+            ..Knobs::as_built()
+        });
+        let s = sys.execute();
+        assert_eq!(s.checksum, a.checksum, "knob changed the answer");
+        assert!(s.syscalls > 0 && a.syscalls == 0);
+        assert!(s.elapsed > a.elapsed, "syscalls cost nothing");
+    }
+}

@@ -69,6 +69,34 @@ impl DesignConfig {
     pub fn copy_time(&self, bytes: usize) -> Time {
         time::transfer(bytes as u64, self.copy_bytes_per_sec)
     }
+
+    /// Compact summary of every knob flipped relative to the machine as
+    /// built (`"as-built"` when none are) — recorded per run in sweep
+    /// artifacts so a row is self-describing.
+    pub fn knob_summary(&self) -> String {
+        let base = DesignConfig::as_built();
+        let mut parts = Vec::new();
+        if self.syscall_send {
+            parts.push("syscall-send".to_string());
+        }
+        if self.interrupt_per_message {
+            parts.push("interrupt-per-message".to_string());
+        }
+        if self.nic.combining != base.nic.combining {
+            parts.push(format!("combining={}", self.nic.combining));
+        }
+        if self.nic.out_fifo_capacity != base.nic.out_fifo_capacity {
+            parts.push(format!("fifo={}B", self.nic.out_fifo_capacity));
+        }
+        if self.nic.du_queue_depth != base.nic.du_queue_depth {
+            parts.push(format!("du-queue={}", self.nic.du_queue_depth));
+        }
+        if parts.is_empty() {
+            "as-built".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
 }
 
 impl Default for DesignConfig {
@@ -88,6 +116,17 @@ mod tests {
         assert!(!c.interrupt_per_message);
         assert!(c.nic.combining);
         assert_eq!(c.cpu_hz, 60_000_000);
+    }
+
+    #[test]
+    fn knob_summary_names_flipped_knobs() {
+        assert_eq!(DesignConfig::default().knob_summary(), "as-built");
+        let mut c = DesignConfig {
+            syscall_send: true,
+            ..DesignConfig::default()
+        };
+        c.nic.combining = false;
+        assert_eq!(c.knob_summary(), "syscall-send,combining=false");
     }
 
     #[test]

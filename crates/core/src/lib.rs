@@ -66,4 +66,4 @@ pub use cpu::Cpu;
 pub use report::{ClusterReport, NodeReport};
 pub use ring::{connect_ring, RingBulk, RingFrame, RingReceiver, RingSender};
 pub use stats::NodeStats;
-pub use vmmc::{ExportId, ProxyBuffer, SendTicket, Vmmc};
+pub use vmmc::{ExportId, ImportBuilder, ProxyBuffer, SendTicket, UpdatePolicy, Vmmc};

@@ -111,6 +111,28 @@ impl ClusterReport {
         }
     }
 
+    /// The machine-wide totals as stable `(name, value)` pairs — the
+    /// machine-readable row the sweep harness serializes next to each
+    /// run's application metrics. Deterministic, simulated quantities
+    /// only; the key set is append-only so committed baselines stay
+    /// comparable across versions.
+    pub fn totals(&self) -> Vec<(&'static str, u64)> {
+        let sum = |f: fn(&NodeReport) -> u64| self.nodes.iter().map(f).sum::<u64>();
+        vec![
+            ("elapsed_ns", self.elapsed),
+            ("net_packets", self.net_packets),
+            ("net_bytes", self.net_bytes),
+            ("net_hops", self.net_hops),
+            ("net_contention_ns", self.net_contention),
+            ("du_transfers", sum(|n| n.du_transfers)),
+            ("au_packets", sum(|n| n.au_packets)),
+            ("au_combined", sum(|n| n.au_combined)),
+            ("interrupts", sum(|n| n.interrupts)),
+            ("notifications", sum(|n| n.notifications)),
+            ("messages", sum(|n| n.messages)),
+        ]
+    }
+
     /// Renders the machine-wide summary as text.
     pub fn render(&self) -> String {
         use std::fmt::Write;

@@ -1,0 +1,312 @@
+//! Baseline regression gate: diff a fresh sweep against committed golden
+//! metrics with per-metric tolerance bands.
+//!
+//! The simulation is deterministic, so at a fixed code revision every
+//! metric matches its baseline exactly; the tolerance bands absorb small
+//! *intentional* model refinements without forcing a baseline refresh for
+//! every timing tweak. Checksums and syscall counts are exact: a changed
+//! answer is never tolerable drift. A baseline row whose run is missing
+//! from the fresh sweep (or no longer completes) is a regression; fresh
+//! rows with no baseline counterpart are reported but pass — they gate
+//! once a refreshed baseline commits them.
+
+use std::fmt;
+
+use crate::json::Json;
+use crate::runner::RunResult;
+
+/// Per-metric relative tolerance bands (fraction of the baseline value).
+/// Metrics absent from this table use [`DEFAULT_TOLERANCE`].
+pub const TOLERANCES: &[(&str, f64)] = &[
+    ("elapsed_ns", 0.15),
+    ("checksum", 0.0),
+    ("messages", 0.05),
+    ("notifications", 0.05),
+    ("interrupts", 0.10),
+    ("syscalls", 0.0),
+    ("net_packets", 0.05),
+    ("net_bytes", 0.05),
+];
+
+/// Band applied to metrics not named in [`TOLERANCES`].
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// The tolerance band for one metric.
+pub fn tolerance_for(metric: &str) -> f64 {
+    TOLERANCES
+        .iter()
+        .find(|(name, _)| *name == metric)
+        .map(|&(_, tol)| tol)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Run id the regression is in.
+    pub id: String,
+    /// What regressed.
+    pub kind: RegressionKind,
+}
+
+/// The ways a run can regress against its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegressionKind {
+    /// The run is in the baseline but absent from the fresh sweep.
+    MissingRun,
+    /// The run no longer completes (panic/timeout); label attached.
+    Failed(String),
+    /// A metric moved outside its tolerance band.
+    Metric {
+        /// Metric name.
+        name: String,
+        /// Committed value.
+        baseline: u64,
+        /// Fresh value.
+        fresh: u64,
+        /// Observed relative drift.
+        drift: f64,
+        /// Allowed band.
+        tolerance: f64,
+    },
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            RegressionKind::MissingRun => {
+                write!(f, "{}: in baseline but missing from this sweep", self.id)
+            }
+            RegressionKind::Failed(label) => {
+                write!(f, "{}: run no longer completes ({label})", self.id)
+            }
+            RegressionKind::Metric {
+                name,
+                baseline,
+                fresh,
+                drift,
+                tolerance,
+            } => write!(
+                f,
+                "{}: {} drifted {:+.1}% (baseline {}, now {}, band ±{:.0}%)",
+                self.id,
+                name,
+                drift * 100.0,
+                baseline,
+                fresh,
+                tolerance * 100.0
+            ),
+        }
+    }
+}
+
+/// Outcome of gating one sweep against one baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Every regression found (empty: gate passes).
+    pub regressions: Vec<Regression>,
+    /// Baseline rows compared.
+    pub compared: usize,
+    /// Fresh run ids with no baseline counterpart (informational).
+    pub uncovered: Vec<String>,
+}
+
+impl GateOutcome {
+    /// `true` when nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the gate verdict for humans.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.passed() {
+            out.push_str(&format!(
+                "gate PASSED: {} baseline rows within tolerance",
+                self.compared
+            ));
+        } else {
+            out.push_str(&format!(
+                "gate FAILED: {} regression(s) across {} compared rows\n",
+                self.regressions.len(),
+                self.compared
+            ));
+            for r in &self.regressions {
+                out.push_str(&format!("  REGRESSION {r}\n"));
+            }
+        }
+        if !self.uncovered.is_empty() {
+            out.push_str(&format!(
+                "\nnote: {} run(s) have no baseline yet (run --write-baseline to cover them)",
+                self.uncovered.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Diffs fresh `results` against a parsed `baseline` document.
+pub fn check(baseline: &Json, results: &[RunResult]) -> Result<GateOutcome, String> {
+    let rows = baseline
+        .get("rows")
+        .and_then(|r| r.as_arr())
+        .ok_or("baseline has no \"rows\" array")?;
+    let mut outcome = GateOutcome::default();
+    let mut covered: Vec<&str> = Vec::new();
+
+    for row in rows {
+        let id = row
+            .get("id")
+            .and_then(|v| v.as_str())
+            .ok_or("baseline row missing \"id\"")?;
+        covered.push(id);
+        outcome.compared += 1;
+        let Some(fresh) = results.iter().find(|r| r.spec.id() == id) else {
+            outcome.regressions.push(Regression {
+                id: id.to_string(),
+                kind: RegressionKind::MissingRun,
+            });
+            continue;
+        };
+        let Some(record) = fresh.status.record() else {
+            outcome.regressions.push(Regression {
+                id: id.to_string(),
+                kind: RegressionKind::Failed(fresh.status.label().to_string()),
+            });
+            continue;
+        };
+        let Some(metrics) = row.get("metrics") else {
+            // Baseline recorded a failed run; completing now is an upgrade.
+            continue;
+        };
+        for (name, fresh_value) in record.fields() {
+            let Some(base_value) = metrics.get(name).and_then(|v| v.as_u64()) else {
+                continue; // metric added since the baseline was written
+            };
+            let tolerance = tolerance_for(name);
+            let drift = if base_value == fresh_value {
+                0.0
+            } else {
+                (fresh_value as f64 - base_value as f64) / (base_value.max(1) as f64)
+            };
+            if drift.abs() > tolerance {
+                outcome.regressions.push(Regression {
+                    id: id.to_string(),
+                    kind: RegressionKind::Metric {
+                        name: name.to_string(),
+                        baseline: base_value,
+                        fresh: fresh_value,
+                        drift,
+                        tolerance,
+                    },
+                });
+            }
+        }
+    }
+
+    for r in results {
+        let id = r.spec.id();
+        if !covered.iter().any(|c| *c == id) {
+            outcome.uncovered.push(id);
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::runner::RunStatus;
+    use crate::sweep;
+    use shrimp_bench::{App, RunSpec, Scale};
+
+    fn one_result() -> Vec<RunResult> {
+        let spec = RunSpec::new("test", App::DfsSockets, 2, Scale::Smoke);
+        let record = spec.execute();
+        vec![RunResult {
+            index: 0,
+            spec,
+            status: RunStatus::Ok(record),
+        }]
+    }
+
+    fn baseline_of(results: &[RunResult]) -> Json {
+        json::parse(&sweep::to_json("smoke", results)).unwrap()
+    }
+
+    #[test]
+    fn identical_metrics_pass() {
+        let results = one_result();
+        let outcome = check(&baseline_of(&results), &results).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+        assert_eq!(outcome.compared, 1);
+        assert!(outcome.uncovered.is_empty());
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes_outside_fails() {
+        let results = one_result();
+        let baseline = baseline_of(&results);
+        // Nudge elapsed within its ±15% band: passes.
+        let mut inside = results.clone();
+        if let RunStatus::Ok(r) = &mut inside[0].status {
+            r.elapsed += r.elapsed / 10; // +10%
+        }
+        assert!(check(&baseline, &inside).unwrap().passed());
+        // Push it past the band: fails with a metric regression.
+        let mut outside = results.clone();
+        if let RunStatus::Ok(r) = &mut outside[0].status {
+            r.elapsed *= 2; // +100%
+        }
+        let outcome = check(&baseline, &outside).unwrap();
+        assert!(!outcome.passed());
+        assert!(matches!(
+            &outcome.regressions[0].kind,
+            RegressionKind::Metric { name, .. } if name == "elapsed_ns"
+        ));
+    }
+
+    #[test]
+    fn checksum_tolerance_is_exact() {
+        let results = one_result();
+        let baseline = baseline_of(&results);
+        let mut wrong = results.clone();
+        if let RunStatus::Ok(r) = &mut wrong[0].status {
+            r.checksum ^= 1;
+        }
+        let outcome = check(&baseline, &wrong).unwrap();
+        assert!(!outcome.passed(), "a changed answer must always gate");
+    }
+
+    #[test]
+    fn missing_and_failed_runs_are_regressions() {
+        let results = one_result();
+        let baseline = baseline_of(&results);
+        let outcome = check(&baseline, &[]).unwrap();
+        assert!(matches!(
+            outcome.regressions[0].kind,
+            RegressionKind::MissingRun
+        ));
+        let mut failed = results.clone();
+        failed[0].status = RunStatus::TimedOut;
+        let outcome = check(&baseline, &failed).unwrap();
+        assert!(matches!(
+            &outcome.regressions[0].kind,
+            RegressionKind::Failed(label) if label == "timeout"
+        ));
+    }
+
+    #[test]
+    fn uncovered_fresh_rows_pass_but_are_reported() {
+        let results = one_result();
+        let baseline = json::parse(&format!(
+            "{{\"schema\": \"{}\", \"rows\": []}}",
+            sweep::SCHEMA
+        ))
+        .unwrap();
+        let outcome = check(&baseline, &results).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.uncovered.len(), 1);
+    }
+}

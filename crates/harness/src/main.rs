@@ -1,0 +1,239 @@
+//! The `shrimp-harness` CLI: run the experiment sweep, write
+//! `results/sweep.json`, and gate against committed baselines.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use shrimp_bench::{matrix, Scale};
+use shrimp_harness::runner::{run_sweep_with_progress, RunnerOptions};
+use shrimp_harness::{gate, json, sweep};
+
+const USAGE: &str = "\
+shrimp-harness — parallel experiment sweep with baseline regression gating
+
+USAGE:
+  cargo run --release -p shrimp-harness -- [FLAGS]
+
+FLAGS:
+  --smoke             smallest problem sizes, 4 nodes (CI gate scale)
+  --full              the paper's problem sizes, 16 nodes
+                      (default without either flag: reduced bench sizes)
+  --nodes <N>         override the matrix's maximum node count
+  --workers <N>       worker threads (default: available parallelism)
+  --filter <SUBSTR>   only run specs whose id contains SUBSTR
+  --timeout-secs <N>  per-run wall-clock timeout (default 600)
+  --out <PATH>        sweep artifact path (default results/sweep.json)
+  --baseline <PATH>   baseline to gate against
+                      (default results/baselines/<scale>.json, if present)
+  --write-baseline    write the baseline file instead of gating
+  --no-gate           skip the regression gate
+  --list              print the matrix's run ids and exit
+
+EXIT STATUS:
+  0  sweep completed, gate passed (or not applicable)
+  1  a run failed (panic/timeout) or the gate found a regression
+  2  usage error";
+
+struct Cli {
+    scale: Scale,
+    nodes: Option<usize>,
+    workers: Option<usize>,
+    filter: Option<String>,
+    timeout: Duration,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    no_gate: bool,
+    list: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        scale: Scale::Reduced,
+        nodes: None,
+        workers: None,
+        filter: None,
+        timeout: Duration::from_secs(600),
+        out: None,
+        baseline: None,
+        write_baseline: false,
+        no_gate: false,
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|v| v.to_string())
+                .ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => cli.scale = Scale::Smoke,
+            "--full" => cli.scale = Scale::Full,
+            "--nodes" => cli.nodes = Some(parse_num(&value("--nodes")?)?),
+            "--workers" => cli.workers = Some(parse_num(&value("--workers")?)?),
+            "--filter" => cli.filter = Some(value("--filter")?),
+            "--timeout-secs" => {
+                cli.timeout = Duration::from_secs(parse_num(&value("--timeout-secs")?)? as u64)
+            }
+            "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "--baseline" => cli.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => cli.write_baseline = true,
+            "--no-gate" => cli.no_gate = true,
+            "--list" => cli.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(cli)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("'{s}' is not a number"))
+}
+
+/// `results/` next to the workspace root when run under cargo, else CWD.
+fn results_dir() -> PathBuf {
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            Path::new(&d)
+                .ancestors()
+                .nth(2)
+                .unwrap_or(Path::new(&d))
+                .to_path_buf()
+        })
+        .unwrap_or_else(|_| PathBuf::from("."));
+    base.join("results")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let nodes = cli.nodes.unwrap_or_else(|| cli.scale.default_nodes());
+    let mut specs = matrix(cli.scale, nodes);
+    if let Some(filter) = &cli.filter {
+        specs.retain(|s| s.id().contains(filter.as_str()));
+    }
+    if cli.list {
+        for s in &specs {
+            println!("{}", s.id());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if specs.is_empty() {
+        eprintln!("error: no runs match");
+        return ExitCode::from(2);
+    }
+
+    let opts = RunnerOptions {
+        workers: cli.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }),
+        timeout: cli.timeout,
+    };
+    println!(
+        "[shrimp-harness] {} runs at {} scale (max {} nodes) on {} workers, {}s timeout/run",
+        specs.len(),
+        cli.scale.label(),
+        nodes,
+        opts.workers.clamp(1, specs.len()),
+        cli.timeout.as_secs(),
+    );
+
+    let total = specs.len();
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let results = run_sweep_with_progress(&specs, &opts, |r| {
+        let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        println!("[{n:>3}/{total}] {:<8} {}", r.status.label(), r.spec.id());
+    });
+
+    let artifact = sweep::to_json(cli.scale.label(), &results);
+    let out_path = cli
+        .out
+        .clone()
+        .unwrap_or_else(|| results_dir().join("sweep.json"));
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&out_path, &artifact) {
+        eprintln!("error: writing {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+    print!("{}", sweep::render_table(&results));
+    println!("\nwrote {}", out_path.display());
+
+    let failed = results
+        .iter()
+        .filter(|r| r.status.record().is_none())
+        .count();
+    if failed > 0 {
+        println!("{failed} run(s) failed (panic/timeout)");
+    }
+
+    let baseline_path = cli.baseline.clone().unwrap_or_else(|| {
+        results_dir()
+            .join("baselines")
+            .join(format!("{}.json", cli.scale.label()))
+    });
+
+    if cli.write_baseline {
+        if let Some(parent) = baseline_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&baseline_path, &artifact) {
+            eprintln!("error: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote baseline {}", baseline_path.display());
+        return if failed > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut gate_failed = false;
+    if !cli.no_gate {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match json::parse(&text).and_then(|doc| gate::check(&doc, &results)) {
+                Ok(outcome) => {
+                    println!("\n{}", outcome.render());
+                    gate_failed = !outcome.passed();
+                }
+                Err(e) => {
+                    eprintln!("error: baseline {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) if cli.baseline.is_none() => {
+                println!(
+                    "\nno baseline at {} — skipping gate (--write-baseline to create one)",
+                    baseline_path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if gate_failed || failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,258 @@
+//! Parallel sweep execution: work-stealing across `std::thread` workers,
+//! with per-run wall-clock timeouts and panic isolation.
+//!
+//! Each run is an independent, deterministic single-threaded DES — the
+//! matrix is embarrassingly parallel, so the runner only has to hand out
+//! indices. Every run executes on its own freshly spawned thread so a
+//! wedged simulation can be timed out (the worker abandons the thread and
+//! moves on) and a panicking one is contained by `catch_unwind` and
+//! reported as a failed row instead of killing the sweep.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use shrimp_bench::{RunRecord, RunSpec};
+
+/// How one run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    /// Completed; metrics captured.
+    Ok(RunRecord),
+    /// The simulation panicked (message attached).
+    Panicked(String),
+    /// The run exceeded the wall-clock timeout and was abandoned.
+    TimedOut,
+}
+
+impl RunStatus {
+    /// Short machine-readable label (`"ok"`, `"panic"`, `"timeout"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunStatus::Ok(_) => "ok",
+            RunStatus::Panicked(_) => "panic",
+            RunStatus::TimedOut => "timeout",
+        }
+    }
+
+    /// The metrics, when the run completed.
+    pub fn record(&self) -> Option<&RunRecord> {
+        match self {
+            RunStatus::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// One completed (or failed) run of the sweep.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Index of the spec in the input slice (rows are sorted by this, so
+    /// output order is independent of worker interleaving).
+    pub index: usize,
+    /// The spec that ran.
+    pub spec: RunSpec,
+    /// How it ended.
+    pub status: RunStatus,
+}
+
+/// Runner knobs.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Per-run wall-clock timeout.
+    pub timeout: Duration,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            workers: thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+/// Executes every spec and returns results sorted by spec index.
+///
+/// Work is sharded round-robin into one deque per worker; an idle worker
+/// pops from its own deque front and steals from the back of the longest
+/// other deque. Per-run wall-clock (used only for timeouts) never enters
+/// the results, so the row set is identical for any worker count.
+pub fn run_sweep(specs: &[RunSpec], opts: &RunnerOptions) -> Vec<RunResult> {
+    run_sweep_with_progress(specs, opts, |_| {})
+}
+
+/// [`run_sweep`] with a per-completion callback (progress reporting).
+/// The callback runs on worker threads and must not assume ordering.
+pub fn run_sweep_with_progress<F>(
+    specs: &[RunSpec],
+    opts: &RunnerOptions,
+    on_done: F,
+) -> Vec<RunResult>
+where
+    F: Fn(&RunResult) + Send + Sync,
+{
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let workers = opts.workers.clamp(1, specs.len());
+    let deques: Arc<Vec<Mutex<VecDeque<usize>>>> =
+        Arc::new((0..workers).map(|_| Mutex::new(VecDeque::new())).collect());
+    for (i, _) in specs.iter().enumerate() {
+        deques[i % workers].lock().unwrap().push_back(i);
+    }
+
+    let results: Mutex<Vec<RunResult>> = Mutex::new(Vec::with_capacity(specs.len()));
+    let on_done = &on_done;
+    let results_ref = &results;
+    thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = Arc::clone(&deques);
+            let timeout = opts.timeout;
+            scope.spawn(move || {
+                while let Some(index) = next_index(&deques, w) {
+                    let spec = specs[index].clone();
+                    let status = execute_isolated(spec.clone(), timeout);
+                    let result = RunResult {
+                        index,
+                        spec,
+                        status,
+                    };
+                    on_done(&result);
+                    results_ref.lock().unwrap().push(result);
+                }
+            });
+        }
+    });
+
+    let mut rows = results.into_inner().unwrap();
+    rows.sort_by_key(|r| r.index);
+    rows
+}
+
+/// Pops work for worker `w`: own deque first, then steal from the back of
+/// the fullest other deque.
+fn next_index(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = deques[w].lock().unwrap().pop_front() {
+        return Some(i);
+    }
+    // Steal from whichever victim currently has the most queued work.
+    let victim = (0..deques.len())
+        .filter(|&v| v != w)
+        .max_by_key(|&v| deques[v].lock().unwrap().len())?;
+    deques[victim].lock().unwrap().pop_back()
+}
+
+/// Runs one spec on a dedicated thread, converting panics into
+/// [`RunStatus::Panicked`] and over-long runs into [`RunStatus::TimedOut`]
+/// (the run thread is abandoned; a detached thread cannot corrupt other
+/// runs since every run owns its whole simulation).
+fn execute_isolated(spec: RunSpec, timeout: Duration) -> RunStatus {
+    let (tx, rx) = mpsc::channel();
+    let id = spec.id();
+    let handle = thread::Builder::new()
+        .name(format!("run-{id}"))
+        .spawn(move || {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| spec.execute()));
+            // The receiver may have given up (timeout); ignore send errors.
+            let _ = tx.send(outcome.map_err(|payload| panic_message(&*payload)));
+        })
+        .expect("spawn run thread");
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(record)) => {
+            let _ = handle.join();
+            RunStatus::Ok(record)
+        }
+        Ok(Err(msg)) => {
+            let _ = handle.join();
+            RunStatus::Panicked(msg)
+        }
+        Err(_) => RunStatus::TimedOut,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_bench::{App, Scale, Variant};
+
+    fn quick_specs(n: usize) -> Vec<RunSpec> {
+        (0..n)
+            .map(|i| RunSpec::new("test", App::DfsSockets, 2, Scale::Smoke).with_seed(i as u64 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn all_specs_run_exactly_once_in_index_order() {
+        let specs = quick_specs(5);
+        let results = run_sweep(
+            &specs,
+            &RunnerOptions {
+                workers: 3,
+                timeout: Duration::from_secs(600),
+            },
+        );
+        assert_eq!(results.len(), 5);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.status.label(), "ok");
+        }
+    }
+
+    #[test]
+    fn a_panicking_run_is_reported_not_fatal() {
+        // Variant::ForcedAu on an SVM app panics in RunSpec dispatch —
+        // exactly the class of bug the isolation must contain.
+        let mut specs = quick_specs(2);
+        specs.insert(
+            1,
+            RunSpec::new("test", App::OceanSvm, 2, Scale::Smoke).with_variant(Variant::ForcedAu),
+        );
+        let results = run_sweep(
+            &specs,
+            &RunnerOptions {
+                workers: 2,
+                timeout: Duration::from_secs(600),
+            },
+        );
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].status.label(), "ok");
+        assert_eq!(results[1].status.label(), "panic");
+        match &results[1].status {
+            RunStatus::Panicked(msg) => assert!(msg.contains("does not apply"), "got: {msg}"),
+            s => panic!("expected panic status, got {s:?}"),
+        }
+        assert_eq!(results[2].status.label(), "ok");
+    }
+
+    #[test]
+    fn an_overlong_run_times_out() {
+        let specs = vec![RunSpec::new("test", App::OceanSvm, 2, Scale::Smoke)];
+        let results = run_sweep(
+            &specs,
+            &RunnerOptions {
+                workers: 1,
+                timeout: Duration::from_millis(1),
+            },
+        );
+        assert_eq!(results[0].status.label(), "timeout");
+        assert!(results[0].status.record().is_none());
+    }
+}

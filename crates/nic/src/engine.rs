@@ -285,7 +285,14 @@ impl Nic {
             trace_event!(
                 self.inner.sim.trace(),
                 self.inner.sim.now(),
-                "nic",
+                shrimp_sim::Category::Nic,
+                [
+                    ("node", self.inner.node.0),
+                    ("len", req.len),
+                    ("dst", entry.dst_node.0),
+                    ("page", entry.dst_page),
+                    ("offset", req.dst_offset),
+                ],
                 "{}: DU {} B -> {} page {} +{}",
                 self.inner.node,
                 req.len,
@@ -422,7 +429,15 @@ impl Nic {
         trace_event!(
             self.inner.sim.trace(),
             self.inner.sim.now(),
-            "nic",
+            shrimp_sim::Category::Nic,
+            [
+                ("node", self.inner.node.0),
+                ("len", len),
+                ("dst", p.dst_node.0),
+                ("page", p.dst_page),
+                ("offset", p.offset),
+                ("fifo", occ),
+            ],
             "{}: AU packet {} B -> {} page {} +{} (fifo {})",
             self.inner.node,
             len,
@@ -541,7 +556,12 @@ impl Nic {
                 trace_event!(
                     self.inner.sim.trace(),
                     self.inner.sim.now(),
-                    "nic",
+                    shrimp_sim::Category::Nic,
+                    [
+                        ("node", self.inner.node.0),
+                        ("src", pkt.src.0),
+                        ("buffer", entry.buffer_id),
+                    ],
                     "{}: interrupt from {} (buffer {})",
                     self.inner.node,
                     pkt.src,

@@ -51,4 +51,4 @@ pub use queue::{unbounded, Queue, QueueReceiver, QueueSender};
 pub use rng::SimRng;
 pub use sync::{Event, Gate, Resource, Semaphore};
 pub use time::Time;
-pub use trace::{TraceEvent, TraceSink};
+pub use trace::{Category, TraceEvent, TraceSink};

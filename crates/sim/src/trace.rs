@@ -1,25 +1,86 @@
 //! Optional event tracing: a timeline of component events for debugging
-//! and for the experiment harness's `SHRIMP_TRACE` dumps.
+//! and for the experiment harness's trace dumps.
 //!
 //! Tracing is off by default and costs one branch per call site when
-//! disabled. Components record `(time, category, message)` rows; the
+//! disabled. Components record `(time, category, kv, message)` rows; the
 //! owner of the [`Sim`](crate::Sim) drains them with
-//! [`TraceSink::take`].
+//! [`TraceSink::take`]. Categories are a closed [`Category`] enum and
+//! each event carries a structured key/value payload, so harnesses
+//! filter and aggregate without string matching.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::time::Time;
 
+/// The component that recorded a trace event.
+///
+/// A closed enum (not a string) so experiment harnesses can filter and
+/// aggregate by equality instead of string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Network-interface hardware/firmware (DU engine, AU snooper, IPT).
+    Nic,
+    /// Backplane routing and channels.
+    Net,
+    /// Node memory and memory bus.
+    Mem,
+    /// Shared-virtual-memory protocol layer.
+    Svm,
+    /// The VMMC library and cluster system software.
+    Core,
+    /// NX message-passing library.
+    Nx,
+    /// Stream sockets layer.
+    Sockets,
+    /// Application-level events.
+    App,
+    /// Tests, examples and everything else.
+    Other,
+}
+
+impl Category {
+    /// The lowercase label used in rendered timelines.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Category::Nic => "nic",
+            Category::Net => "net",
+            Category::Mem => "mem",
+            Category::Svm => "svm",
+            Category::Core => "core",
+            Category::Nx => "nx",
+            Category::Sockets => "sock",
+            Category::App => "app",
+            Category::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One trace row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Simulated time of the event.
     pub at: Time,
-    /// Component category (e.g. `"nic"`, `"svm"`, `"net"`).
-    pub category: &'static str,
+    /// Recording component.
+    pub category: Category,
+    /// Structured payload: named numeric fields (node ids, byte counts,
+    /// page numbers) the harness aggregates over.
+    pub kv: Vec<(&'static str, u64)>,
     /// Human-readable description.
     pub message: String,
+}
+
+impl TraceEvent {
+    /// Looks up a structured payload field by name.
+    pub fn field(&self, key: &str) -> Option<u64> {
+        self.kv.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
 }
 
 struct SinkInner {
@@ -85,8 +146,19 @@ impl TraceSink {
         self.inner.borrow().enabled
     }
 
-    /// Records an event (no-op when disabled).
-    pub fn record(&self, at: Time, category: &'static str, message: String) {
+    /// Records an event with no structured payload (no-op when disabled).
+    pub fn record(&self, at: Time, category: Category, message: String) {
+        self.record_kv(at, category, Vec::new(), message);
+    }
+
+    /// Records an event with a structured payload (no-op when disabled).
+    pub fn record_kv(
+        &self,
+        at: Time,
+        category: Category,
+        kv: Vec<(&'static str, u64)>,
+        message: String,
+    ) {
         let mut inner = self.inner.borrow_mut();
         if !inner.enabled {
             return;
@@ -98,6 +170,7 @@ impl TraceSink {
         inner.events.push(TraceEvent {
             at,
             category,
+            kv,
             message,
         });
     }
@@ -105,6 +178,16 @@ impl TraceSink {
     /// Takes all recorded events, leaving the sink empty.
     pub fn take(&self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.inner.borrow_mut().events)
+    }
+
+    /// Takes only the events of one category, leaving the rest recorded.
+    pub fn take_category(&self, category: Category) -> Vec<TraceEvent> {
+        let mut inner = self.inner.borrow_mut();
+        let (hit, keep) = std::mem::take(&mut inner.events)
+            .into_iter()
+            .partition(|e| e.category == category);
+        inner.events = keep;
+        hit
     }
 
     /// Events dropped to the capacity bound.
@@ -117,13 +200,17 @@ impl TraceSink {
         use std::fmt::Write;
         let mut out = String::new();
         for e in events {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{:>14.3} us  {:<6} {}",
                 crate::time::to_us(e.at),
                 e.category,
                 e.message
             );
+            for (k, v) in &e.kv {
+                let _ = write!(out, "  {k}={v}");
+            }
+            out.push('\n');
         }
         out
     }
@@ -131,15 +218,37 @@ impl TraceSink {
 
 /// Records into `sink` only if enabled, deferring message formatting.
 ///
+/// An optional `[("key", value), ...]` payload before the format string
+/// attaches structured fields:
+///
 /// ```
-/// use shrimp_sim::{trace_event, Sim};
+/// use shrimp_sim::{trace_event, Category, Sim};
 /// let sim = Sim::new();
 /// sim.trace().enable(None);
-/// trace_event!(sim.trace(), sim.now(), "demo", "value = {}", 42);
-/// assert_eq!(sim.trace().take().len(), 1);
+/// trace_event!(sim.trace(), sim.now(), Category::Other, "value = {}", 42);
+/// trace_event!(
+///     sim.trace(),
+///     sim.now(),
+///     Category::Nic,
+///     [("len", 64u64)],
+///     "packet out"
+/// );
+/// let events = sim.trace().take();
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(events[1].field("len"), Some(64));
 /// ```
 #[macro_export]
 macro_rules! trace_event {
+    ($sink:expr, $at:expr, $cat:expr, [$(($k:expr, $v:expr)),* $(,)?], $($arg:tt)*) => {
+        if $sink.enabled() {
+            $sink.record_kv(
+                $at,
+                $cat,
+                vec![$(($k, $v as u64)),*],
+                format!($($arg)*),
+            );
+        }
+    };
     ($sink:expr, $at:expr, $cat:expr, $($arg:tt)*) => {
         if $sink.enabled() {
             $sink.record($at, $cat, format!($($arg)*));
@@ -154,7 +263,7 @@ mod tests {
     #[test]
     fn disabled_sink_records_nothing() {
         let sink = TraceSink::new();
-        sink.record(5, "x", "hello".into());
+        sink.record(5, Category::Other, "hello".into());
         assert!(sink.take().is_empty());
     }
 
@@ -162,14 +271,15 @@ mod tests {
     fn enabled_sink_records_and_drains() {
         let sink = TraceSink::new();
         sink.enable(None);
-        sink.record(1, "a", "one".into());
-        sink.record(2, "b", "two".into());
+        sink.record(1, Category::Nic, "one".into());
+        sink.record(2, Category::Svm, "two".into());
         let ev = sink.take();
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[0].message, "one");
         assert!(sink.take().is_empty());
         let text = TraceSink::render(&ev);
         assert!(text.contains("one") && text.contains("two"));
+        assert!(text.contains("nic") && text.contains("svm"));
     }
 
     #[test]
@@ -177,11 +287,43 @@ mod tests {
         let sink = TraceSink::new();
         sink.enable(Some(3));
         for i in 0..5 {
-            sink.record(i, "c", format!("e{i}"));
+            sink.record(i, Category::Other, format!("e{i}"));
         }
         let ev = sink.take();
         assert_eq!(ev.len(), 3);
         assert_eq!(ev[0].message, "e2");
         assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn kv_payload_is_queryable_and_rendered() {
+        let sink = TraceSink::new();
+        sink.enable(None);
+        sink.record_kv(
+            7,
+            Category::Nic,
+            vec![("node", 3), ("len", 4096)],
+            "DU transfer".into(),
+        );
+        let ev = sink.take();
+        assert_eq!(ev[0].field("len"), Some(4096));
+        assert_eq!(ev[0].field("node"), Some(3));
+        assert_eq!(ev[0].field("missing"), None);
+        let text = TraceSink::render(&ev);
+        assert!(text.contains("len=4096"), "{text}");
+    }
+
+    #[test]
+    fn take_category_partitions() {
+        let sink = TraceSink::new();
+        sink.enable(None);
+        sink.record(1, Category::Nic, "a".into());
+        sink.record(2, Category::Svm, "b".into());
+        sink.record(3, Category::Nic, "c".into());
+        let nic = sink.take_category(Category::Nic);
+        assert_eq!(nic.len(), 2);
+        let rest = sink.take();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].category, Category::Svm);
     }
 }

@@ -618,7 +618,13 @@ impl SvmNode {
         trace_event!(
             sh.vm.sim().trace(),
             sh.vm.sim().now(),
-            "svm",
+            shrimp_sim::Category::Svm,
+            [
+                ("node", sh.me),
+                ("region", region.0),
+                ("page", pg),
+                ("home", home),
+            ],
             "node {} fetch region {} page {} from {}",
             sh.me,
             region.0,
@@ -1007,7 +1013,8 @@ impl SvmNode {
         trace_event!(
             sh.vm.sim().trace(),
             sh.vm.sim().now(),
-            "svm",
+            shrimp_sim::Category::Svm,
+            [("node", sh.me)],
             "node {} enters barrier",
             sh.me
         );

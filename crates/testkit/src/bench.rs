@@ -10,11 +10,10 @@
 //! tables), so runs can be diffed and tracked by machines as well as
 //! humans.
 //!
-//! Knobs: `SHRIMP_BENCH_ITERS` (timed iterations, default 10),
-//! `SHRIMP_BENCH_WARMUP` (warmup iterations, default 3),
-//! `SHRIMP_BENCH_DIR` (JSON output directory; default: the nearest
-//! ancestor `results/` directory, created in the working directory if none
-//! exists), `SHRIMP_BENCH_JSON=0` (disable the JSON artifact).
+//! Knobs come from a [`HarnessConfig`](crate::HarnessConfig) — explicit
+//! via [`Harness::with_config`], or the process-wide config (and its
+//! `SHRIMP_BENCH_ITERS` / `SHRIMP_BENCH_WARMUP` / `SHRIMP_BENCH_DIR` /
+//! `SHRIMP_BENCH_JSON=0` env shim) via [`Harness::new`].
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -71,13 +70,6 @@ pub fn summarize(name: &str, samples: &[u128]) -> Summary {
     }
 }
 
-fn env_u32(name: &str, default: u32) -> u32 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn fmt_ns(ns: u128) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3} s", ns as f64 / 1e9)
@@ -95,20 +87,31 @@ pub struct Harness {
     suite: String,
     warmup: u32,
     iters: u32,
+    json: bool,
+    dir: Option<PathBuf>,
     results: Vec<Summary>,
 }
 
 impl Harness {
-    /// Creates a harness for the named suite, reading iteration knobs from
-    /// the environment.
+    /// Creates a harness for the named suite, taking iteration knobs from
+    /// the process-wide [`HarnessConfig`](crate::HarnessConfig) (the
+    /// `SHRIMP_BENCH_*` env shim).
     pub fn new(suite: &str) -> Harness {
-        let warmup = env_u32("SHRIMP_BENCH_WARMUP", 3);
-        let iters = env_u32("SHRIMP_BENCH_ITERS", 10).max(1);
+        Self::with_config(suite, crate::HarnessConfig::global())
+    }
+
+    /// Creates a harness for the named suite with an explicit
+    /// configuration (no environment involved).
+    pub fn with_config(suite: &str, cfg: &crate::HarnessConfig) -> Harness {
+        let warmup = cfg.bench_warmup;
+        let iters = cfg.bench_iters.max(1);
         println!("[shrimp-testkit] suite '{suite}': {warmup} warmup + {iters} timed iterations");
         Harness {
             suite: suite.to_string(),
             warmup,
             iters,
+            json: cfg.bench_json,
+            dir: cfg.bench_dir.clone(),
             results: Vec::new(),
         }
     }
@@ -162,14 +165,11 @@ impl Harness {
         out
     }
 
-    /// Finishes the suite: writes `results/<suite>.json` (unless
-    /// `SHRIMP_BENCH_JSON=0`) and returns the summaries.
+    /// Finishes the suite: writes `results/<suite>.json` (unless the
+    /// configuration disabled the JSON artifact) and returns the summaries.
     pub fn finish(self) -> Vec<Summary> {
-        let json_enabled = std::env::var("SHRIMP_BENCH_JSON")
-            .map(|v| v != "0")
-            .unwrap_or(true);
-        if json_enabled {
-            let dir = results_dir();
+        if self.json {
+            let dir = self.dir.clone().unwrap_or_else(results_dir);
             if let Err(e) = std::fs::create_dir_all(&dir) {
                 eprintln!("[shrimp-testkit] cannot create {}: {e}", dir.display());
             } else {
@@ -184,14 +184,11 @@ impl Harness {
     }
 }
 
-/// The JSON output directory: `SHRIMP_BENCH_DIR`, else the nearest
-/// `results/` directory walking up from the working directory (bench
-/// binaries run from the package root, two levels below the workspace's
-/// `results/`), else `results/` in the working directory.
+/// The default JSON output directory: the nearest `results/` directory
+/// walking up from the working directory (bench binaries run from the
+/// package root, two levels below the workspace's `results/`), else
+/// `results/` in the working directory.
 fn results_dir() -> PathBuf {
-    if let Ok(dir) = std::env::var("SHRIMP_BENCH_DIR") {
-        return PathBuf::from(dir);
-    }
     let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     for _ in 0..4 {
         let cand = cur.join("results");
@@ -236,12 +233,13 @@ mod tests {
 
     #[test]
     fn json_shape_is_stable() {
-        let mut h = Harness {
-            suite: "demo".into(),
-            warmup: 0,
-            iters: 3,
-            results: Vec::new(),
-        };
+        let mut h = Harness::with_config(
+            "demo",
+            &crate::HarnessConfig::new()
+                .with_bench_warmup(0)
+                .with_bench_iters(3)
+                .with_bench_json(false),
+        );
         h.bench("noop", || 1 + 1);
         let json = h.to_json();
         assert!(json.contains("\"suite\": \"demo\""));

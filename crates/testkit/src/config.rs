@@ -1,0 +1,248 @@
+//! The typed harness configuration.
+//!
+//! Every knob the test and experiment infrastructure used to read from
+//! `SHRIMP_*` environment variables lives here as a plain field on
+//! [`HarnessConfig`]. Code paths take a `&HarnessConfig` (or fall back to
+//! [`HarnessConfig::global`]), so a driver — notably the `shrimp-harness`
+//! sweep runner, whose worker threads must not mutate the process
+//! environment — can configure runs programmatically with a builder:
+//!
+//! ```
+//! use shrimp_testkit::HarnessConfig;
+//! let cfg = HarnessConfig::new().with_full_scale(true).with_nodes(8);
+//! assert!(cfg.full_scale);
+//! assert_eq!(cfg.nodes, 8);
+//! ```
+//!
+//! The environment variables remain supported as a thin compatibility
+//! shim: [`HarnessConfig::from_env`] parses them all, and
+//! [`HarnessConfig::global`] does so exactly once per process.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// All harness knobs, parsed once at entry.
+///
+/// | Field | Env shim | Default |
+/// |---|---|---|
+/// | `full_scale` | `SHRIMP_FULL=1` | `false` |
+/// | `nodes` | `SHRIMP_NODES` | 16 |
+/// | `trace` | `SHRIMP_TRACE=1` | `false` |
+/// | `trace_capacity` | — | 512 |
+/// | `report` | `SHRIMP_REPORT=1` | `false` |
+/// | `prop_cases` | `SHRIMP_PROP_CASES` | `None` (use declared count) |
+/// | `prop_seed` | `SHRIMP_PROP_SEED` | `None` (0) |
+/// | `bench_iters` | `SHRIMP_BENCH_ITERS` | 10 |
+/// | `bench_warmup` | `SHRIMP_BENCH_WARMUP` | 3 |
+/// | `bench_json` | `SHRIMP_BENCH_JSON=0` disables | `true` |
+/// | `bench_dir` | `SHRIMP_BENCH_DIR` | `None` (nearest `results/`) |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Run experiments at the paper's problem sizes.
+    pub full_scale: bool,
+    /// Cluster size for the headline experiments (paper: 16).
+    pub nodes: usize,
+    /// Enable the simulator trace and dump it after each run.
+    pub trace: bool,
+    /// Retained-event bound for the trace ring when `trace` is set.
+    pub trace_capacity: usize,
+    /// Print the machine-wide utilization report after each run.
+    pub report: bool,
+    /// Property-test case count override (`None`: each suite's declared count).
+    pub prop_cases: Option<u32>,
+    /// Extra seed perturbation for property tests.
+    pub prop_seed: Option<u64>,
+    /// Timed iterations per benchmark.
+    pub bench_iters: u32,
+    /// Warmup iterations per benchmark.
+    pub bench_warmup: u32,
+    /// Write the per-suite JSON artifact from bench harnesses.
+    pub bench_json: bool,
+    /// Bench JSON output directory (`None`: nearest `results/`).
+    pub bench_dir: Option<PathBuf>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HarnessConfig {
+    /// The defaults, with no environment involved.
+    pub fn new() -> Self {
+        HarnessConfig {
+            full_scale: false,
+            nodes: 16,
+            trace: false,
+            trace_capacity: 512,
+            report: false,
+            prop_cases: None,
+            prop_seed: None,
+            bench_iters: 10,
+            bench_warmup: 3,
+            bench_json: true,
+            bench_dir: None,
+        }
+    }
+
+    /// The environment-variable compatibility shim: the defaults overlaid
+    /// with every `SHRIMP_*` knob present in the process environment
+    /// (unparsable values fall back to the default, as before).
+    pub fn from_env() -> Self {
+        let flag = |name: &str| std::env::var(name).map(|v| v == "1").unwrap_or(false);
+        HarnessConfig {
+            full_scale: flag("SHRIMP_FULL"),
+            nodes: env_parse("SHRIMP_NODES").unwrap_or(16),
+            trace: flag("SHRIMP_TRACE"),
+            report: flag("SHRIMP_REPORT"),
+            prop_cases: env_parse("SHRIMP_PROP_CASES"),
+            prop_seed: env_parse("SHRIMP_PROP_SEED"),
+            bench_iters: env_parse("SHRIMP_BENCH_ITERS").unwrap_or(10),
+            bench_warmup: env_parse("SHRIMP_BENCH_WARMUP").unwrap_or(3),
+            bench_json: std::env::var("SHRIMP_BENCH_JSON")
+                .map(|v| v != "0")
+                .unwrap_or(true),
+            bench_dir: std::env::var("SHRIMP_BENCH_DIR").ok().map(PathBuf::from),
+            ..Self::new()
+        }
+    }
+
+    /// The process-wide configuration, parsed from the environment exactly
+    /// once (entry points that take no explicit config use this).
+    pub fn global() -> &'static HarnessConfig {
+        static GLOBAL: OnceLock<HarnessConfig> = OnceLock::new();
+        GLOBAL.get_or_init(HarnessConfig::from_env)
+    }
+
+    /// Resolves the property-test case count for a suite declaring
+    /// `declared` cases.
+    pub fn prop_case_count(&self, declared: u32) -> u32 {
+        self.prop_cases.unwrap_or(declared)
+    }
+
+    /// Builder: paper-scale problem sizes.
+    pub fn with_full_scale(mut self, full: bool) -> Self {
+        self.full_scale = full;
+        self
+    }
+
+    /// Builder: cluster size.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Builder: trace dumps (with the default capacity).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Builder: trace ring capacity.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Builder: post-run utilization report.
+    pub fn with_report(mut self, report: bool) -> Self {
+        self.report = report;
+        self
+    }
+
+    /// Builder: property-test case count override.
+    pub fn with_prop_cases(mut self, cases: u32) -> Self {
+        self.prop_cases = Some(cases);
+        self
+    }
+
+    /// Builder: property-test seed perturbation.
+    pub fn with_prop_seed(mut self, seed: u64) -> Self {
+        self.prop_seed = Some(seed);
+        self
+    }
+
+    /// Builder: timed bench iterations.
+    pub fn with_bench_iters(mut self, iters: u32) -> Self {
+        self.bench_iters = iters.max(1);
+        self
+    }
+
+    /// Builder: bench warmup iterations.
+    pub fn with_bench_warmup(mut self, warmup: u32) -> Self {
+        self.bench_warmup = warmup;
+        self
+    }
+
+    /// Builder: bench JSON artifact on/off.
+    pub fn with_bench_json(mut self, json: bool) -> Self {
+        self.bench_json = json;
+        self
+    }
+
+    /// Builder: bench JSON output directory.
+    pub fn with_bench_dir(mut self, dir: PathBuf) -> Self {
+        self.bench_dir = Some(dir);
+        self
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_documented_values() {
+        let c = HarnessConfig::new();
+        assert!(!c.full_scale);
+        assert_eq!(c.nodes, 16);
+        assert_eq!(c.bench_iters, 10);
+        assert_eq!(c.bench_warmup, 3);
+        assert!(c.bench_json);
+        assert_eq!(c.prop_case_count(48), 48);
+    }
+
+    #[test]
+    fn builder_overrides_compose() {
+        let c = HarnessConfig::new()
+            .with_full_scale(true)
+            .with_nodes(4)
+            .with_trace(true)
+            .with_trace_capacity(64)
+            .with_report(true)
+            .with_prop_cases(7)
+            .with_prop_seed(99)
+            .with_bench_iters(0) // clamps to 1
+            .with_bench_warmup(0)
+            .with_bench_json(false);
+        assert!(c.full_scale && c.trace && c.report);
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.trace_capacity, 64);
+        assert_eq!(c.prop_case_count(48), 7);
+        assert_eq!(c.prop_seed, Some(99));
+        assert_eq!(c.bench_iters, 1);
+        assert_eq!(c.bench_warmup, 0);
+        assert!(!c.bench_json);
+    }
+
+    #[test]
+    fn env_shim_matches_defaults_when_unset() {
+        // CI never exports SHRIMP_* for unit tests; when some are set by a
+        // user we only check the ones that are not.
+        let env = HarnessConfig::from_env();
+        if std::env::var("SHRIMP_FULL").is_err() {
+            assert!(!env.full_scale);
+        }
+        if std::env::var("SHRIMP_NODES").is_err() {
+            assert_eq!(env.nodes, 16);
+        }
+        if std::env::var("SHRIMP_PROP_CASES").is_err() {
+            assert_eq!(env.prop_cases, None);
+        }
+    }
+}

@@ -8,6 +8,9 @@
 //! the loop. This crate is the workspace's only test/bench substrate and
 //! has **zero dependencies**:
 //!
+//! * [`config`] — the typed [`HarnessConfig`]: every knob the
+//!   infrastructure once read from `SHRIMP_*` environment variables,
+//!   parsed once at entry (the env vars remain a compatibility shim).
 //! * [`rng`] — a SplitMix64-seeded xoshiro256++ generator ([`rng::DetRng`])
 //!   used as `shrimp_sim::SimRng` by every workload.
 //! * [`prop`] — a minimal property-testing engine: generator combinators,
@@ -21,7 +24,9 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod config;
 pub mod prop;
 pub mod rng;
 
+pub use config::HarnessConfig;
 pub use rng::DetRng;

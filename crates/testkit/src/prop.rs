@@ -284,26 +284,22 @@ pub fn zip3<A: 'static, B: 'static, C: 'static>(a: Gen<A>, b: Gen<B>, c: Gen<C>)
 // Runner + shrinking
 // ---------------------------------------------------------------------------
 
-/// Resolves the case count for a suite: `SHRIMP_PROP_CASES` overrides the
-/// declared count.
+/// Resolves the case count for a suite: the process-wide
+/// [`HarnessConfig`](crate::HarnessConfig) (and therefore the
+/// `SHRIMP_PROP_CASES` env shim) overrides the declared count.
 pub fn case_count(declared: u32) -> u32 {
-    std::env::var("SHRIMP_PROP_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(declared)
+    crate::HarnessConfig::global().prop_case_count(declared)
 }
 
 fn base_seed(name: &str) -> u64 {
-    // FNV-1a over the property name, perturbed by SHRIMP_PROP_SEED.
+    // FNV-1a over the property name, perturbed by the configured seed
+    // (`SHRIMP_PROP_SEED` via the env shim).
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in name.as_bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    let user: u64 = std::env::var("SHRIMP_PROP_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let user = crate::HarnessConfig::global().prop_seed.unwrap_or(0);
     h ^ user.wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 

@@ -1,105 +1,76 @@
-#![allow(clippy::field_reassign_with_default)]
 //! The empirical method of the paper in miniature: take one workload and
 //! re-run it under each "what-if" firmware/software variant, printing the
-//! slowdowns — a single-screen tour of §4.
+//! slowdowns — a single-screen tour of §4, written against the typed
+//! [`shrimp_bench::RunSpec`]/[`shrimp_bench::Knobs`] API the sweep
+//! harness executes at scale.
 //!
 //! Run with: `cargo run --release --example design_study`
 
-use shrimp::apps::dfs::{run_dfs, DfsParams};
-use shrimp::apps::radix::{run_radix_vmmc, RadixParams};
 use shrimp::apps::Mechanism;
 use shrimp::sim::time;
-use shrimp::sockets::SocketConfig;
-use shrimp::vmmc::{Cluster, DesignConfig};
+use shrimp_bench::{App, Knobs, RunSpec, Scale, Variant};
 
 fn main() {
     let nodes = 8;
-    let params = RadixParams {
-        total_keys: 64 * 1024,
-        iters: 3,
-        radix_bits: 10,
-        seed: 1,
-    };
-
-    println!(
-        "Radix-VMMC (DU), {} keys on {nodes} nodes:\n",
-        params.total_keys
-    );
-    let base = run_radix_vmmc(
-        &Cluster::new(nodes, DesignConfig::default()),
-        &params,
-        Mechanism::DeliberateUpdate,
-    );
+    let base_spec = RunSpec::new("design-study", App::RadixVmmc, nodes, Scale::Smoke)
+        .with_variant(Variant::Mechanism(Mechanism::DeliberateUpdate));
+    let base = base_spec.execute();
+    println!("Radix-VMMC (DU), smoke scale on {nodes} nodes:\n");
     println!(
         "  {:<38} {:>9.2} ms  (baseline)",
         "as built (UDMA, no forced interrupts)",
         time::to_secs(base.elapsed) * 1e3
     );
 
-    let mut syscall = DesignConfig::default();
-    syscall.syscall_send = true;
-    let out = run_radix_vmmc(
-        &Cluster::new(nodes, syscall),
-        &params,
-        Mechanism::DeliberateUpdate,
-    );
-    println!(
-        "  {:<38} {:>9.2} ms  ({:+.1}%)  [Table 2]",
-        "system call before every send",
-        time::to_secs(out.elapsed) * 1e3,
-        (out.elapsed as f64 / base.elapsed as f64 - 1.0) * 100.0
-    );
-
-    let mut intr = DesignConfig::default();
-    intr.interrupt_per_message = true;
-    let out = run_radix_vmmc(
-        &Cluster::new(nodes, intr),
-        &params,
-        Mechanism::DeliberateUpdate,
-    );
-    println!(
-        "  {:<38} {:>9.2} ms  ({:+.1}%)  [Table 4]",
-        "interrupt on every message arrival",
-        time::to_secs(out.elapsed) * 1e3,
-        (out.elapsed as f64 / base.elapsed as f64 - 1.0) * 100.0
-    );
-
-    let mut queue = DesignConfig::default();
-    queue.nic.du_queue_depth = 2;
-    let out = run_radix_vmmc(
-        &Cluster::new(nodes, queue),
-        &params,
-        Mechanism::DeliberateUpdate,
-    );
-    println!(
-        "  {:<38} {:>9.2} ms  ({:+.1}%)  [Sec 4.5.3]",
-        "2-deep DU request queue",
-        time::to_secs(out.elapsed) * 1e3,
-        (out.elapsed as f64 / base.elapsed as f64 - 1.0) * 100.0
-    );
+    let variants: [(&str, &str, Knobs); 3] = [
+        (
+            "system call before every send",
+            "[Table 2]",
+            Knobs {
+                syscall_send: true,
+                ..Knobs::as_built()
+            },
+        ),
+        (
+            "interrupt on every message arrival",
+            "[Table 4]",
+            Knobs {
+                interrupt_per_message: true,
+                ..Knobs::as_built()
+            },
+        ),
+        (
+            "2-deep DU request queue",
+            "[Sec 4.5.3]",
+            Knobs {
+                du_queue_depth: Some(2),
+                ..Knobs::as_built()
+            },
+        ),
+    ];
+    for (label, tag, knobs) in variants {
+        let out = base_spec.clone().with_knobs(knobs).execute();
+        assert_eq!(out.checksum, base.checksum, "{label}: answer changed");
+        println!(
+            "  {:<38} {:>9.2} ms  ({:+.1}%)  {tag}",
+            label,
+            time::to_secs(out.elapsed) * 1e3,
+            (out.elapsed as f64 / base.elapsed as f64 - 1.0) * 100.0
+        );
+    }
 
     // The combining story needs a bulk-AU workload: DFS forced onto AU.
     println!("\nDFS-sockets forced onto automatic update, {nodes} nodes:\n");
-    let dfs = DfsParams {
-        clients: 4,
-        files: 2,
-        file_blocks: 24,
-        block_bytes: 8192,
-        cache_blocks: 12,
-        reads_per_client: 4,
-    };
-    let au = SocketConfig {
-        bulk: shrimp::vmmc::RingBulk::Automatic,
-        ..SocketConfig::default()
-    };
-    let with = run_dfs(
-        &Cluster::new(nodes, DesignConfig::default()),
-        &dfs,
-        au.clone(),
-    );
-    let mut nocomb = DesignConfig::default();
-    nocomb.nic.combining = false;
-    let without = run_dfs(&Cluster::new(nodes, nocomb), &dfs, au);
+    let au_spec = RunSpec::new("design-study", App::DfsSockets, nodes, Scale::Smoke)
+        .with_variant(Variant::ForcedAu);
+    let with = au_spec.execute();
+    let without = au_spec
+        .clone()
+        .with_knobs(Knobs {
+            combining: Some(false),
+            ..Knobs::as_built()
+        })
+        .execute();
     println!(
         "  {:<38} {:>9.2} ms",
         "AU bulk with combining",

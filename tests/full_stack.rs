@@ -276,9 +276,16 @@ fn trace_timeline_captures_hardware_and_protocol_events() {
     assert_eq!(hb.try_take(), Some(9));
     let events = cluster.sim().trace().take();
     assert!(!events.is_empty(), "no trace events recorded");
-    let cats: std::collections::HashSet<&str> = events.iter().map(|e| e.category).collect();
-    assert!(cats.contains("nic"), "no NIC events traced");
-    assert!(cats.contains("svm"), "no SVM events traced");
+    let cats: std::collections::HashSet<shrimp::sim::Category> =
+        events.iter().map(|e| e.category).collect();
+    assert!(
+        cats.contains(&shrimp::sim::Category::Nic),
+        "no NIC events traced"
+    );
+    assert!(
+        cats.contains(&shrimp::sim::Category::Svm),
+        "no SVM events traced"
+    );
     // Timeline is time-ordered.
     assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
     let text = shrimp::sim::TraceSink::render(&events);
