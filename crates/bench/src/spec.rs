@@ -18,6 +18,7 @@ use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc, RadixParams};
 use shrimp_apps::render::{run_render, RenderParams};
 use shrimp_apps::{Mechanism, RunOutcome};
 use shrimp_core::{Cluster, ClusterReport, DesignConfig, RingBulk};
+use shrimp_faults::{FaultScenario, FifoStall, LinkFault, NodePause};
 use shrimp_sim::{time, Time};
 use shrimp_sockets::SocketConfig;
 use shrimp_svm::Protocol;
@@ -233,6 +234,10 @@ pub struct Knobs {
     pub fifo_bytes: Option<usize>,
     /// §4.5.3: deliberate-update request queue depth override.
     pub du_queue_depth: Option<usize>,
+    /// Chaos sweeps: reliable (acked, retransmitting) deliberate update.
+    pub reliability: bool,
+    /// Chaos sweeps: the fault scenario injected into the run.
+    pub faults: FaultScenario,
 }
 
 impl Knobs {
@@ -260,6 +265,8 @@ impl Knobs {
         if let Some(depth) = self.du_queue_depth {
             cfg.nic.du_queue_depth = depth;
         }
+        cfg.reliability.enabled = self.reliability;
+        cfg.faults = self.faults;
     }
 
     /// Stable label used in run ids ("as-built" when nothing is flipped).
@@ -281,6 +288,12 @@ impl Knobs {
         }
         if let Some(d) = self.du_queue_depth {
             parts.push(format!("duq{d}"));
+        }
+        if self.reliability {
+            parts.push("rel".to_string());
+        }
+        if self.faults.is_active() {
+            parts.push(self.faults.label());
         }
         if parts.is_empty() {
             "as-built".to_string()
@@ -381,6 +394,24 @@ impl RunSpec {
         let cluster = Cluster::new(self.nodes, self.design_config());
         let out = self.run_on(&cluster);
         let report = ClusterReport::capture(&cluster, out.elapsed);
+        // Recovery metrics only exist on chaos/reliability runs; plain rows
+        // omit them so their serialized form is byte-identical to before
+        // the fault plane existed.
+        let recovery = (self.knobs.reliability || self.knobs.faults.is_active()).then(|| {
+            let nic_sum = |f: &dyn Fn(&shrimp_nic::NicCounters) -> u64| -> u64 {
+                (0..cluster.num_nodes())
+                    .map(|i| f(cluster.nic(i).counters()))
+                    .sum()
+            };
+            Recovery {
+                retransmits: cluster.total(|s| s.retransmits.get()),
+                corrupt_detected: nic_sum(&|c| c.corrupt_detected.get()),
+                dup_suppressed: nic_sum(&|c| c.dup_suppressed.get()),
+                faults_injected: cluster.fault_plane().map_or(0, |p| p.stats().total()),
+                detection_latency_ps: nic_sum(&|c| c.detection_latency.get()),
+                recovery_time_ps: cluster.total(|s| s.recovery_time.get()),
+            }
+        });
         RunRecord {
             elapsed: out.elapsed,
             checksum: out.checksum,
@@ -390,6 +421,7 @@ impl RunSpec {
             syscalls: cluster.total(|s| s.syscalls.get()),
             net_packets: report.net_packets,
             net_bytes: report.net_bytes,
+            recovery,
         }
     }
 
@@ -472,13 +504,35 @@ pub struct RunRecord {
     pub net_packets: u64,
     /// Backplane payload bytes.
     pub net_bytes: u64,
+    /// Fault-recovery metrics; present only on runs with reliability or an
+    /// active fault scenario, so fault-free rows serialize unchanged.
+    pub recovery: Option<Recovery>,
+}
+
+/// Fault-detection and -recovery metrics of one chaos run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// Reliable-delivery retransmissions performed by senders.
+    pub retransmits: u64,
+    /// Packets whose payload failed the checksum at NIC ingress.
+    pub corrupt_detected: u64,
+    /// Sequenced packets discarded as already-delivered duplicates.
+    pub dup_suppressed: u64,
+    /// Faults the plane actually injected (drops + corruptions +
+    /// duplications + link-reject losses).
+    pub faults_injected: u64,
+    /// Summed sim time from injection to corruption detection (ps).
+    pub detection_latency_ps: u64,
+    /// Summed sim time spent recovering retransmitted chunks (ps).
+    pub recovery_time_ps: u64,
 }
 
 impl RunRecord {
     /// The gated metrics as stable `(name, value)` pairs — the flat row
     /// schema shared by `sweep.json` and the committed baselines.
+    /// Recovery metrics are appended only when present.
     pub fn fields(&self) -> Vec<(&'static str, u64)> {
-        vec![
+        let mut f = vec![
             ("elapsed_ns", self.elapsed),
             ("checksum", self.checksum),
             ("messages", self.messages),
@@ -487,7 +541,16 @@ impl RunRecord {
             ("syscalls", self.syscalls),
             ("net_packets", self.net_packets),
             ("net_bytes", self.net_bytes),
-        ]
+        ];
+        if let Some(r) = &self.recovery {
+            f.push(("retransmits", r.retransmits));
+            f.push(("corrupt_detected", r.corrupt_detected));
+            f.push(("dup_suppressed", r.dup_suppressed));
+            f.push(("faults_injected", r.faults_injected));
+            f.push(("detection_latency_ps", r.detection_latency_ps));
+            f.push(("recovery_time_ps", r.recovery_time_ps));
+        }
+        f
     }
 
     /// Looks up a metric by its field name.
@@ -635,6 +698,93 @@ pub fn matrix(scale: Scale, max_nodes: usize) -> Vec<RunSpec> {
         }
     }
 
+    // Chaos: the fault-injection/recovery study. Deliberate-update Radix
+    // under the reliability knob, one scenario per row; the control row
+    // (reliability, no faults) isolates the overhead of sequencing alone.
+    let mut chaos = vec![
+        FaultScenario::none(),
+        FaultScenario {
+            seed: 11,
+            drop_pct: 5,
+            ..FaultScenario::none()
+        },
+        FaultScenario {
+            seed: 12,
+            corrupt_pct: 5,
+            ..FaultScenario::none()
+        },
+        FaultScenario {
+            seed: 13,
+            duplicate_pct: 5,
+            ..FaultScenario::none()
+        },
+        // Transient link outage spanning the communication phase: senders
+        // detour around the dead window (or lose packets and recover by
+        // backoff retransmission on meshes with no alternative path).
+        FaultScenario {
+            link: Some(LinkFault {
+                from: 0,
+                to: 1,
+                at_us: 500,
+                down_us: 30_000,
+            }),
+            ..FaultScenario::none()
+        },
+        FaultScenario {
+            interrupt_delay_us: 50,
+            ..FaultScenario::none()
+        },
+        FaultScenario {
+            pause: Some(NodePause {
+                node: 1,
+                at_us: 1000,
+                dur_us: 500,
+            }),
+            ..FaultScenario::none()
+        },
+    ];
+    if n >= 4 {
+        // Permanent link failure: every delivery takes the route around it
+        // for the whole run. Needs a mesh with an alternative path.
+        chaos.push(FaultScenario {
+            link: Some(LinkFault {
+                from: 0,
+                to: 1,
+                at_us: 0,
+                down_us: 0,
+            }),
+            ..FaultScenario::none()
+        });
+    }
+    for scenario in chaos {
+        specs.push(
+            RunSpec::new("chaos", App::RadixVmmc, n, scale)
+                .with_variant(du)
+                .with_knobs(Knobs {
+                    reliability: true,
+                    faults: scenario,
+                    ..Knobs::as_built()
+                }),
+        );
+    }
+    // Automatic update has no retransmission path, so its chaos row is the
+    // one non-lossy fault: a stalled outgoing-FIFO drain engine.
+    specs.push(
+        RunSpec::new("chaos", App::RadixVmmc, n, scale)
+            .with_variant(au)
+            .with_knobs(Knobs {
+                faults: FaultScenario {
+                    fifo_stall: Some(FifoStall {
+                        node: 0,
+                        at_us: 500,
+                        dur_us: 300,
+                    }),
+                    ..FaultScenario::none()
+                },
+                ..Knobs::as_built()
+            }),
+    );
+
     specs
 }
 
@@ -671,6 +821,7 @@ mod tests {
             "combining",
             "fifo",
             "du-queue",
+            "chaos",
         ] {
             assert!(
                 specs.iter().any(|s| s.experiment == exp),
@@ -682,6 +833,34 @@ mod tests {
             .iter()
             .filter(|s| s.experiment == "fig3")
             .all(|s| s.nodes <= 4));
+    }
+
+    #[test]
+    fn chaos_rows_recover_and_keep_the_answer() {
+        let base = RunSpec::new("test", App::RadixVmmc, 2, Scale::Smoke).execute();
+        assert!(
+            base.recovery.is_none(),
+            "fault-free run grew recovery metrics"
+        );
+        assert!(base.fields().iter().all(|(k, _)| *k != "retransmits"));
+        let chaos = RunSpec::new("test", App::RadixVmmc, 2, Scale::Smoke).with_knobs(Knobs {
+            reliability: true,
+            faults: FaultScenario {
+                seed: 11,
+                drop_pct: 5,
+                ..FaultScenario::none()
+            },
+            ..Knobs::as_built()
+        });
+        assert_eq!(chaos.id(), "test/radix-vmmc-default/p2/rel+drop5");
+        let r = chaos.execute();
+        let rec = r.recovery.expect("chaos run lacks recovery metrics");
+        assert!(rec.faults_injected > 0, "5% drop injected nothing");
+        assert!(
+            rec.retransmits > 0,
+            "drops recovered without retransmission"
+        );
+        assert_eq!(r.checksum, base.checksum, "faults changed the answer");
     }
 
     #[test]

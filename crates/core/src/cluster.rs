@@ -6,6 +6,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use shrimp_faults::FaultPlane;
 use shrimp_mem::{AddressSpace, MemBus, NodeMem, PAGE_SIZE};
 use shrimp_net::{MeshConfig, Network, NodeId};
 use shrimp_nic::{IptEntry, Nic, ShrimpNetwork};
@@ -55,6 +56,7 @@ pub(crate) struct ClusterInner {
     pub(crate) net: ShrimpNetwork,
     pub(crate) nodes: Vec<Node>,
     pub(crate) exports: RefCell<Vec<Rc<ExportInfo>>>,
+    pub(crate) fault_plane: Option<FaultPlane>,
 }
 
 /// A simulated SHRIMP machine: `n` nodes on a Paragon-style backplane.
@@ -93,6 +95,13 @@ impl Cluster {
         }
         let mesh = cfg.mesh.clone().unwrap_or_else(|| MeshConfig::for_nodes(n));
         let net: ShrimpNetwork = Network::new(sim.clone(), mesh, n);
+        // One shared fault plane per run (absent on fault-free runs, which
+        // therefore pay nothing and replay byte-identically).
+        let fault_plane = cfg.faults.is_active().then(|| {
+            let plane = FaultPlane::new(cfg.faults);
+            net.install_fault_plane(plane.clone());
+            plane
+        });
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
             let mem = NodeMem::new();
@@ -105,10 +114,19 @@ impl Cluster {
                 bus.clone(),
                 net.clone(),
             );
+            if let Some(plane) = &fault_plane {
+                nic.install_fault_plane(plane.clone());
+            }
             nic.start();
             let cpu = Cpu::new(sim.clone());
             let stall_cpu = cpu.clone();
             nic.set_cpu_stall_hook(move |d| stall_cpu.steal(d));
+            // A scheduled CPU pause (SMI-style outage) is stolen time: the
+            // node's application and handlers make no progress through it.
+            if let Some((at, dur)) = fault_plane.as_ref().and_then(|p| p.pause_of(i)) {
+                let paused = cpu.clone();
+                sim.schedule(at, move || paused.steal(dur));
+            }
             nodes.push(Node {
                 space: AddressSpace::new(mem.clone()),
                 mem,
@@ -128,6 +146,7 @@ impl Cluster {
                 net,
                 nodes,
                 exports: RefCell::new(Vec::new()),
+                fault_plane,
             }),
         };
         for i in 0..n {
@@ -142,11 +161,17 @@ impl Cluster {
     fn spawn_dispatcher(&self, node: usize) {
         let cluster = self.clone();
         let interrupts = self.inner.nodes[node].nic.interrupts();
+        let intr_delay = self.inner.cfg.faults.interrupt_delay();
         self.inner.sim.spawn(async move {
             loop {
                 let Some(intr) = interrupts.recv().await else {
                     break;
                 };
+                // Delayed-interrupt fault: the wire between NIC and CPU is
+                // slow, not the handler.
+                if intr_delay > 0 {
+                    cluster.inner.sim.sleep(intr_delay).await;
+                }
                 let n = &cluster.inner.nodes[node];
                 NodeStats::bump(&n.stats.interrupts_taken);
                 n.cpu.run_handler(cluster.inner.cfg.interrupt_cost).await;
@@ -196,6 +221,12 @@ impl Cluster {
     /// The backplane.
     pub fn network(&self) -> &ShrimpNetwork {
         &self.inner.net
+    }
+
+    /// The run's fault plane (its stats report injections actually
+    /// performed); `None` when the scenario is empty.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.inner.fault_plane.as_ref()
     }
 
     /// The VMMC library handle for `node`'s application process.

@@ -1,6 +1,7 @@
 //! The design-choice configuration: hardware parameters plus the software
 //! policy knobs each §4 experiment varies.
 
+use shrimp_faults::{FaultScenario, Reliability};
 use shrimp_net::MeshConfig;
 use shrimp_nic::NicConfig;
 use shrimp_sim::{time, Time};
@@ -39,6 +40,13 @@ pub struct DesignConfig {
     pub wt_store_word_cost: Time,
     /// Cost per word of an ordinary write-back store.
     pub wb_store_word_cost: Time,
+    /// Faults injected into this run; [`FaultScenario::none`] (the default)
+    /// injects nothing and adds no overhead.
+    pub faults: FaultScenario,
+    /// Reliable-delivery knob for deliberate update: sequence numbers,
+    /// acks, and timeout/backoff retransmission. Off by default — the
+    /// unreliable fast path is the machine as built.
+    pub reliability: Reliability,
 }
 
 impl DesignConfig {
@@ -57,6 +65,8 @@ impl DesignConfig {
             copy_bytes_per_sec: 80_000_000,
             wt_store_word_cost: time::ns(220),
             wb_store_word_cost: time::ns(17), // ~1 cycle at 60 MHz
+            faults: FaultScenario::none(),
+            reliability: Reliability::default(),
         }
     }
 
@@ -90,6 +100,12 @@ impl DesignConfig {
         }
         if self.nic.du_queue_depth != base.nic.du_queue_depth {
             parts.push(format!("du-queue={}", self.nic.du_queue_depth));
+        }
+        if self.reliability.enabled {
+            parts.push("reliable".to_string());
+        }
+        if self.faults.is_active() {
+            parts.push(format!("faults={}", self.faults.label()));
         }
         if parts.is_empty() {
             "as-built".to_string()
@@ -127,6 +143,16 @@ mod tests {
         };
         c.nic.combining = false;
         assert_eq!(c.knob_summary(), "syscall-send,combining=false");
+    }
+
+    #[test]
+    fn knob_summary_names_reliability_and_faults() {
+        let mut c = DesignConfig {
+            reliability: Reliability::on(),
+            ..DesignConfig::default()
+        };
+        c.faults.drop_pct = 5;
+        assert_eq!(c.knob_summary(), "reliable,faults=drop5");
     }
 
     #[test]

@@ -65,5 +65,6 @@ pub use config::DesignConfig;
 pub use cpu::Cpu;
 pub use report::{ClusterReport, NodeReport};
 pub use ring::{connect_ring, RingBulk, RingFrame, RingReceiver, RingSender};
+pub use shrimp_faults::{FaultScenario, Reliability, ShrimpError};
 pub use stats::NodeStats;
 pub use vmmc::{ExportId, ImportBuilder, ProxyBuffer, SendTicket, UpdatePolicy, Vmmc};

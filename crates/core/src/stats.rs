@@ -15,6 +15,11 @@ pub struct NodeStats {
     pub interrupts_taken: Cell<u64>,
     /// User-level notifications delivered (Table 3).
     pub notifications: Cell<u64>,
+    /// Reliable-delivery retransmissions performed (chaos experiments).
+    pub retransmits: Cell<u64>,
+    /// Summed sim time (picoseconds) spent recovering chunks that needed at
+    /// least one retransmission, from first injection to final ack.
+    pub recovery_time: Cell<u64>,
 }
 
 impl NodeStats {

@@ -1,6 +1,7 @@
 //! The user-level VMMC library: export/import, deliberate update,
 //! automatic-update bindings, notifications, and polling.
 
+use shrimp_faults::{backoff_timeout, ShrimpError};
 use shrimp_mem::{AddressSpace, CacheMode, Vaddr, PAGE_SIZE, WORD_BYTES};
 use shrimp_net::NodeId;
 use shrimp_nic::{DuRequest, OptEntry};
@@ -351,20 +352,40 @@ impl Vmmc {
 
     /// Sends `[src, src+len)` into the proxy buffer at `dst_off` and waits
     /// until the source memory is safe to reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed transfer or (under the reliability knob) when
+    /// the retransmission budget is exhausted; [`Vmmc::try_send`] surfaces
+    /// the same conditions as a [`ShrimpError`] instead.
     pub async fn send(&self, src: Vaddr, dst: &ProxyBuffer, dst_off: usize, len: usize) {
-        self.send_inner(src, dst, dst_off, len, false)
-            .await
-            .wait()
-            .await;
+        match self.send_inner(src, dst, dst_off, len, false).await {
+            Ok(t) => t.wait().await,
+            Err(e) => panic!("vmmc send failed: {e}"),
+        }
+    }
+
+    /// Like [`Vmmc::send`] but returns delivery errors instead of panicking
+    /// (the fault-injection experiments' entry point).
+    pub async fn try_send(
+        &self,
+        src: Vaddr,
+        dst: &ProxyBuffer,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<(), ShrimpError> {
+        let t = self.send_inner(src, dst, dst_off, len, false).await?;
+        t.wait().await;
+        Ok(())
     }
 
     /// Like [`Vmmc::send`] but requests a user-level notification at the
     /// receiver on arrival of the message.
     pub async fn send_notify(&self, src: Vaddr, dst: &ProxyBuffer, dst_off: usize, len: usize) {
-        self.send_inner(src, dst, dst_off, len, true)
-            .await
-            .wait()
-            .await;
+        match self.send_inner(src, dst, dst_off, len, true).await {
+            Ok(t) => t.wait().await,
+            Err(e) => panic!("vmmc send_notify failed: {e}"),
+        }
     }
 
     /// Asynchronous send: returns as soon as the transfer is initiated
@@ -377,7 +398,10 @@ impl Vmmc {
         dst_off: usize,
         len: usize,
     ) -> SendTicket {
-        self.send_inner(src, dst, dst_off, len, false).await
+        match self.send_inner(src, dst, dst_off, len, false).await {
+            Ok(t) => t,
+            Err(e) => panic!("vmmc send_async failed: {e}"),
+        }
     }
 
     /// Asynchronous send with a notification request.
@@ -388,7 +412,10 @@ impl Vmmc {
         dst_off: usize,
         len: usize,
     ) -> SendTicket {
-        self.send_inner(src, dst, dst_off, len, true).await
+        match self.send_inner(src, dst, dst_off, len, true).await {
+            Ok(t) => t,
+            Err(e) => panic!("vmmc send_async_notify failed: {e}"),
+        }
     }
 
     async fn send_inner(
@@ -398,15 +425,17 @@ impl Vmmc {
         dst_off: usize,
         len: usize,
         notify: bool,
-    ) -> SendTicket {
-        assert!(len > 0, "empty send");
-        assert!(
-            dst_off + len <= dst.len,
-            "send overruns receive buffer ({}+{} > {})",
-            dst_off,
-            len,
-            dst.len
-        );
+    ) -> Result<SendTicket, ShrimpError> {
+        if len == 0 {
+            return Err(ShrimpError::EmptyTransfer);
+        }
+        if dst_off + len > dst.len {
+            return Err(ShrimpError::BufferOverrun {
+                offset: dst_off,
+                len,
+                capacity: dst.len,
+            });
+        }
         let cfg = self.cluster.config().clone();
         let node = self.cluster.node(self.node);
         NodeStats::bump(&node.stats.messages_sent);
@@ -446,23 +475,80 @@ impl Vmmc {
             let is_last = sent + step == len;
             // The two-instruction UDMA initiation sequence (§4.3).
             node.cpu.compute(cfg.nic.udma_initiate).await;
-            let ev = node
-                .nic
-                .deliberate_update(DuRequest {
-                    src: node.space.translate(s),
-                    proxy_index: dst.proxy_base + (d / PAGE_SIZE) as u64,
-                    dst_offset: d % PAGE_SIZE,
-                    len: step,
-                    // Table 4 experiment: force an interrupt per message.
-                    interrupt: is_last && (notify || cfg.interrupt_per_message),
-                    notify: is_last && notify,
-                })
-                .await;
+            let req = DuRequest {
+                src: node.space.translate(s),
+                proxy_index: dst.proxy_base + (d / PAGE_SIZE) as u64,
+                dst_offset: d % PAGE_SIZE,
+                len: step,
+                // Table 4 experiment: force an interrupt per message.
+                interrupt: is_last && (notify || cfg.interrupt_per_message),
+                notify: is_last && notify,
+                seq: 0,
+            };
+            let ev = if cfg.reliability.enabled {
+                self.send_chunk_reliably(dst, req).await?
+            } else {
+                node.nic.deliberate_update(req).await?
+            };
             last = Some(ev);
             sent += step;
         }
-        SendTicket {
+        Ok(SendTicket {
             done: last.expect("send_inner sent nothing"),
+        })
+    }
+
+    /// Stop-and-wait reliable transmission of one page-bounded chunk:
+    /// sequence the request, then retransmit on nack or ack timeout with
+    /// exponential backoff until acked or the retry budget is exhausted.
+    async fn send_chunk_reliably(
+        &self,
+        dst: &ProxyBuffer,
+        req: DuRequest,
+    ) -> Result<Event, ShrimpError> {
+        let node = self.cluster.node(self.node);
+        let rel = self.cluster.config().reliability;
+        let seq = node.nic.next_seq();
+        let t0 = self.sim().now();
+        let mut attempt = 0u32;
+        loop {
+            // A fresh waiter per attempt: a stale timeout timer can only
+            // fire the previous attempt's event, never this one's.
+            let waiter = node.nic.register_ack_waiter(seq);
+            let du = node
+                .nic
+                .deliberate_update(DuRequest { seq, ..req.clone() })
+                .await;
+            let ev = match du {
+                Ok(ev) => ev,
+                Err(e) => {
+                    node.nic.clear_ack_waiter(seq);
+                    return Err(e);
+                }
+            };
+            let timeout = backoff_timeout(rel.ack_timeout, rel.backoff_cap, attempt);
+            let wake = waiter.ev.clone();
+            self.sim().schedule_in(timeout, move || wake.set());
+            waiter.ev.wait().await;
+            if waiter.acked.get() {
+                node.nic.clear_ack_waiter(seq);
+                if attempt > 0 {
+                    NodeStats::add(&node.stats.recovery_time, self.sim().now() - t0);
+                }
+                return Ok(ev);
+            }
+            // Nack or timeout: retransmit (the receiver suppresses any
+            // duplicate the timeout path might produce).
+            attempt += 1;
+            if attempt > rel.max_retries {
+                node.nic.clear_ack_waiter(seq);
+                return Err(ShrimpError::DeliveryFailed {
+                    dst: dst.dst_node,
+                    seq,
+                    attempts: attempt,
+                });
+            }
+            NodeStats::bump(&node.stats.retransmits);
         }
     }
 
@@ -1064,6 +1150,147 @@ mod tests {
         let recv = b.space().alloc(1);
         let export = b.export(recv, PAGE_SIZE);
         let _ = a.importer(export).from_node(a.node_id()).finish();
+    }
+
+    #[test]
+    fn reliable_send_survives_heavy_packet_drops() {
+        let mut cfg = DesignConfig::default();
+        cfg.reliability = crate::Reliability::on();
+        cfg.faults.seed = 5;
+        cfg.faults.drop_pct = 30;
+        let cluster = Cluster::new(2, cfg);
+        let a = cluster.vmmc(0);
+        let b = cluster.vmmc(1);
+        let recv = b.space().alloc(1);
+        let export = b.export(recv, PAGE_SIZE);
+        let proxy = a.import(export);
+        let src = a.space().alloc(1);
+        let payload: Vec<u8> = (0..256u32).map(|i| (i % 251) as u8).collect();
+        a.space().write_raw(src, &payload);
+        let a2 = a.clone();
+        let h = cluster.sim().spawn(async move {
+            for i in 0..16usize {
+                a2.try_send(src, &proxy, i * 256, 256).await?;
+            }
+            Ok::<(), ShrimpError>(())
+        });
+        let (_, out) = cluster.run_until_complete(vec![h]);
+        out[0].as_ref().expect("reliable delivery failed");
+        for i in 0..16usize {
+            let mut got = vec![0u8; 256];
+            b.space().read(recv.add((i * 256) as u64), &mut got);
+            assert_eq!(got, payload, "message {i} damaged or lost");
+        }
+        assert!(
+            cluster.stats(0).retransmits.get() > 0,
+            "30% drop over 16 messages injected no retransmission"
+        );
+        assert!(
+            cluster.stats(0).recovery_time.get() > 0,
+            "retransmissions recorded no recovery time"
+        );
+        let plane = cluster.fault_plane().expect("plane missing");
+        assert!(plane.stats().drops.get() > 0);
+    }
+
+    #[test]
+    fn reliable_send_delivers_exactly_once_under_duplicates() {
+        let mut cfg = DesignConfig::default();
+        cfg.reliability = crate::Reliability::on();
+        cfg.faults.seed = 9;
+        cfg.faults.duplicate_pct = 50;
+        let cluster = Cluster::new(2, cfg);
+        let a = cluster.vmmc(0);
+        let b = cluster.vmmc(1);
+        let recv = b.space().alloc(1);
+        let export = b.export(recv, PAGE_SIZE);
+        let proxy = a.import(export);
+        let src = a.space().alloc(1);
+        a.space().write_raw(src, &0xdead_beefu32.to_le_bytes());
+        let a2 = a.clone();
+        let h = cluster.sim().spawn(async move {
+            for i in 0..16usize {
+                a2.try_send(src, &proxy, i * 16, 4).await?;
+            }
+            Ok::<(), ShrimpError>(())
+        });
+        let (_, out) = cluster.run_until_complete(vec![h]);
+        out[0].as_ref().expect("reliable delivery failed");
+        for i in 0..16usize {
+            assert_eq!(b.space().read_u32(recv.add((i * 16) as u64)), 0xdead_beef);
+        }
+        assert!(
+            cluster.nic(1).counters().dup_suppressed.get() > 0,
+            "50% duplication suppressed nothing"
+        );
+    }
+
+    #[test]
+    fn reliable_send_to_unreachable_node_fails_gracefully() {
+        let mut cfg = DesignConfig::default();
+        cfg.reliability = crate::Reliability::on();
+        // Sever the only link of the 2-node mesh before anything is sent.
+        cfg.faults.link = Some(shrimp_faults::LinkFault {
+            from: 0,
+            to: 1,
+            at_us: 0,
+            down_us: 0,
+        });
+        let max_retries = cfg.reliability.max_retries;
+        let cluster = Cluster::new(2, cfg);
+        let a = cluster.vmmc(0);
+        let b = cluster.vmmc(1);
+        let recv = b.space().alloc(1);
+        let export = b.export(recv, PAGE_SIZE);
+        let proxy = a.import(export);
+        let src = a.space().alloc(1);
+        let a2 = a.clone();
+        let h = cluster
+            .sim()
+            .spawn(async move { a2.try_send(src, &proxy, 0, 64).await });
+        let (_, out) = cluster.run_until_complete(vec![h]);
+        match out[0] {
+            Err(ShrimpError::DeliveryFailed { dst, attempts, .. }) => {
+                assert_eq!(dst, 1);
+                assert_eq!(attempts, max_retries + 1);
+            }
+            ref other => panic!("expected DeliveryFailed, got {other:?}"),
+        }
+        assert_eq!(
+            cluster.stats(0).retransmits.get(),
+            max_retries as u64,
+            "every attempt after the first is a retransmission"
+        );
+    }
+
+    #[test]
+    fn fault_free_reliable_send_needs_no_retransmission() {
+        let mut cfg = DesignConfig::default();
+        cfg.reliability = crate::Reliability::on();
+        let cluster = Cluster::new(2, cfg);
+        let a = cluster.vmmc(0);
+        let b = cluster.vmmc(1);
+        let recv = b.space().alloc(1);
+        let export = b.export(recv, PAGE_SIZE);
+        let proxy = a.import(export);
+        let src = a.space().alloc(1);
+        a.space().write_raw(src, &7u32.to_le_bytes());
+        let a2 = a.clone();
+        let h = cluster.sim().spawn(async move {
+            a2.send(src, &proxy, 0, 4).await;
+        });
+        cluster.run_until_complete(vec![h]);
+        assert_eq!(b.space().read_u32(recv), 7);
+        assert_eq!(cluster.stats(0).retransmits.get(), 0);
+        assert_eq!(cluster.stats(0).recovery_time.get(), 0);
+        assert!(
+            cluster.fault_plane().is_none(),
+            "empty scenario built a plane"
+        );
+        assert!(
+            cluster.nic(0).counters().acks_sent.get() > 0
+                || cluster.nic(1).counters().acks_sent.get() > 0
+        );
     }
 
     #[test]

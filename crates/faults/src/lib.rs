@@ -1,0 +1,97 @@
+//! Deterministic fault injection for the SHRIMP simulation.
+//!
+//! The paper's methodology assumes a perfectly reliable interconnect; this
+//! crate removes that assumption in a controlled way. A [`FaultScenario`]
+//! describes *which* faults to inject (packet drop/corrupt/duplicate rates,
+//! link failures, NIC FIFO stalls, delayed interrupts, node pauses) and a
+//! [`FaultPlane`] draws every individual fault from the deterministic
+//! simulation RNG ([`shrimp_sim::rng::rng_for`]) so that a given seed +
+//! scenario replays event-for-event.
+//!
+//! The crate also defines the [`ShrimpError`] taxonomy used by the delivery
+//! paths (`vmmc`, `svm`, `nic`) so injected faults become reported outcomes
+//! instead of aborts, and the [`Reliability`] knob + [`backoff_timeout`]
+//! schedule used by the sequence-numbered retransmitting send path.
+
+#![warn(missing_docs)]
+
+mod error;
+mod plane;
+mod scenario;
+
+pub use error::ShrimpError;
+pub use plane::{FaultPlane, FaultStats, PacketFate};
+pub use scenario::{FaultScenario, FifoStall, LinkFault, NodePause};
+
+use shrimp_sim::Time;
+
+/// Configuration of the reliable (acked, retransmitting) VMMC send path.
+///
+/// Disabled by default: the unreliable fast path is the machine as built and
+/// measured by the paper, and baselines are pinned to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reliability {
+    /// Sequence-number, ack, and retransmit deliberate-update sends.
+    pub enabled: bool,
+    /// Initial ack timeout (doubled per retry up to `backoff_cap`).
+    pub ack_timeout: Time,
+    /// Upper bound on the per-retry timeout.
+    pub backoff_cap: Time,
+    /// Retransmissions attempted before the send fails with
+    /// [`ShrimpError::DeliveryFailed`].
+    pub max_retries: u32,
+}
+
+impl Default for Reliability {
+    fn default() -> Self {
+        Reliability {
+            enabled: false,
+            ack_timeout: shrimp_sim::time::us(2000),
+            backoff_cap: shrimp_sim::time::ms(8),
+            max_retries: 12,
+        }
+    }
+}
+
+impl Reliability {
+    /// The default parameters with the retransmit path switched on.
+    pub fn on() -> Self {
+        Reliability {
+            enabled: true,
+            ..Reliability::default()
+        }
+    }
+}
+
+/// Ack timeout armed for retransmission attempt `attempt` (0-based):
+/// `base << attempt`, saturating, capped at `cap`.
+///
+/// The schedule is pure so the property tests can pin that it is monotone
+/// non-decreasing and capped.
+pub fn backoff_timeout(base: Time, cap: Time, attempt: u32) -> Time {
+    let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+    base.saturating_mul(factor).min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_sim::time;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let base = time::us(500);
+        let cap = time::ms(8);
+        assert_eq!(backoff_timeout(base, cap, 0), time::us(500));
+        assert_eq!(backoff_timeout(base, cap, 1), time::ms(1));
+        assert_eq!(backoff_timeout(base, cap, 4), time::ms(8));
+        assert_eq!(backoff_timeout(base, cap, 63), cap);
+        assert_eq!(backoff_timeout(base, cap, u32::MAX), cap);
+    }
+
+    #[test]
+    fn reliability_defaults_to_the_unreliable_fast_path() {
+        assert!(!Reliability::default().enabled);
+        assert!(Reliability::on().enabled);
+    }
+}

@@ -1,0 +1,184 @@
+//! Typed descriptions of what to inject.
+
+use shrimp_sim::{time, Time};
+
+/// A failed directed mesh link (both directions are taken down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LinkFault {
+    /// Router index of one end of the link.
+    pub from: u8,
+    /// Router index of the other end (must be mesh-adjacent to `from`).
+    pub to: u8,
+    /// Onset time in microseconds of sim time.
+    pub at_us: u32,
+    /// Outage duration in microseconds; `0` means the failure is permanent.
+    pub down_us: u32,
+}
+
+impl LinkFault {
+    /// `true` if the link is unusable at `now`.
+    pub fn blocks_at(&self, now: Time) -> bool {
+        let at = time::us(self.at_us as u64);
+        now >= at && (self.down_us == 0 || now < at + time::us(self.down_us as u64))
+    }
+
+    /// `true` for a permanent (never-recovering) failure.
+    pub fn is_permanent(&self) -> bool {
+        self.down_us == 0
+    }
+}
+
+/// A window during which one NIC's outgoing-FIFO drain engine is stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FifoStall {
+    /// Node whose NIC stalls.
+    pub node: u8,
+    /// Onset time in microseconds of sim time.
+    pub at_us: u32,
+    /// Stall duration in microseconds.
+    pub dur_us: u32,
+}
+
+/// A window during which one node's CPU makes no progress (e.g. an SMI or a
+/// hypervisor-style preemption); modeled as stolen CPU time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NodePause {
+    /// Paused node.
+    pub node: u8,
+    /// Onset time in microseconds of sim time.
+    pub at_us: u32,
+    /// Pause duration in microseconds.
+    pub dur_us: u32,
+}
+
+/// Everything the fault plane injects into one run.
+///
+/// The default ([`FaultScenario::none`]) injects nothing, costs nothing, and
+/// leaves every baseline byte-identical. `Copy + Eq + Hash` so it can ride
+/// on the sweep harness's `Knobs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FaultScenario {
+    /// Seed for the fault plane's RNG stream (independent of the run seed).
+    pub seed: u64,
+    /// Percent of mesh packets silently dropped.
+    pub drop_pct: u8,
+    /// Percent of mesh packets payload-corrupted in flight.
+    pub corrupt_pct: u8,
+    /// Percent of mesh packets delivered twice.
+    pub duplicate_pct: u8,
+    /// A transient or permanent link failure.
+    pub link: Option<LinkFault>,
+    /// An outgoing-FIFO drain stall on one NIC.
+    pub fifo_stall: Option<FifoStall>,
+    /// Fixed extra delay, in microseconds, before each interrupt reaches its
+    /// dispatcher.
+    pub interrupt_delay_us: u32,
+    /// A CPU pause on one node.
+    pub pause: Option<NodePause>,
+}
+
+impl FaultScenario {
+    /// The empty scenario: no faults, no overhead.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` if the scenario injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.drop_pct > 0
+            || self.corrupt_pct > 0
+            || self.duplicate_pct > 0
+            || self.link.is_some()
+            || self.fifo_stall.is_some()
+            || self.interrupt_delay_us > 0
+            || self.pause.is_some()
+    }
+
+    /// The fixed interrupt-delivery delay.
+    pub fn interrupt_delay(&self) -> Time {
+        time::us(self.interrupt_delay_us as u64)
+    }
+
+    /// Compact id-safe label naming every active fault, `"none"` when empty
+    /// (used in run ids and knob summaries).
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.drop_pct > 0 {
+            parts.push(format!("drop{}", self.drop_pct));
+        }
+        if self.corrupt_pct > 0 {
+            parts.push(format!("corrupt{}", self.corrupt_pct));
+        }
+        if self.duplicate_pct > 0 {
+            parts.push(format!("dup{}", self.duplicate_pct));
+        }
+        if let Some(l) = &self.link {
+            let kind = if l.is_permanent() { "down" } else { "flap" };
+            parts.push(format!("link{kind}{}-{}", l.from, l.to));
+        }
+        if let Some(s) = &self.fifo_stall {
+            parts.push(format!("fifostall{}", s.node));
+        }
+        if self.interrupt_delay_us > 0 {
+            parts.push(format!("intrdelay{}", self.interrupt_delay_us));
+        }
+        if let Some(p) = &self.pause {
+            parts.push(format!("pause{}", p.node));
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_labeled_none() {
+        let s = FaultScenario::none();
+        assert!(!s.is_active());
+        assert_eq!(s.label(), "none");
+        assert_eq!(s, FaultScenario::default());
+    }
+
+    #[test]
+    fn label_names_every_active_fault() {
+        let s = FaultScenario {
+            drop_pct: 5,
+            corrupt_pct: 2,
+            link: Some(LinkFault {
+                from: 0,
+                to: 1,
+                at_us: 100,
+                down_us: 0,
+            }),
+            ..FaultScenario::none()
+        };
+        assert!(s.is_active());
+        assert_eq!(s.label(), "drop5+corrupt2+linkdown0-1");
+    }
+
+    #[test]
+    fn link_fault_windows() {
+        let transient = LinkFault {
+            from: 0,
+            to: 1,
+            at_us: 10,
+            down_us: 20,
+        };
+        assert!(!transient.blocks_at(time::us(9)));
+        assert!(transient.blocks_at(time::us(10)));
+        assert!(transient.blocks_at(time::us(29)));
+        assert!(!transient.blocks_at(time::us(30)));
+        let permanent = LinkFault {
+            down_us: 0,
+            ..transient
+        };
+        assert!(permanent.is_permanent());
+        assert!(permanent.blocks_at(time::us(1_000_000)));
+    }
+}

@@ -22,6 +22,7 @@ FLAGS:
   --nodes <N>         override the matrix's maximum node count
   --workers <N>       worker threads (default: available parallelism)
   --filter <SUBSTR>   only run specs whose id contains SUBSTR
+  --experiment <GRP>  only run specs of one experiment group (e.g. chaos)
   --timeout-secs <N>  per-run wall-clock timeout (default 600)
   --out <PATH>        sweep artifact path (default results/sweep.json)
   --baseline <PATH>   baseline to gate against
@@ -40,6 +41,7 @@ struct Cli {
     nodes: Option<usize>,
     workers: Option<usize>,
     filter: Option<String>,
+    experiment: Option<String>,
     timeout: Duration,
     out: Option<PathBuf>,
     baseline: Option<PathBuf>,
@@ -54,6 +56,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         nodes: None,
         workers: None,
         filter: None,
+        experiment: None,
         timeout: Duration::from_secs(600),
         out: None,
         baseline: None,
@@ -74,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--nodes" => cli.nodes = Some(parse_num(&value("--nodes")?)?),
             "--workers" => cli.workers = Some(parse_num(&value("--workers")?)?),
             "--filter" => cli.filter = Some(value("--filter")?),
+            "--experiment" => cli.experiment = Some(value("--experiment")?),
             "--timeout-secs" => {
                 cli.timeout = Duration::from_secs(parse_num(&value("--timeout-secs")?)? as u64)
             }
@@ -122,6 +126,9 @@ fn main() -> ExitCode {
 
     let nodes = cli.nodes.unwrap_or_else(|| cli.scale.default_nodes());
     let mut specs = matrix(cli.scale, nodes);
+    if let Some(group) = &cli.experiment {
+        specs.retain(|s| s.experiment == group.as_str());
+    }
     if let Some(filter) = &cli.filter {
         specs.retain(|s| s.id().contains(filter.as_str()));
     }

@@ -8,10 +8,11 @@
 //! moves on) and a panicking one is contained by `catch_unwind` and
 //! reported as a failed row instead of killing the sweep.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Once};
 use std::thread;
 use std::time::Duration;
 
@@ -160,9 +161,16 @@ fn execute_isolated(spec: RunSpec, timeout: Duration) -> RunStatus {
     let handle = thread::Builder::new()
         .name(format!("run-{id}"))
         .spawn(move || {
+            install_panic_location_hook();
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| spec.execute()));
             // The receiver may have given up (timeout); ignore send errors.
-            let _ = tx.send(outcome.map_err(|payload| panic_message(&*payload)));
+            let _ = tx.send(outcome.map_err(|payload| {
+                let msg = panic_message(&*payload);
+                match LAST_PANIC_LOCATION.with(|l| l.borrow_mut().take()) {
+                    Some(loc) => format!("{msg} (at {loc})"),
+                    None => msg,
+                }
+            }));
         })
         .expect("spawn run thread");
     match rx.recv_timeout(timeout) {
@@ -176,6 +184,30 @@ fn execute_isolated(spec: RunSpec, timeout: Duration) -> RunStatus {
         }
         Err(_) => RunStatus::TimedOut,
     }
+}
+
+thread_local! {
+    /// `file:line` of the most recent panic on this thread; taken by the
+    /// run thread to annotate its [`RunStatus::Panicked`] row.
+    static LAST_PANIC_LOCATION: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Installs (once, process-wide) a panic hook that records the panic
+/// location into [`LAST_PANIC_LOCATION`] before delegating to the previous
+/// hook. Run threads are one-per-run, so a recorded location can only
+/// belong to that thread's own run.
+fn install_panic_location_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(loc) = info.location() {
+                let s = format!("{}:{}", loc.file(), loc.line());
+                LAST_PANIC_LOCATION.with(|l| *l.borrow_mut() = Some(s));
+            }
+            prev(info);
+        }));
+    });
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -236,7 +268,10 @@ mod tests {
         assert_eq!(results[0].status.label(), "ok");
         assert_eq!(results[1].status.label(), "panic");
         match &results[1].status {
-            RunStatus::Panicked(msg) => assert!(msg.contains("does not apply"), "got: {msg}"),
+            RunStatus::Panicked(msg) => {
+                assert!(msg.contains("does not apply"), "got: {msg}");
+                assert!(msg.contains("(at "), "panic location missing: {msg}");
+            }
             s => panic!("expected panic status, got {s:?}"),
         }
         assert_eq!(results[2].status.label(), "ok");

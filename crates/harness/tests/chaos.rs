@@ -1,0 +1,139 @@
+//! Chaos-plane integration tests: the fault injector must be
+//! deterministic (worker count cannot change the artifact), recoverable
+//! (no chaos run aborts), and free (disabled faults leave every metric
+//! byte-identical to the committed smoke baseline).
+
+use std::path::PathBuf;
+
+use shrimp_bench::{matrix, Scale};
+use shrimp_harness::runner::{run_sweep, RunStatus, RunnerOptions};
+use shrimp_harness::{json, sweep};
+
+fn chaos_specs() -> Vec<shrimp_bench::RunSpec> {
+    let mut specs = matrix(Scale::Smoke, 4);
+    specs.retain(|s| s.experiment == "chaos");
+    assert!(
+        specs.len() >= 5,
+        "smoke chaos group unexpectedly small: {}",
+        specs.len()
+    );
+    specs
+}
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/baselines/smoke.json")
+}
+
+/// Same seed + same scenario ⇒ the sweep artifact is byte-identical no
+/// matter how many workers raced through it, and every chaos run
+/// completes: faults are absorbed by retransmission, never fatal.
+#[test]
+fn chaos_sweep_is_worker_count_invariant_with_zero_aborts() {
+    let specs = chaos_specs();
+    let opts = |workers| RunnerOptions {
+        workers,
+        timeout: std::time::Duration::from_secs(600),
+    };
+    let serial = run_sweep(&specs, &opts(1));
+    let racing = run_sweep(&specs, &opts(4));
+    assert_eq!(
+        sweep::to_json("smoke", &serial),
+        sweep::to_json("smoke", &racing),
+        "worker count leaked into the sweep artifact"
+    );
+
+    for r in &serial {
+        let record = match &r.status {
+            RunStatus::Ok(rec) => rec,
+            other => panic!("{} aborted: {}", r.spec.id(), other.label()),
+        };
+        let rec = record
+            .recovery
+            .expect("chaos rows always carry recovery metrics");
+        let s = r.spec.knobs.faults;
+        let packet_faults =
+            s.drop_pct > 0 || s.corrupt_pct > 0 || s.duplicate_pct > 0 || s.link.is_some();
+        if packet_faults {
+            assert!(
+                rec.faults_injected > 0,
+                "{}: scenario active but no faults fired",
+                r.spec.id()
+            );
+        } else if !s.is_active() {
+            // The control row proves the reliable path alone changes nothing.
+            assert_eq!(rec.retransmits, 0, "{}: spurious retransmit", r.spec.id());
+        }
+    }
+
+    // Transient faults must not change the computed answer: every chaos
+    // run of the same app/scale agrees with the fault-free control row.
+    let control = serial
+        .iter()
+        .find(|r| !r.spec.knobs.faults.is_active() && r.spec.knobs.reliability)
+        .expect("chaos group has a fault-free control row");
+    let expected = control.status.record().unwrap().checksum;
+    for r in serial.iter().filter(|r| {
+        r.spec.knobs.reliability
+            && r.spec.app == control.spec.app
+            && r.spec.nodes == control.spec.nodes
+    }) {
+        assert_eq!(
+            r.status.record().unwrap().checksum,
+            expected,
+            "{}: faults corrupted the answer",
+            r.spec.id()
+        );
+    }
+}
+
+/// With the fault plane disabled (every non-chaos matrix row), metrics are
+/// byte-for-byte what the baseline committed before the plane existed: the
+/// reliability machinery costs nothing when off.
+#[test]
+fn disabled_fault_plane_leaves_baseline_rows_byte_identical() {
+    let text = std::fs::read_to_string(baseline_path()).expect("committed smoke baseline");
+    let doc = json::parse(&text).expect("baseline parses");
+    let rows = doc.get("rows").unwrap().as_arr().unwrap();
+
+    // Two representative fault-free rows; full-matrix coverage is the CI
+    // sweep gate's job, exactness (not tolerance bands) is this test's.
+    for id in [
+        "table1/dfs-sockets-default/p4/as-built",
+        "table1/radix-vmmc-default/p4/as-built",
+    ] {
+        let spec = matrix(Scale::Smoke, 4)
+            .into_iter()
+            .find(|s| s.id() == id)
+            .unwrap_or_else(|| panic!("{id} missing from smoke matrix"));
+        assert!(!spec.knobs.faults.is_active());
+        let record = spec.execute();
+        assert!(
+            record.recovery.is_none(),
+            "fault-free row grew recovery fields"
+        );
+
+        let row = rows
+            .iter()
+            .find(|r| r.get("id").and_then(|v| v.as_str()) == Some(id))
+            .unwrap_or_else(|| panic!("{id} missing from baseline"));
+        let metrics = row.get("metrics").unwrap();
+        let json::Json::Obj(map) = metrics else {
+            panic!("metrics is not an object")
+        };
+        let fields = record.fields();
+        let mut fresh_keys: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
+        fresh_keys.sort_unstable();
+        assert_eq!(
+            fresh_keys,
+            map.keys().map(String::as_str).collect::<Vec<_>>(),
+            "{id}: metric field set changed"
+        );
+        for (name, fresh) in fields {
+            assert_eq!(
+                metrics.get(name).and_then(|v| v.as_u64()),
+                Some(fresh),
+                "{id}: metric {name} drifted"
+            );
+        }
+    }
+}

@@ -1,13 +1,30 @@
 //! The 2-D mesh, dimension-order routing, and packet timing.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
+use shrimp_faults::{FaultPlane, PacketFate};
 use shrimp_sim::sync::Resource;
 use shrimp_sim::{time, Queue, Sim, Time};
 
 use crate::stats::NetStats;
+
+/// Payload that the fault plane knows how to corrupt in flight.
+///
+/// Implementations mutate the payload the way bit errors on the wire would,
+/// leaving any embedded integrity check stale so receivers can detect the
+/// damage. `salt` deterministically selects what to flip.
+pub trait Faultable {
+    /// Corrupts the payload in place.
+    fn corrupt(&mut self, salt: u64);
+}
+
+impl Faultable for u64 {
+    fn corrupt(&mut self, salt: u64) {
+        *self ^= salt | 1;
+    }
+}
 
 /// Identifies one node (PC + network interface) of the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -93,6 +110,8 @@ struct NetworkInner<P> {
     channels: RefCell<Channels>,
     ingress: Vec<Queue<P>>,
     stats: NetStats,
+    // Installed only for chaos runs; `None` is the zero-overhead fast path.
+    faults: RefCell<Option<FaultPlane>>,
 }
 
 /// The routing backplane, generic over the packet payload type `P` (the NIC
@@ -143,8 +162,16 @@ impl<P: 'static> Network<P> {
                 channels: RefCell::new(channels),
                 ingress: (0..n_nodes).map(|_| Queue::new()).collect(),
                 stats: NetStats::new(),
+                faults: RefCell::new(None),
             }),
         }
+    }
+
+    /// Installs a fault plane: subsequent [`Network::send`] calls consult it
+    /// for per-packet fates and failed links. Without one (the default) the
+    /// send path is exactly the fault-free fast path.
+    pub fn install_fault_plane(&self, plane: FaultPlane) {
+        *self.inner.faults.borrow_mut() = Some(plane);
     }
 
     /// Number of attached nodes.
@@ -192,13 +219,23 @@ impl<P: 'static> Network<P> {
     ///
     /// `src == dst` loops back through the NIC without touching the mesh
     /// (one transceiver crossing each way).
-    pub fn send(&self, src: NodeId, dst: NodeId, payload_bytes: usize, packet: P) -> Time {
+    ///
+    /// With a fault plane installed, mesh packets may be dropped, corrupted,
+    /// or duplicated per the scenario, and routing avoids failed links. A
+    /// packet whose destination is unreachable (a permanent failure with no
+    /// alternative route) is lost at injection and counted in the plane's
+    /// stats.
+    pub fn send(&self, src: NodeId, dst: NodeId, payload_bytes: usize, packet: P) -> Time
+    where
+        P: Clone + Faultable,
+    {
         let sim = &self.inner.sim;
         let cfg = &self.inner.cfg;
         let wire_bytes = (payload_bytes + cfg.header_bytes) as u64;
         let serialization = time::transfer(wire_bytes, cfg.link_bytes_per_sec);
+        let plane = self.inner.faults.borrow().clone();
 
-        let arrival = if src == dst {
+        let (arrival, fate) = if src == dst {
             let channels = self.inner.channels.borrow();
             let start = reserve_from(
                 &channels.loopback[src.0],
@@ -206,9 +243,22 @@ impl<P: 'static> Network<P> {
                 sim.now() + cfg.transceiver_latency,
                 serialization,
             );
-            start + serialization + cfg.transceiver_latency
+            // Loopback never touches the mesh, so link faults cannot reach it.
+            (
+                start + serialization + cfg.transceiver_latency,
+                PacketFate::Deliver,
+            )
         } else {
-            let path = self.route(src, dst);
+            let path = match &plane {
+                Some(p) if p.has_link_faults() => match self.route_avoiding(src, dst, p) {
+                    Some(path) => path,
+                    None => {
+                        p.record_link_reject();
+                        return sim.now();
+                    }
+                },
+                _ => self.route(src, dst),
+            };
             let hops = path.len() as u64 - 1;
             let mut channels = self.inner.channels.borrow_mut();
             let mut head = sim.now() + cfg.transceiver_latency;
@@ -230,12 +280,93 @@ impl<P: 'static> Network<P> {
             );
             let waited = head - (ideal_start + (hops + 1) * cfg.hop_latency);
             self.inner.stats.record_packet(wire_bytes, hops, waited);
-            head + serialization + cfg.transceiver_latency
+            let fate = plane
+                .as_ref()
+                .map_or(PacketFate::Deliver, |p| p.packet_fate());
+            (head + serialization + cfg.transceiver_latency, fate)
         };
 
         let ingress = self.inner.ingress[dst.0].clone();
-        sim.schedule(arrival, move || ingress.send(packet));
+        match fate {
+            PacketFate::Drop => {}
+            PacketFate::Deliver | PacketFate::Corrupt | PacketFate::Duplicate => {
+                let mut packet = packet;
+                if fate == PacketFate::Corrupt {
+                    packet.corrupt(
+                        plane
+                            .as_ref()
+                            .expect("corrupt fate without plane")
+                            .corrupt_salt(),
+                    );
+                }
+                if fate == PacketFate::Duplicate {
+                    let dup = packet.clone();
+                    let twice = ingress.clone();
+                    sim.schedule(arrival, move || twice.send(dup));
+                }
+                sim.schedule(arrival, move || ingress.send(packet));
+            }
+        }
         arrival
+    }
+
+    /// A route from `src` to `dst` that avoids links failed *now*: the
+    /// dimension-order route when it is clean, otherwise the first
+    /// breadth-first detour (deterministic neighbor order). `None` when the
+    /// failure disconnects the pair.
+    fn route_avoiding(&self, src: NodeId, dst: NodeId, plane: &FaultPlane) -> Option<Vec<usize>> {
+        let now = self.inner.sim.now();
+        let dim = self.route(src, dst);
+        if dim.windows(2).all(|w| !plane.link_blocked(w[0], w[1], now)) {
+            return Some(dim);
+        }
+        let cfg = &self.inner.cfg;
+        let (start, goal) = (dim[0], *dim.last().expect("route is never empty"));
+        let mut prev = vec![usize::MAX; cfg.capacity()];
+        prev[start] = start;
+        let mut frontier = VecDeque::from([start]);
+        while let Some(r) = frontier.pop_front() {
+            if r == goal {
+                break;
+            }
+            let (x, y) = (r % cfg.width, r / cfg.width);
+            let mut neighbors = [usize::MAX; 4];
+            let mut n_nb = 0;
+            if x > 0 {
+                neighbors[n_nb] = r - 1;
+                n_nb += 1;
+            }
+            if x + 1 < cfg.width {
+                neighbors[n_nb] = r + 1;
+                n_nb += 1;
+            }
+            if y > 0 {
+                neighbors[n_nb] = r - cfg.width;
+                n_nb += 1;
+            }
+            if y + 1 < cfg.height {
+                neighbors[n_nb] = r + cfg.width;
+                n_nb += 1;
+            }
+            for &nb in &neighbors[..n_nb] {
+                if prev[nb] == usize::MAX && !plane.link_blocked(r, nb, now) {
+                    prev[nb] = r;
+                    frontier.push_back(nb);
+                }
+            }
+        }
+        if prev[goal] == usize::MAX {
+            return None;
+        }
+        let mut path = vec![goal];
+        let mut r = goal;
+        while r != start {
+            r = prev[r];
+            path.push(r);
+        }
+        path.reverse();
+        plane.record_reroute();
+        Some(path)
     }
 }
 
@@ -362,5 +493,121 @@ mod tests {
     fn too_many_nodes_rejected() {
         let sim = Sim::new();
         let _ = Network::<u8>::new(sim, MeshConfig::shrimp_4x4(), 17);
+    }
+
+    use shrimp_faults::{FaultPlane, FaultScenario, LinkFault};
+
+    #[test]
+    fn fault_plane_drops_corrupts_and_duplicates() {
+        let (sim, nw) = net(16);
+        nw.install_fault_plane(FaultPlane::new(FaultScenario {
+            seed: 11,
+            drop_pct: 20,
+            corrupt_pct: 20,
+            duplicate_pct: 20,
+            ..FaultScenario::none()
+        }));
+        let sent = 200u64;
+        for i in 0..sent {
+            nw.send(NodeId(0), NodeId(5), 64, i);
+        }
+        sim.run();
+        let mut received = Vec::new();
+        while let Some(v) = nw.ingress(NodeId(5)).try_recv() {
+            received.push(v);
+        }
+        let intact = received.iter().filter(|v| **v < sent).count() as u64;
+        let mangled = received.len() as u64 - intact;
+        // Drops removed packets, duplicates added them, corruption mangled
+        // payloads (u64 corruption XORs in high bits, pushing values >= sent).
+        assert!(intact < sent, "no packets were dropped");
+        assert!(mangled > 0, "no packets were corrupted");
+        assert!(
+            received.len() as u64 > intact,
+            "no packets were duplicated/corrupted"
+        );
+    }
+
+    #[test]
+    fn failed_link_routes_around() {
+        let (sim, nw) = net(16);
+        // Dimension-order route 0 -> 1 uses link (0,1); fail it permanently.
+        nw.install_fault_plane(FaultPlane::new(FaultScenario {
+            link: Some(LinkFault {
+                from: 0,
+                to: 1,
+                at_us: 0,
+                down_us: 0,
+            }),
+            ..FaultScenario::none()
+        }));
+        let t = nw.send(NodeId(0), NodeId(1), 64, 42);
+        sim.run();
+        assert_eq!(nw.ingress(NodeId(1)).try_recv(), Some(42));
+        // The detour (0 -> 4 -> 5 -> 1) is longer than the direct hop.
+        let (sim2, nw2) = net(16);
+        let direct = nw2.send(NodeId(0), NodeId(1), 64, 42);
+        sim2.run();
+        assert!(t > direct, "detour {t} not slower than direct {direct}");
+    }
+
+    #[test]
+    fn transient_link_failure_recovers() {
+        let (sim, nw) = net(16);
+        nw.install_fault_plane(FaultPlane::new(FaultScenario {
+            link: Some(LinkFault {
+                from: 0,
+                to: 1,
+                at_us: 0,
+                down_us: 10,
+            }),
+            ..FaultScenario::none()
+        }));
+        // During the outage: detour. After it: direct again.
+        let during = nw.send(NodeId(0), NodeId(1), 64, 1);
+        sim.run();
+        let resume = sim.now().max(time::us(10));
+        let nw2 = nw.clone();
+        sim.schedule(resume, move || {
+            let _ = nw2.send(NodeId(0), NodeId(1), 64, 2);
+        });
+        sim.run();
+        assert_eq!(nw.ingress(NodeId(1)).try_recv(), Some(1));
+        assert_eq!(nw.ingress(NodeId(1)).try_recv(), Some(2));
+        assert!(during > 0);
+    }
+
+    #[test]
+    fn disconnected_destination_loses_packet_gracefully() {
+        // A 2x1 mesh has a single link; failing it partitions the pair.
+        let sim = Sim::new();
+        let nw: Network<u64> = Network::new(sim.clone(), MeshConfig::for_nodes(2), 2);
+        let plane = FaultPlane::new(FaultScenario {
+            link: Some(LinkFault {
+                from: 0,
+                to: 1,
+                at_us: 0,
+                down_us: 0,
+            }),
+            ..FaultScenario::none()
+        });
+        nw.install_fault_plane(plane.clone());
+        nw.send(NodeId(0), NodeId(1), 64, 9);
+        sim.run();
+        assert_eq!(nw.ingress(NodeId(1)).try_recv(), None);
+        assert_eq!(plane.stats().link_rejects.get(), 1);
+    }
+
+    #[test]
+    fn installed_but_empty_plane_changes_nothing() {
+        let (sim_a, nw_a) = net(16);
+        let (sim_b, nw_b) = net(16);
+        nw_b.install_fault_plane(FaultPlane::new(FaultScenario::none()));
+        let ta = nw_a.send(NodeId(0), NodeId(9), 256, 5);
+        let tb = nw_b.send(NodeId(0), NodeId(9), 256, 5);
+        sim_a.run();
+        sim_b.run();
+        assert_eq!(ta, tb);
+        assert_eq!(nw_b.ingress(NodeId(9)).try_recv(), Some(5));
     }
 }

@@ -28,6 +28,17 @@ pub struct NicCounters {
     pub fifo_threshold_interrupts: Cell<u64>,
     /// High-water mark of outgoing FIFO occupancy in bytes.
     pub fifo_high_water: Cell<usize>,
+    /// Packets whose payload failed the header checksum at ingress.
+    pub corrupt_detected: Cell<u64>,
+    /// Sequenced packets discarded as already-delivered duplicates.
+    pub dup_suppressed: Cell<u64>,
+    /// Acknowledgment packets generated.
+    pub acks_sent: Cell<u64>,
+    /// Negative acknowledgments generated (corrupt sequenced packet).
+    pub nacks_sent: Cell<u64>,
+    /// Summed wire time (picoseconds) from injection to corruption
+    /// detection, over all detected-corrupt packets.
+    pub detection_latency: Cell<u64>,
 }
 
 impl NicCounters {

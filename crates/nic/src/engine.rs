@@ -3,8 +3,10 @@
 //! and the incoming DMA engine.
 
 use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
+use shrimp_faults::{FaultPlane, ShrimpError};
 use shrimp_mem::{MemBus, NodeMem, Paddr, PAGE_SIZE};
 use shrimp_net::NodeId;
 use shrimp_sim::sync::Resource;
@@ -36,6 +38,19 @@ pub struct DuRequest {
     pub interrupt: bool,
     /// Software header bit: this message carries a notification request.
     pub notify: bool,
+    /// Reliable-delivery sequence number from [`Nic::next_seq`]; `0` (the
+    /// default) is the unsequenced fast path.
+    pub seq: u64,
+}
+
+/// The sender-side wait handle for one sequenced transfer: `ev` fires on
+/// ack, nack, or timeout; `acked` distinguishes the first case.
+#[derive(Clone)]
+pub struct AckWaiter {
+    /// Set before `ev` when a positive acknowledgment arrived.
+    pub acked: Rc<Cell<bool>>,
+    /// Fired by ack, nack, or the caller's own timeout timer.
+    pub ev: Event,
 }
 
 /// An interrupt raised to the host by an arriving packet.
@@ -94,6 +109,11 @@ struct NicInner {
     // Interrupts raised to system software.
     interrupts: Queue<Interrupt>,
     cpu_stall: RefCell<Option<CpuStallHook>>,
+    // Reliability state; all empty/unused on the fast path.
+    faults: RefCell<Option<FaultPlane>>,
+    seq_counter: Cell<u64>,
+    ack_waiters: RefCell<BTreeMap<u64, AckWaiter>>,
+    seen_seqs: RefCell<BTreeMap<usize, BTreeSet<u64>>>,
 }
 
 /// One node's SHRIMP network interface. Cheap to clone (shared handle).
@@ -153,6 +173,10 @@ impl Nic {
                 eisa: Resource::new(),
                 interrupts: Queue::new(),
                 cpu_stall: RefCell::new(None),
+                faults: RefCell::new(None),
+                seq_counter: Cell::new(0),
+                ack_waiters: RefCell::new(BTreeMap::new()),
+                seen_seqs: RefCell::new(BTreeMap::new()),
             }),
         };
         // The Xpress-bus board: snoop every main-memory write.
@@ -224,6 +248,90 @@ impl Nic {
     }
 
     // ------------------------------------------------------------------
+    // Reliability
+    // ------------------------------------------------------------------
+
+    /// Installs a fault plane; the drain engine honors its FIFO-stall
+    /// windows. Without one the NIC behaves exactly as before.
+    pub fn install_fault_plane(&self, plane: FaultPlane) {
+        *self.inner.faults.borrow_mut() = Some(plane);
+    }
+
+    /// Allocates the next reliable-delivery sequence number (never 0).
+    pub fn next_seq(&self) -> u64 {
+        let s = self.inner.seq_counter.get() + 1;
+        self.inner.seq_counter.set(s);
+        s
+    }
+
+    /// Registers a waiter for the ack of `seq`, replacing any earlier
+    /// attempt's waiter for the same sequence number.
+    pub fn register_ack_waiter(&self, seq: u64) -> AckWaiter {
+        let w = AckWaiter {
+            acked: Rc::new(Cell::new(false)),
+            ev: Event::new(),
+        };
+        self.inner.ack_waiters.borrow_mut().insert(seq, w.clone());
+        w
+    }
+
+    /// Drops the waiter for `seq` (after the transfer acked or gave up).
+    pub fn clear_ack_waiter(&self, seq: u64) {
+        self.inner.ack_waiters.borrow_mut().remove(&seq);
+    }
+
+    fn send_control(&self, dst: NodeId, seq: u64, kind: PacketKind) {
+        match kind {
+            PacketKind::Ack => NicCounters::bump(&self.inner.counters.acks_sent),
+            PacketKind::Nack => NicCounters::bump(&self.inner.counters.nacks_sent),
+            _ => unreachable!("send_control takes control kinds only"),
+        }
+        let data = seq.to_le_bytes().to_vec();
+        let len = data.len();
+        let pkt = Packet {
+            src: self.inner.node,
+            dst,
+            dst_page: 0,
+            offset: 0,
+            data,
+            interrupt: false,
+            notify: false,
+            kind,
+            seq,
+            checksum: 0,
+            sent_at: self.inner.sim.now(),
+        }
+        .seal();
+        self.inner.net.send(self.inner.node, dst, len, pkt);
+    }
+
+    /// Processes an arriving ack/nack. Corrupt control packets are dropped
+    /// silently (nacking a nack could loop forever); the sender's timeout
+    /// covers the loss.
+    fn handle_control(&self, pkt: &Packet) {
+        if !pkt.checksum_ok() {
+            NicCounters::bump(&self.inner.counters.corrupt_detected);
+            return;
+        }
+        let mut waiters = self.inner.ack_waiters.borrow_mut();
+        match pkt.kind {
+            PacketKind::Ack => {
+                if let Some(w) = waiters.remove(&pkt.seq) {
+                    w.acked.set(true);
+                    w.ev.set();
+                }
+            }
+            PacketKind::Nack => {
+                // Wake the sender without `acked`: immediate retransmit.
+                if let Some(w) = waiters.get(&pkt.seq) {
+                    w.ev.set();
+                }
+            }
+            _ => unreachable!("handle_control takes control kinds only"),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Deliberate update
     // ------------------------------------------------------------------
 
@@ -233,30 +341,34 @@ impl Nic {
     /// on the engine-busy status. The returned event is set when the packet
     /// has been injected into the network.
     ///
-    /// # Panics
-    ///
-    /// Panics if the transfer is empty, crosses a page boundary, or names an
-    /// unmapped proxy index — all software bugs in the simulated stack, which
-    /// the real hardware would reject via its error-checking (§2.3).
-    pub async fn deliberate_update(&self, req: DuRequest) -> Event {
-        assert!(req.len > 0, "empty deliberate update");
-        assert!(
-            req.dst_offset + req.len <= PAGE_SIZE,
-            "deliberate update crosses destination page boundary"
-        );
-        assert!(
-            req.src.offset() + req.len <= PAGE_SIZE,
-            "deliberate update crosses source page boundary"
-        );
-        assert!(
-            self.inner.tables.opt_get(req.proxy_index).is_some(),
-            "deliberate update through unmapped proxy index {}",
-            req.proxy_index
-        );
+    /// Returns a [`ShrimpError`] if the transfer is empty, crosses a page
+    /// boundary, or names an unmapped proxy index — the conditions the real
+    /// hardware rejects via its error-checking (§2.3).
+    pub async fn deliberate_update(&self, req: DuRequest) -> Result<Event, ShrimpError> {
+        if req.len == 0 {
+            return Err(ShrimpError::EmptyTransfer);
+        }
+        if req.dst_offset + req.len > PAGE_SIZE {
+            return Err(ShrimpError::PageCrossing {
+                offset: req.dst_offset,
+                len: req.len,
+            });
+        }
+        if req.src.offset() + req.len > PAGE_SIZE {
+            return Err(ShrimpError::PageCrossing {
+                offset: req.src.offset(),
+                len: req.len,
+            });
+        }
+        if self.inner.tables.opt_get(req.proxy_index).is_none() {
+            return Err(ShrimpError::UnmappedProxy {
+                index: req.proxy_index,
+            });
+        }
         self.inner.du_slots.acquire().await;
         let done = Event::new();
         self.inner.du_queue.send((req, done.clone()));
-        done
+        Ok(done)
     }
 
     async fn du_engine(&self) {
@@ -309,7 +421,11 @@ impl Nic {
                 interrupt: req.interrupt,
                 notify: req.notify,
                 kind: PacketKind::DeliberateUpdate,
-            };
+                seq: req.seq,
+                checksum: 0,
+                sent_at: self.inner.sim.now(),
+            }
+            .seal();
             self.inner
                 .net
                 .send(self.inner.node, entry.dst_node, req.len, pkt);
@@ -446,16 +562,22 @@ impl Nic {
             p.offset,
             occ
         );
-        self.inner.au_fifo.send(Packet {
-            src: self.inner.node,
-            dst: p.dst_node,
-            dst_page: p.dst_page,
-            offset: p.offset,
-            data: p.data,
-            interrupt: p.interrupt,
-            notify: p.notify,
-            kind: PacketKind::AutomaticUpdate,
-        });
+        self.inner.au_fifo.send(
+            Packet {
+                src: self.inner.node,
+                dst: p.dst_node,
+                dst_page: p.dst_page,
+                offset: p.offset,
+                data: p.data,
+                interrupt: p.interrupt,
+                notify: p.notify,
+                kind: PacketKind::AutomaticUpdate,
+                seq: 0,
+                checksum: 0,
+                sent_at: self.inner.sim.now(),
+            }
+            .seal(),
+        );
         // Threshold interrupt: after the recognition latency, system
         // software de-schedules AU writers until the FIFO drains (§4.5.2).
         if occ > self.inner.cfg.out_fifo_threshold && !self.inner.threshold_pending.get() {
@@ -496,6 +618,18 @@ impl Nic {
             let Some(pkt) = self.inner.au_fifo.recv().await else {
                 break;
             };
+            // Injected fault: the drain engine wedges for the stall window,
+            // backing data up in the FIFO (threshold interrupts and AU
+            // blocking then engage exactly as for real congestion).
+            let stall = self
+                .inner
+                .faults
+                .borrow()
+                .as_ref()
+                .and_then(|p| p.fifo_stall_until(self.inner.node.0, self.inner.sim.now()));
+            if let Some(until) = stall {
+                self.inner.sim.sleep_until(until).await;
+            }
             // The FIFO drains through the NIC chip at link rate; incoming
             // packets have priority for the chip port, modeled by sharing
             // `nic_access` with the incoming engine.
@@ -524,7 +658,42 @@ impl Nic {
             let Some(pkt) = ingress.recv().await else {
                 break;
             };
+            if pkt.kind.is_control() {
+                self.handle_control(&pkt);
+                continue;
+            }
             NicCounters::bump(&self.inner.counters.packets_received);
+            if !pkt.checksum_ok() {
+                // In-flight corruption: count it, record how long the damage
+                // was in flight, and nack sequenced transfers so the sender
+                // retransmits without waiting out its timeout.
+                NicCounters::bump(&self.inner.counters.corrupt_detected);
+                NicCounters::add(
+                    &self.inner.counters.detection_latency,
+                    self.inner.sim.now().saturating_sub(pkt.sent_at),
+                );
+                if pkt.seq != 0 {
+                    self.send_control(pkt.src, pkt.seq, PacketKind::Nack);
+                }
+                continue;
+            }
+            if pkt.seq != 0 {
+                let already = !self
+                    .inner
+                    .seen_seqs
+                    .borrow_mut()
+                    .entry(pkt.src.0)
+                    .or_default()
+                    .insert(pkt.seq);
+                if already {
+                    // Retransmit of a delivered transfer (its ack was lost or
+                    // late, or the plane duplicated it): re-ack, never DMA or
+                    // interrupt twice.
+                    NicCounters::bump(&self.inner.counters.dup_suppressed);
+                    self.send_control(pkt.src, pkt.seq, PacketKind::Ack);
+                    continue;
+                }
+            }
             let Some(entry) = self.inner.tables.ipt_get(pkt.dst_page) else {
                 NicCounters::bump(&self.inner.counters.protection_drops);
                 continue;
@@ -575,6 +744,10 @@ impl Nic {
                     buffer_id: entry.buffer_id,
                     notify: pkt.notify,
                 });
+            }
+            // Sequenced transfer landed in memory: acknowledge it.
+            if pkt.seq != 0 {
+                self.send_control(pkt.src, pkt.seq, PacketKind::Ack);
             }
         }
     }
@@ -689,8 +862,10 @@ mod tests {
                     len: 200,
                     interrupt: false,
                     notify: false,
+                    seq: 0,
                 })
-                .await;
+                .await
+                .unwrap();
             done.wait().await;
         });
         finish(&r);
@@ -720,8 +895,10 @@ mod tests {
                 len: 4,
                 interrupt: false,
                 notify: false,
+                seq: 0,
             })
-            .await;
+            .await
+            .unwrap();
         });
         r.sim.run();
         // The word must have landed; measure when.
@@ -739,14 +916,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "crosses destination page boundary")]
-    fn du_rejects_page_crossing() {
+    fn du_rejects_page_crossing_with_typed_error() {
         let r = rig(2, NicConfig::default());
         let (proxy, _) = export_import(&r, 0, 1);
         let v = r.spaces[0].alloc(1);
         let pa = r.spaces[0].translate(v);
         let nic = r.nics[0].clone();
-        r.sim.spawn(async move {
+        let h = r.sim.spawn(async move {
             nic.deliberate_update(DuRequest {
                 src: pa,
                 proxy_index: proxy,
@@ -754,10 +930,50 @@ mod tests {
                 len: 200,
                 interrupt: false,
                 notify: false,
+                seq: 0,
             })
-            .await;
+            .await
+            .err()
         });
         r.sim.run();
+        let err = h.try_take().flatten().expect("page crossing not rejected");
+        assert!(
+            matches!(
+                err,
+                ShrimpError::PageCrossing {
+                    offset: 4000,
+                    len: 200
+                }
+            ),
+            "wrong error: {err}"
+        );
+        assert!(err
+            .to_string()
+            .contains("crosses destination page boundary"));
+    }
+
+    #[test]
+    fn du_rejects_unmapped_proxy_with_typed_error() {
+        let r = rig(2, NicConfig::default());
+        let v = r.spaces[0].alloc(1);
+        let pa = r.spaces[0].translate(v);
+        let nic = r.nics[0].clone();
+        let h = r.sim.spawn(async move {
+            nic.deliberate_update(DuRequest {
+                src: pa,
+                proxy_index: 777,
+                dst_offset: 0,
+                len: 8,
+                interrupt: false,
+                notify: false,
+                seq: 0,
+            })
+            .await
+            .err()
+        });
+        r.sim.run();
+        let err = h.try_take().flatten().expect("unmapped proxy not rejected");
+        assert_eq!(err, ShrimpError::UnmappedProxy { index: 777 });
     }
 
     #[test]
@@ -784,8 +1000,10 @@ mod tests {
                 len: 8,
                 interrupt: false,
                 notify: false,
+                seq: 0,
             })
-            .await;
+            .await
+            .unwrap();
         });
         finish(&r);
         assert_eq!(r.nics[1].counters().protection_drops.get(), 1);
@@ -874,8 +1092,10 @@ mod tests {
                     len: 4,
                     interrupt: false,
                     notify: false,
+                    seq: 0,
                 })
-                .await;
+                .await
+                .unwrap();
             });
             finish(&r)
         };
@@ -1127,8 +1347,10 @@ mod tests {
                     len: 4096,
                     interrupt: false,
                     notify: false,
+                    seq: 0,
                 })
-                .await;
+                .await
+                .unwrap();
             let _e2 = nic
                 .deliberate_update(DuRequest {
                     src: pa,
@@ -1137,8 +1359,10 @@ mod tests {
                     len: 4096,
                     interrupt: false,
                     notify: false,
+                    seq: 0,
                 })
-                .await;
+                .await
+                .unwrap();
             sim.now() - t0
         });
         finish(&r);
@@ -1165,8 +1389,10 @@ mod tests {
                     len: 4096,
                     interrupt: false,
                     notify: false,
+                    seq: 0,
                 })
-                .await;
+                .await
+                .unwrap();
             let _e2 = nic
                 .deliberate_update(DuRequest {
                     src: pa,
@@ -1175,8 +1401,10 @@ mod tests {
                     len: 4096,
                     interrupt: false,
                     notify: false,
+                    seq: 0,
                 })
-                .await;
+                .await
+                .unwrap();
             sim.now() - t0
         });
         finish(&r);
@@ -1206,8 +1434,10 @@ mod tests {
                     len: 4096,
                     interrupt: false,
                     notify: false,
+                    seq: 0,
                 })
-                .await;
+                .await
+                .unwrap();
             mem.store_u32(Paddr::from_parts(au_src, 0), 0xFEED);
         });
         // Track arrival order by reading both at the time the AU word lands.
@@ -1225,5 +1455,122 @@ mod tests {
         let c0 = r.nics[0].counters();
         assert_eq!(c0.du_transfers.get(), 1);
         assert_eq!(c0.au_packets.get(), 1);
+    }
+
+    #[test]
+    fn sequenced_du_acks_and_suppresses_duplicates() {
+        let r = rig(2, NicConfig::default());
+        let (proxy, dst_page) = export_import(&r, 0, 1);
+        let v = r.spaces[0].alloc(1);
+        r.spaces[0].write_raw(v, &[5; 64]);
+        let pa = r.spaces[0].translate(v);
+        let nic = r.nics[0].clone();
+        let seq = nic.next_seq();
+        assert!(seq != 0, "sequence numbers must never be 0");
+        let waiter = nic.register_ack_waiter(seq);
+        let w = waiter.clone();
+        let sender = nic.clone();
+        r.sim.spawn(async move {
+            // First transmission, then a blind retransmit of the same seq
+            // (as the reliable layer does when an ack seems lost).
+            for _ in 0..2 {
+                let done = sender
+                    .deliberate_update(DuRequest {
+                        src: pa,
+                        proxy_index: proxy,
+                        dst_offset: 0,
+                        len: 64,
+                        interrupt: false,
+                        notify: false,
+                        seq,
+                    })
+                    .await
+                    .unwrap();
+                done.wait().await;
+            }
+            w.ev.wait().await;
+        });
+        finish(&r);
+        assert!(waiter.acked.get(), "ack never arrived");
+        let rx = r.nics[1].counters();
+        assert_eq!(rx.packets_received.get(), 2);
+        assert_eq!(rx.dup_suppressed.get(), 1, "duplicate was not suppressed");
+        assert_eq!(rx.acks_sent.get(), 2, "duplicate must be re-acked");
+        let mut got = vec![0u8; 64];
+        r.spaces[1]
+            .mem()
+            .read(Paddr::from_parts(dst_page, 0), &mut got);
+        assert_eq!(got, vec![5; 64]);
+    }
+
+    #[test]
+    fn corrupted_sequenced_packet_is_detected_and_nacked() {
+        use shrimp_faults::{FaultPlane, FaultScenario};
+        let sim = Sim::new();
+        let net: ShrimpNetwork = shrimp_net::Network::new(sim.clone(), MeshConfig::shrimp_4x4(), 2);
+        net.install_fault_plane(FaultPlane::new(FaultScenario {
+            seed: 1,
+            corrupt_pct: 100,
+            ..FaultScenario::none()
+        }));
+        let mut nics = Vec::new();
+        let mut spaces = Vec::new();
+        for i in 0..2 {
+            let mem = NodeMem::new();
+            let bus = MemBus::shrimp_default();
+            let nic = Nic::new(
+                sim.clone(),
+                NodeId(i),
+                NicConfig::default(),
+                mem.clone(),
+                bus,
+                net.clone(),
+            );
+            nic.start();
+            nics.push(nic);
+            spaces.push(AddressSpace::new(mem));
+        }
+        let r = Rig { sim, nics, spaces };
+        let (proxy, dst_page) = export_import(&r, 0, 1);
+        let v = r.spaces[0].alloc(1);
+        r.spaces[0].write_raw(v, &[9; 32]);
+        let pa = r.spaces[0].translate(v);
+        let nic = r.nics[0].clone();
+        let seq = nic.next_seq();
+        let _waiter = nic.register_ack_waiter(seq);
+        let sender = nic.clone();
+        r.sim.spawn(async move {
+            let done = sender
+                .deliberate_update(DuRequest {
+                    src: pa,
+                    proxy_index: proxy,
+                    dst_offset: 0,
+                    len: 32,
+                    interrupt: false,
+                    notify: false,
+                    seq,
+                })
+                .await
+                .unwrap();
+            done.wait().await;
+        });
+        finish(&r);
+        let rx = r.nics[1].counters();
+        assert_eq!(rx.corrupt_detected.get(), 1, "corruption went undetected");
+        assert_eq!(
+            rx.nacks_sent.get(),
+            1,
+            "corrupt sequenced packet not nacked"
+        );
+        assert!(rx.detection_latency.get() > 0);
+        // The damaged payload must never have been DMA'd.
+        let mut got = vec![0u8; 32];
+        r.spaces[1]
+            .mem()
+            .read(Paddr::from_parts(dst_page, 0), &mut got);
+        assert_eq!(got, vec![0u8; 32], "corrupt payload reached memory");
+        // The nack itself was corrupted in flight (100% rate) and dropped
+        // silently at the sender.
+        assert_eq!(r.nics[0].counters().corrupt_detected.get(), 1);
     }
 }

@@ -1,15 +1,40 @@
 //! The on-wire packet format.
 
-use shrimp_net::NodeId;
+use shrimp_net::{Faultable, NodeId};
+use shrimp_sim::Time;
 
 /// How a packet was produced; drives per-kind statistics and the receiver's
-/// handling (both kinds take the same incoming-DMA path).
+/// handling (both data kinds take the same incoming-DMA path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
     /// Produced by the deliberate-update DMA engine.
     DeliberateUpdate,
     /// Produced by the automatic-update snoop/packetizing path.
     AutomaticUpdate,
+    /// Reliability control: acknowledges receipt of the sequence number in
+    /// the header. Carries no payload DMA.
+    Ack,
+    /// Reliability control: the sequenced packet named in the header arrived
+    /// damaged; the sender should retransmit immediately.
+    Nack,
+}
+
+impl PacketKind {
+    /// `true` for the reliability control kinds (no payload DMA).
+    pub fn is_control(&self) -> bool {
+        matches!(self, PacketKind::Ack | PacketKind::Nack)
+    }
+}
+
+/// FNV-1a over the payload bytes; the per-packet integrity check carried in
+/// the header.
+pub fn payload_checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// A packet on the routing backplane.
@@ -39,6 +64,14 @@ pub struct Packet {
     pub notify: bool,
     /// Producing mechanism.
     pub kind: PacketKind,
+    /// Reliable-delivery sequence number; `0` marks the unsequenced fast
+    /// path (no ack expected, no duplicate suppression).
+    pub seq: u64,
+    /// Header integrity check over `data` ([`payload_checksum`]); stale
+    /// after in-flight corruption, which is how receivers detect damage.
+    pub checksum: u64,
+    /// Injection timestamp, for the receiver's detection-latency metric.
+    pub sent_at: Time,
 }
 
 impl Packet {
@@ -51,15 +84,38 @@ impl Packet {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Stamps the header checksum from the current payload.
+    pub fn seal(mut self) -> Self {
+        self.checksum = payload_checksum(&self.data);
+        self
+    }
+
+    /// `true` if the payload still matches the header checksum.
+    pub fn checksum_ok(&self) -> bool {
+        self.checksum == payload_checksum(&self.data)
+    }
+}
+
+impl Faultable for Packet {
+    /// In-flight bit error: flips one payload byte (chosen by `salt`),
+    /// leaving the header checksum stale so ingress can detect it.
+    fn corrupt(&mut self, salt: u64) {
+        if self.data.is_empty() {
+            self.checksum ^= salt | 1;
+            return;
+        }
+        let idx = (salt as usize) % self.data.len();
+        self.data[idx] ^= ((salt >> 32) as u8) | 1;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn packet_len_reports_payload() {
-        let p = Packet {
+    fn packet() -> Packet {
+        Packet {
             src: NodeId(0),
             dst: NodeId(1),
             dst_page: 7,
@@ -68,8 +124,35 @@ mod tests {
             interrupt: false,
             notify: false,
             kind: PacketKind::DeliberateUpdate,
-        };
+            seq: 0,
+            checksum: 0,
+            sent_at: 0,
+        }
+        .seal()
+    }
+
+    #[test]
+    fn packet_len_reports_payload() {
+        let p = packet();
         assert_eq!(p.len(), 3);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn sealed_checksum_verifies_and_corruption_breaks_it() {
+        let p = packet();
+        assert!(p.checksum_ok());
+        let mut damaged = p.clone();
+        damaged.corrupt(0x1234_5678_9abc_def0);
+        assert!(!damaged.checksum_ok(), "corruption went undetected");
+        assert_eq!(damaged.len(), p.len(), "corruption must not resize");
+    }
+
+    #[test]
+    fn control_kinds_are_control() {
+        assert!(PacketKind::Ack.is_control());
+        assert!(PacketKind::Nack.is_control());
+        assert!(!PacketKind::DeliberateUpdate.is_control());
+        assert!(!PacketKind::AutomaticUpdate.is_control());
     }
 }

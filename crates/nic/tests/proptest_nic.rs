@@ -108,8 +108,10 @@ props! {
                         len,
                         interrupt: false,
                         notify: false,
+                        seq: 0,
                     })
-                    .await;
+                    .await
+                    .expect("valid request");
                 // Wait out each transfer so the shared staging page can be
                 // refilled (the library-level discipline).
                 done.wait().await;

@@ -4,6 +4,8 @@
 //! return on polled rings. Large payloads (page data, write-notice lists,
 //! diffs) are chunked by the transport in `system.rs`.
 
+use shrimp_faults::ShrimpError;
+
 /// A write notice: "`writer` modified `page` of `region` this interval".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Notice {
@@ -175,10 +177,20 @@ impl Request {
     ///
     /// # Panics
     ///
-    /// Panics on a corrupt buffer (a bug in the simulated stack).
+    /// Panics on a corrupt buffer (a bug in the simulated stack); fault-
+    /// tolerant callers use [`Request::try_decode`].
     pub fn decode(b: &[u8]) -> Request {
+        match Request::try_decode(b) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Deserializes a request, reporting an unknown kind tag as a
+    /// [`ShrimpError::CorruptMessage`] instead of panicking.
+    pub fn try_decode(b: &[u8]) -> Result<Request, ShrimpError> {
         let mut at = 0;
-        match get_u32(b, &mut at) {
+        Ok(match get_u32(b, &mut at) {
             1 => Request::FetchPage {
                 region: get_u32(b, &mut at),
                 page: get_u32(b, &mut at),
@@ -218,8 +230,13 @@ impl Request {
                 region: get_u32(b, &mut at),
                 page: get_u32(b, &mut at),
             },
-            k => panic!("corrupt SVM request kind {k}"),
-        }
+            k => {
+                return Err(ShrimpError::CorruptMessage {
+                    context: "request",
+                    kind: k as u64,
+                })
+            }
+        })
     }
 }
 
@@ -250,10 +267,20 @@ impl Reply {
     ///
     /// # Panics
     ///
-    /// Panics on a corrupt buffer.
+    /// Panics on a corrupt buffer; fault-tolerant callers use
+    /// [`Reply::try_decode`].
     pub fn decode(b: &[u8]) -> Reply {
+        match Reply::try_decode(b) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Deserializes a reply, reporting an unknown kind tag as a
+    /// [`ShrimpError::CorruptMessage`] instead of panicking.
+    pub fn try_decode(b: &[u8]) -> Result<Reply, ShrimpError> {
         let mut at = 0;
-        match get_u32(b, &mut at) {
+        Ok(match get_u32(b, &mut at) {
             1 => {
                 let len = get_u32(b, &mut at) as usize;
                 Reply::PageData(b[at..at + len].to_vec())
@@ -261,8 +288,13 @@ impl Reply {
             2 => Reply::Ack,
             3 => Reply::LockGrant(get_notices(b, &mut at)),
             4 => Reply::BarrierRelease(get_notices(b, &mut at)),
-            k => panic!("corrupt SVM reply kind {k}"),
-        }
+            k => {
+                return Err(ShrimpError::CorruptMessage {
+                    context: "reply",
+                    kind: k as u64,
+                })
+            }
+        })
     }
 }
 
@@ -323,6 +355,36 @@ mod tests {
             },
         ]));
         roundtrip_rep(Reply::BarrierRelease(vec![]));
+    }
+
+    #[test]
+    fn corrupt_kind_tags_decode_to_typed_errors() {
+        let mut bad_req = Request::LockAcquire { lock: 7 }.encode();
+        bad_req[0] = 0xee; // stomp the kind tag
+        assert_eq!(
+            Request::try_decode(&bad_req),
+            Err(ShrimpError::CorruptMessage {
+                context: "request",
+                kind: 0xee,
+            })
+        );
+        let mut bad_rep = Reply::Ack.encode();
+        bad_rep[0] = 0x99;
+        assert_eq!(
+            Reply::try_decode(&bad_rep),
+            Err(ShrimpError::CorruptMessage {
+                context: "reply",
+                kind: 0x99,
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt SVM request: unknown kind")]
+    fn decode_panics_with_structured_message() {
+        let mut bad = Request::LockAcquire { lock: 7 }.encode();
+        bad[0] = 0xee;
+        let _ = Request::decode(&bad);
     }
 
     #[test]

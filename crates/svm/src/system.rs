@@ -7,7 +7,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use shrimp_core::ring::{connect_ring, RingBulk, RingReceiver, RingSender};
-use shrimp_core::{Cluster, ProxyBuffer, Vmmc};
+use shrimp_core::{Cluster, ProxyBuffer, ShrimpError, Vmmc};
 use shrimp_mem::{Vaddr, PAGE_SIZE};
 use shrimp_sim::{trace_event, Event, Semaphore};
 
@@ -641,7 +641,13 @@ impl SvmNode {
             )
             .await;
         let Reply::PageData(data) = rep else {
-            panic!("bad fetch reply");
+            panic!(
+                "{}",
+                ShrimpError::BadReply {
+                    wanted: "PageData",
+                    got: format!("{rep:?}"),
+                }
+            );
         };
         sh.vm.local_copy(PAGE_SIZE).await;
         sh.vm
@@ -976,7 +982,13 @@ impl SvmNode {
                 .await
             {
                 Reply::LockGrant(v) => v,
-                r => panic!("bad lock reply {r:?}"),
+                r => panic!(
+                    "{}",
+                    ShrimpError::BadReply {
+                        wanted: "LockGrant",
+                        got: format!("{r:?}"),
+                    }
+                ),
             }
         };
         self.apply_notices(&notices);
@@ -1049,7 +1061,13 @@ impl SvmNode {
                 .await
             {
                 Reply::BarrierRelease(v) => v,
-                r => panic!("bad barrier reply {r:?}"),
+                r => panic!(
+                    "{}",
+                    ShrimpError::BadReply {
+                        wanted: "BarrierRelease",
+                        got: format!("{r:?}"),
+                    }
+                ),
             }
         };
         self.apply_notices(&merged);
