@@ -391,6 +391,16 @@ impl RunSpec {
     /// Runs the spec to completion on a fresh cluster and collects the
     /// deterministic metrics.
     pub fn execute(&self) -> RunRecord {
+        self.execute_timed().0
+    }
+
+    /// [`RunSpec::execute`] plus a host-side [`PerfSample`]: wall-clock time
+    /// around cluster construction + run + metric capture, and the number of
+    /// simulator events the run dispatched. The sample is returned beside the
+    /// record — never inside it — so the deterministic artifact cannot pick
+    /// up host timing.
+    pub fn execute_timed(&self) -> (RunRecord, PerfSample) {
+        let start = std::time::Instant::now();
         let cluster = Cluster::new(self.nodes, self.design_config());
         let out = self.run_on(&cluster);
         let report = ClusterReport::capture(&cluster, out.elapsed);
@@ -412,7 +422,7 @@ impl RunSpec {
                 recovery_time_ps: cluster.total(|s| s.recovery_time.get()),
             }
         });
-        RunRecord {
+        let record = RunRecord {
             elapsed: out.elapsed,
             checksum: out.checksum,
             messages: out.messages,
@@ -422,7 +432,17 @@ impl RunSpec {
             net_packets: report.net_packets,
             net_bytes: report.net_bytes,
             recovery,
-        }
+        };
+        let events = cluster.sim().events();
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        (
+            record,
+            PerfSample {
+                wall_ns,
+                events,
+                peak_rss_bytes: peak_rss_bytes(),
+            },
+        )
     }
 
     /// Runs the spec's application on a caller-provided cluster (the thin
@@ -507,6 +527,40 @@ pub struct RunRecord {
     /// Fault-recovery metrics; present only on runs with reliability or an
     /// active fault scenario, so fault-free rows serialize unchanged.
     pub recovery: Option<Recovery>,
+}
+
+/// Host-side performance sample of one run. Carried *beside* the
+/// deterministic [`RunRecord`], never inside it: wall-clock depends on the
+/// machine, the load and the build, so it must stay out of `sweep.json`
+/// and the baselines (`results/perf.json` is its only home).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfSample {
+    /// Host wall-clock nanoseconds for the whole run (cluster construction,
+    /// simulation and metric capture).
+    pub wall_ns: u64,
+    /// Simulator events dispatched (task polls + timer fires) — the
+    /// deterministic work measure that turns `wall_ns` into events/sec.
+    pub events: u64,
+    /// Process peak resident set (`VmHWM`) in bytes, sampled when the run
+    /// completed. Process-wide and monotone across a sweep, so it bounds —
+    /// rather than attributes — per-run memory; `0` where unavailable.
+    pub peak_rss_bytes: u64,
+}
+
+/// Process peak RSS in bytes from `/proc/self/status` (`VmHWM`); `0` on
+/// platforms without procfs.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<u64>().ok())
+                    .map(|kb| kb * 1024)
+            })
+        })
+        .unwrap_or(0)
 }
 
 /// Fault-detection and -recovery metrics of one chaos run.

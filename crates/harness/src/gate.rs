@@ -228,6 +228,7 @@ mod tests {
             index: 0,
             spec,
             status: RunStatus::Ok(record),
+            perf: None,
         }]
     }
 

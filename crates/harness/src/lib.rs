@@ -11,7 +11,10 @@
 //! metrics only — byte-identical across worker counts) plus a
 //! human-readable comparison table, and the [`gate`] diffs fresh runs
 //! against committed golden metrics in `results/baselines/*.json` with
-//! per-metric tolerance bands, exiting non-zero on regression.
+//! per-metric tolerance bands, exiting non-zero on regression. With
+//! `--perf`, host wall-clock and simulator events/sec samples land in
+//! `results/perf.json` ([`perf`]) — strictly apart from the deterministic
+//! artifact — with their own generous throughput gate.
 //!
 //! ```text
 //! cargo run --release -p shrimp-harness -- --smoke --workers 4
@@ -23,6 +26,7 @@
 
 pub mod gate;
 pub mod json;
+pub mod perf;
 pub mod runner;
 pub mod sweep;
 

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use shrimp_bench::{matrix, Scale};
 use shrimp_harness::runner::{run_sweep_with_progress, RunnerOptions};
-use shrimp_harness::{gate, json, sweep};
+use shrimp_harness::{gate, json, perf, sweep};
 
 const USAGE: &str = "\
 shrimp-harness — parallel experiment sweep with baseline regression gating
@@ -27,8 +27,15 @@ FLAGS:
   --out <PATH>        sweep artifact path (default results/sweep.json)
   --baseline <PATH>   baseline to gate against
                       (default results/baselines/<scale>.json, if present)
-  --write-baseline    write the baseline file instead of gating
+  --write-baseline    write the baseline file(s) instead of gating
   --no-gate           skip the regression gate
+  --perf              also write host wall-clock/events-per-sec samples to
+                      results/perf.json and gate them (generous ±40% band)
+                      against results/baselines/perf-<scale>.json if present
+  --perf-out <PATH>   perf artifact path (default results/perf.json)
+  --perf-baseline <PATH>
+                      perf baseline to gate against
+                      (default results/baselines/perf-<scale>.json)
   --list              print the matrix's run ids and exit
 
 EXIT STATUS:
@@ -47,6 +54,9 @@ struct Cli {
     baseline: Option<PathBuf>,
     write_baseline: bool,
     no_gate: bool,
+    perf: bool,
+    perf_out: Option<PathBuf>,
+    perf_baseline: Option<PathBuf>,
     list: bool,
 }
 
@@ -62,6 +72,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         baseline: None,
         write_baseline: false,
         no_gate: false,
+        perf: false,
+        perf_out: None,
+        perf_baseline: None,
         list: false,
     };
     let mut it = args.iter();
@@ -85,6 +98,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--baseline" => cli.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--write-baseline" => cli.write_baseline = true,
             "--no-gate" => cli.no_gate = true,
+            "--perf" => cli.perf = true,
+            "--perf-out" => cli.perf_out = Some(PathBuf::from(value("--perf-out")?)),
+            "--perf-baseline" => cli.perf_baseline = Some(PathBuf::from(value("--perf-baseline")?)),
             "--list" => cli.list = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -182,6 +198,25 @@ fn main() -> ExitCode {
     print!("{}", sweep::render_table(&results));
     println!("\nwrote {}", out_path.display());
 
+    // The perf artifact is written beside — never inside — the sweep: it
+    // holds host wall-clock, which must not contaminate the deterministic
+    // file or its baselines.
+    let perf_artifact = cli.perf.then(|| perf::to_json(cli.scale.label(), &results));
+    if let Some(text) = &perf_artifact {
+        let perf_path = cli
+            .perf_out
+            .clone()
+            .unwrap_or_else(|| results_dir().join("perf.json"));
+        if let Some(parent) = perf_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&perf_path, text) {
+            eprintln!("error: writing {}: {e}", perf_path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", perf_path.display());
+    }
+
     let failed = results
         .iter()
         .filter(|r| r.status.record().is_none())
@@ -195,6 +230,11 @@ fn main() -> ExitCode {
             .join("baselines")
             .join(format!("{}.json", cli.scale.label()))
     });
+    let perf_baseline_path = cli.perf_baseline.clone().unwrap_or_else(|| {
+        results_dir()
+            .join("baselines")
+            .join(format!("perf-{}.json", cli.scale.label()))
+    });
 
     if cli.write_baseline {
         if let Some(parent) = baseline_path.parent() {
@@ -205,6 +245,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("wrote baseline {}", baseline_path.display());
+        if let Some(text) = &perf_artifact {
+            if let Err(e) = std::fs::write(&perf_baseline_path, text) {
+                eprintln!("error: writing {}: {e}", perf_baseline_path.display());
+                return ExitCode::from(2);
+            }
+            println!("wrote perf baseline {}", perf_baseline_path.display());
+        }
         return if failed > 0 {
             ExitCode::FAILURE
         } else {
@@ -233,6 +280,31 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: reading {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if cli.perf && !cli.no_gate {
+        match std::fs::read_to_string(&perf_baseline_path) {
+            Ok(text) => match json::parse(&text).and_then(|doc| perf::check(&doc, &results)) {
+                Ok(outcome) => {
+                    println!("\n{}", outcome.render());
+                    gate_failed = gate_failed || !outcome.passed();
+                }
+                Err(e) => {
+                    eprintln!("error: perf baseline {}: {e}", perf_baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) if cli.perf_baseline.is_none() => {
+                println!(
+                    "\nno perf baseline at {} — skipping perf gate (--write-baseline to create one)",
+                    perf_baseline_path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", perf_baseline_path.display());
                 return ExitCode::from(2);
             }
         }

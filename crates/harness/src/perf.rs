@@ -1,0 +1,273 @@
+//! Host-side performance artifact (`results/perf.json`) and its generous
+//! regression gate.
+//!
+//! Wall-clock is everything `sweep.json` must never contain: it varies by
+//! machine, load, and build. So perf samples live in their own artifact
+//! with their own baseline (`results/baselines/perf-<scale>.json`).
+//!
+//! The gate compares the **aggregate** sweep throughput (total simulator
+//! events over total wall-clock) against the baseline with a deliberately
+//! wide ±40% band. Per-run rows are recorded for trend-reading but never
+//! gated: a smoke run lasts well under a millisecond, so its individual
+//! wall-clock is dominated by scheduler noise and worker contention, while
+//! the whole-sweep aggregate is stable run-to-run. The band exists to catch
+//! order-of-magnitude hot-path regressions (an accidental `Mutex`, a
+//! per-event allocation storm), not single-digit drift, which would flake
+//! across CI hosts. Sweeps *faster* than the band never fail the gate; they
+//! are reported so the baseline can be refreshed to raise the floor.
+
+use std::fmt::Write as _;
+
+use crate::json::{escape, Json};
+use crate::runner::RunResult;
+
+/// Schema tag written into every perf document.
+pub const SCHEMA: &str = "shrimp-perf-v1";
+
+/// Relative band around the baseline's aggregate `events_per_sec`.
+/// Only drops below the band fail; see the module docs for the rationale.
+pub const TOLERANCE: f64 = 0.40;
+
+/// Events per second as an integer, computed in 128-bit so huge runs
+/// cannot overflow.
+pub fn events_per_sec(events: u64, wall_ns: u64) -> u64 {
+    if wall_ns == 0 {
+        return 0;
+    }
+    ((events as u128 * 1_000_000_000) / wall_ns as u128) as u64
+}
+
+/// Sums the samples of completed runs into `(events, wall_ns)`.
+fn totals(results: &[RunResult]) -> (u64, u64) {
+    results
+        .iter()
+        .filter_map(|r| r.perf)
+        .fold((0, 0), |(events, wall), p| {
+            (events + p.events, wall + p.wall_ns)
+        })
+}
+
+/// Serializes the perf samples of completed runs as the perf document.
+/// Failed runs (panic/timeout) have no sample and are omitted — the sweep
+/// gate already fails them. The `totals` object is what the gate reads.
+pub fn to_json(scale: &str, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"scale\": \"{}\",", escape(scale));
+    let (events, wall_ns) = totals(results);
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"wall_ns\": {}, \"events\": {}, \"events_per_sec\": {}}},",
+        wall_ns,
+        events,
+        events_per_sec(events, wall_ns),
+    );
+    out.push_str("  \"rows\": [\n");
+    let rows: Vec<_> = results.iter().filter_map(|r| Some((r, r.perf?))).collect();
+    for (i, (r, p)) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{}\", \"wall_ns\": {}, \"events\": {}, \
+             \"events_per_sec\": {}, \"peak_rss_bytes\": {}}}",
+            escape(&r.spec.id()),
+            p.wall_ns,
+            p.events,
+            events_per_sec(p.events, p.wall_ns),
+            p.peak_rss_bytes,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Outcome of gating fresh perf samples against a perf baseline.
+#[derive(Debug, Clone)]
+pub struct PerfOutcome {
+    /// Baseline aggregate events/sec.
+    pub baseline: u64,
+    /// Fresh aggregate events/sec.
+    pub fresh: u64,
+    /// Rows carried by the baseline document (informational).
+    pub baseline_rows: usize,
+    /// Rows sampled by this sweep.
+    pub fresh_rows: usize,
+}
+
+impl PerfOutcome {
+    /// The lowest aggregate throughput the gate accepts.
+    pub fn floor(&self) -> u64 {
+        (self.baseline as f64 * (1.0 - TOLERANCE)) as u64
+    }
+
+    /// `true` when aggregate throughput stayed above the floor.
+    pub fn passed(&self) -> bool {
+        self.fresh >= self.floor()
+    }
+
+    /// `true` when the sweep beat the baseline by more than the band —
+    /// never a failure, but a sign the committed floor is stale.
+    pub fn stale_floor(&self) -> bool {
+        self.fresh as f64 > self.baseline as f64 * (1.0 + TOLERANCE)
+    }
+
+    /// Renders the perf-gate verdict for humans.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.passed() {
+            let _ = write!(
+                out,
+                "perf gate PASSED: {} events/sec aggregate over {} run(s) \
+                 (baseline {}, floor {} at \u{2212}{:.0}%)",
+                self.fresh,
+                self.fresh_rows,
+                self.baseline,
+                self.floor(),
+                TOLERANCE * 100.0
+            );
+        } else {
+            let _ = write!(
+                out,
+                "perf gate FAILED: {} events/sec aggregate over {} run(s) \
+                 fell below the floor of {} (baseline {} \u{2212} {:.0}%)",
+                self.fresh,
+                self.fresh_rows,
+                self.floor(),
+                self.baseline,
+                TOLERANCE * 100.0
+            );
+        }
+        if self.stale_floor() {
+            let _ = write!(
+                out,
+                "\nnote: aggregate beat the baseline by >{:.0}% — refresh \
+                 results/baselines/perf-*.json to raise the floor",
+                TOLERANCE * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Diffs fresh results against a parsed perf-baseline document. Only the
+/// aggregate `events_per_sec` gates; per-row figures and `peak_rss_bytes`
+/// are recorded for trend-reading, not gating.
+pub fn check(baseline: &Json, results: &[RunResult]) -> Result<PerfOutcome, String> {
+    let base_totals = baseline
+        .get("totals")
+        .ok_or("perf baseline has no \"totals\" object")?;
+    let base = base_totals
+        .get("events_per_sec")
+        .and_then(|v| v.as_u64())
+        .ok_or("perf baseline totals missing \"events_per_sec\"")?;
+    let baseline_rows = baseline
+        .get("rows")
+        .and_then(|r| r.as_arr())
+        .map(<[Json]>::len)
+        .unwrap_or(0);
+    let (events, wall_ns) = totals(results);
+    Ok(PerfOutcome {
+        baseline: base,
+        fresh: events_per_sec(events, wall_ns),
+        baseline_rows,
+        fresh_rows: results.iter().filter(|r| r.perf.is_some()).count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::runner::RunStatus;
+    use shrimp_bench::{App, PerfSample, RunSpec, Scale};
+
+    fn result_with(events: u64, wall_ns: u64) -> RunResult {
+        let spec = RunSpec::new("test", App::DfsSockets, 2, Scale::Smoke);
+        let record = spec.execute();
+        RunResult {
+            index: 0,
+            spec,
+            status: RunStatus::Ok(record),
+            perf: Some(PerfSample {
+                wall_ns,
+                events,
+                peak_rss_bytes: 1 << 20,
+            }),
+        }
+    }
+
+    #[test]
+    fn document_has_the_promised_schema() {
+        let results = vec![result_with(2_000, 1_000_000)];
+        let text = to_json("smoke", &results);
+        let doc = json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        for field in [
+            "id",
+            "wall_ns",
+            "events",
+            "events_per_sec",
+            "peak_rss_bytes",
+        ] {
+            assert!(rows[0].get(field).is_some(), "row missing {field}");
+        }
+        // 2000 events in 1ms = 2M events/sec, in the row and the totals.
+        assert_eq!(
+            rows[0].get("events_per_sec").unwrap().as_u64(),
+            Some(2_000_000)
+        );
+        let totals = doc.get("totals").unwrap();
+        assert_eq!(totals.get("events").unwrap().as_u64(), Some(2_000));
+        assert_eq!(
+            totals.get("events_per_sec").unwrap().as_u64(),
+            Some(2_000_000)
+        );
+    }
+
+    #[test]
+    fn failed_runs_are_omitted_from_rows_and_totals() {
+        let mut failed = result_with(1_000, 1_000);
+        failed.status = RunStatus::TimedOut;
+        failed.perf = None;
+        let text = to_json("smoke", &[failed, result_with(2_000, 1_000_000)]);
+        let doc = json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("rows").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(
+            doc.get("totals").unwrap().get("events").unwrap().as_u64(),
+            Some(2_000)
+        );
+    }
+
+    #[test]
+    fn gate_tolerates_the_band_and_fails_beyond_it() {
+        let baseline = json::parse(&to_json("smoke", &[result_with(1_000_000, 1_000_000_000)]))
+            .expect("valid JSON");
+        // 30% slower in aggregate: inside the band.
+        let ok = check(&baseline, &[result_with(700_000, 1_000_000_000)]).unwrap();
+        assert!(ok.passed(), "{}", ok.render());
+        assert!(!ok.stale_floor());
+        // 50% slower: regression.
+        let slow = check(&baseline, &[result_with(500_000, 1_000_000_000)]).unwrap();
+        assert!(!slow.passed());
+        assert!(slow.render().contains("FAILED"));
+        // 2x faster: passes, reported as a stale floor.
+        let fast = check(&baseline, &[result_with(2_000_000, 1_000_000_000)]).unwrap();
+        assert!(fast.passed());
+        assert!(fast.stale_floor());
+    }
+
+    #[test]
+    fn a_sweep_with_no_samples_fails_the_gate() {
+        let baseline =
+            json::parse(&to_json("smoke", &[result_with(1_000_000, 1_000)])).expect("valid JSON");
+        let mut failed = result_with(0, 0);
+        failed.status = RunStatus::TimedOut;
+        failed.perf = None;
+        let outcome = check(&baseline, &[failed]).unwrap();
+        assert!(!outcome.passed(), "zero throughput must never pass");
+        assert_eq!(outcome.fresh, 0);
+    }
+}

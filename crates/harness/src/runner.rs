@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex, Once};
 use std::thread;
 use std::time::Duration;
 
-use shrimp_bench::{RunRecord, RunSpec};
+use shrimp_bench::{PerfSample, RunRecord, RunSpec};
 
 /// How one run ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +58,10 @@ pub struct RunResult {
     pub spec: RunSpec,
     /// How it ended.
     pub status: RunStatus,
+    /// Host-side wall-clock/events sample for completed runs. Kept outside
+    /// [`RunStatus`] (and outside `sweep.json`) so the deterministic artifact
+    /// never sees host timing; `--perf` renders it into `results/perf.json`.
+    pub perf: Option<PerfSample>,
 }
 
 /// Runner knobs.
@@ -120,11 +124,12 @@ where
             scope.spawn(move || {
                 while let Some(index) = next_index(&deques, w) {
                     let spec = specs[index].clone();
-                    let status = execute_isolated(spec.clone(), timeout);
+                    let (status, perf) = execute_isolated(spec.clone(), timeout);
                     let result = RunResult {
                         index,
                         spec,
                         status,
+                        perf,
                     };
                     on_done(&result);
                     results_ref.lock().unwrap().push(result);
@@ -155,14 +160,14 @@ fn next_index(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
 /// [`RunStatus::Panicked`] and over-long runs into [`RunStatus::TimedOut`]
 /// (the run thread is abandoned; a detached thread cannot corrupt other
 /// runs since every run owns its whole simulation).
-fn execute_isolated(spec: RunSpec, timeout: Duration) -> RunStatus {
+fn execute_isolated(spec: RunSpec, timeout: Duration) -> (RunStatus, Option<PerfSample>) {
     let (tx, rx) = mpsc::channel();
     let id = spec.id();
     let handle = thread::Builder::new()
         .name(format!("run-{id}"))
         .spawn(move || {
             install_panic_location_hook();
-            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| spec.execute()));
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| spec.execute_timed()));
             // The receiver may have given up (timeout); ignore send errors.
             let _ = tx.send(outcome.map_err(|payload| {
                 let msg = panic_message(&*payload);
@@ -174,15 +179,15 @@ fn execute_isolated(spec: RunSpec, timeout: Duration) -> RunStatus {
         })
         .expect("spawn run thread");
     match rx.recv_timeout(timeout) {
-        Ok(Ok(record)) => {
+        Ok(Ok((record, perf))) => {
             let _ = handle.join();
-            RunStatus::Ok(record)
+            (RunStatus::Ok(record), Some(perf))
         }
         Ok(Err(msg)) => {
             let _ = handle.join();
-            RunStatus::Panicked(msg)
+            (RunStatus::Panicked(msg), None)
         }
-        Err(_) => RunStatus::TimedOut,
+        Err(_) => (RunStatus::TimedOut, None),
     }
 }
 

@@ -122,11 +122,13 @@ mod tests {
                 index: 0,
                 spec: spec.clone(),
                 status: RunStatus::Ok(record),
+                perf: None,
             },
             RunResult {
                 index: 1,
                 spec,
                 status: RunStatus::Panicked("boom".to_string()),
+                perf: None,
             },
         ]
     }

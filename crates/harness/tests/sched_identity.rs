@@ -1,0 +1,63 @@
+//! Scheduler byte-identity: the timer-wheel executor and the legacy
+//! `BinaryHeap` scheduler it replaced must produce byte-identical sweep
+//! artifacts. The legacy path exists only behind the `legacy-sched` feature
+//! (enabled here via dev-dependency), so release binaries carry the wheel
+//! alone while this test keeps the reference alive.
+
+use shrimp_bench::{matrix, RunSpec, Scale};
+use shrimp_harness::runner::{RunResult, RunStatus};
+use shrimp_harness::sweep;
+use shrimp_sim::executor::sched;
+
+/// A cheap but representative slice of the smoke matrix: every DFS row
+/// (fastest workload, all experiment groups) plus two chaos rows so the
+/// fault-injected timing paths are compared too.
+fn slice() -> Vec<RunSpec> {
+    let mut specs: Vec<_> = matrix(Scale::Smoke, 2)
+        .into_iter()
+        .filter(|s| s.id().contains("dfs"))
+        .collect();
+    let chaos: Vec<_> = matrix(Scale::Smoke, 4)
+        .into_iter()
+        .filter(|s| s.experiment == "chaos")
+        .take(2)
+        .collect();
+    assert!(
+        specs.len() >= 3 && chaos.len() == 2,
+        "matrix slice too small"
+    );
+    specs.extend(chaos);
+    specs
+}
+
+/// Executes the slice on the current thread (the scheduler selector is
+/// thread-local) and renders the sweep artifact exactly as the CLI would.
+fn sweep_bytes(specs: &[RunSpec]) -> String {
+    let results: Vec<RunResult> = specs
+        .iter()
+        .enumerate()
+        .map(|(index, spec)| RunResult {
+            index,
+            spec: spec.clone(),
+            status: RunStatus::Ok(spec.execute()),
+            perf: None,
+        })
+        .collect();
+    sweep::to_json("smoke", &results)
+}
+
+#[test]
+fn wheel_and_legacy_heap_sweeps_are_byte_identical() {
+    let specs = slice();
+    assert!(!sched::legacy_scheduler());
+    let wheel = sweep_bytes(&specs);
+
+    sched::set_legacy_scheduler(true);
+    let legacy = sweep_bytes(&specs);
+    sched::set_legacy_scheduler(false);
+
+    assert_eq!(
+        wheel, legacy,
+        "timer-wheel scheduler changed the simulated schedule"
+    );
+}

@@ -112,6 +112,9 @@ struct NetworkInner<P> {
     stats: NetStats,
     // Installed only for chaos runs; `None` is the zero-overhead fast path.
     faults: RefCell<Option<FaultPlane>>,
+    // Reused by every fault-free `send` so routing allocates nothing per
+    // packet in steady state.
+    route_scratch: RefCell<Vec<usize>>,
 }
 
 /// The routing backplane, generic over the packet payload type `P` (the NIC
@@ -163,6 +166,7 @@ impl<P: 'static> Network<P> {
                 ingress: (0..n_nodes).map(|_| Queue::new()).collect(),
                 stats: NetStats::new(),
                 faults: RefCell::new(None),
+                route_scratch: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -198,10 +202,19 @@ impl<P: 'static> Network<P> {
     /// Router index sequence for the dimension-order (X then Y) route from
     /// `src` to `dst`, inclusive of both endpoints.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<usize> {
+        let mut path = Vec::new();
+        self.route_into(src, dst, &mut path);
+        path
+    }
+
+    /// [`Network::route`] into a caller-provided buffer (cleared first), so
+    /// the hot send path can reuse one allocation across packets.
+    fn route_into(&self, src: NodeId, dst: NodeId, path: &mut Vec<usize>) {
+        path.clear();
         let cfg = &self.inner.cfg;
         let (mut x, mut y) = cfg.coords(src);
         let (dx, dy) = cfg.coords(dst);
-        let mut path = vec![y * cfg.width + x];
+        path.push(y * cfg.width + x);
         while x != dx {
             x = if dx > x { x + 1 } else { x - 1 };
             path.push(y * cfg.width + x);
@@ -210,7 +223,6 @@ impl<P: 'static> Network<P> {
             y = if dy > y { y + 1 } else { y - 1 };
             path.push(y * cfg.width + x);
         }
-        path
     }
 
     /// Injects a packet of `payload_bytes` at `src` destined for `dst`;
@@ -249,15 +261,23 @@ impl<P: 'static> Network<P> {
                 PacketFate::Deliver,
             )
         } else {
-            let path = match &plane {
+            let detour;
+            let mut scratch = self.inner.route_scratch.borrow_mut();
+            let path: &[usize] = match &plane {
                 Some(p) if p.has_link_faults() => match self.route_avoiding(src, dst, p) {
-                    Some(path) => path,
+                    Some(path) => {
+                        detour = path;
+                        &detour
+                    }
                     None => {
                         p.record_link_reject();
                         return sim.now();
                     }
                 },
-                _ => self.route(src, dst),
+                _ => {
+                    self.route_into(src, dst, &mut scratch);
+                    &scratch
+                }
             };
             let hops = path.len() as u64 - 1;
             let mut channels = self.inner.channels.borrow_mut();

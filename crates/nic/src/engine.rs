@@ -286,7 +286,7 @@ impl Nic {
             PacketKind::Nack => NicCounters::bump(&self.inner.counters.nacks_sent),
             _ => unreachable!("send_control takes control kinds only"),
         }
-        let data = seq.to_le_bytes().to_vec();
+        let data = crate::pool::copied(&seq.to_le_bytes());
         let len = data.len();
         let pkt = Packet {
             src: self.inner.node,
@@ -390,7 +390,7 @@ impl Nic {
             self.inner.sim.sleep_until(end).await;
             self.stall_cpu(dur);
 
-            let mut data = vec![0u8; req.len];
+            let mut data = crate::pool::zeroed(req.len);
             self.inner.mem.read(req.src, &mut data);
             NicCounters::bump(&self.inner.counters.du_transfers);
             NicCounters::add(&self.inner.counters.du_bytes, req.len as u64);
@@ -479,7 +479,7 @@ impl Nic {
                 dst_node: entry.dst_node,
                 dst_page: entry.dst_page,
                 offset: addr.offset(),
-                data: data.to_vec(),
+                data: crate::pool::copied(data),
                 interrupt: entry.interrupt,
                 notify: entry.interrupt,
                 epoch,
@@ -497,7 +497,7 @@ impl Nic {
                 dst_node: entry.dst_node,
                 dst_page: entry.dst_page,
                 offset: addr.offset(),
-                data: data.to_vec(),
+                data: crate::pool::copied(data),
                 interrupt: entry.interrupt,
                 notify: entry.interrupt,
                 epoch: 0,
@@ -655,100 +655,106 @@ impl Nic {
         let ingress = self.inner.net.ingress(self.inner.node);
         let link_bw = self.inner.net.config().link_bytes_per_sec;
         loop {
-            let Some(pkt) = ingress.recv().await else {
+            let Some(mut pkt) = ingress.recv().await else {
                 break;
             };
-            if pkt.kind.is_control() {
-                self.handle_control(&pkt);
-                continue;
-            }
-            NicCounters::bump(&self.inner.counters.packets_received);
-            if !pkt.checksum_ok() {
-                // In-flight corruption: count it, record how long the damage
-                // was in flight, and nack sequenced transfers so the sender
-                // retransmits without waiting out its timeout.
-                NicCounters::bump(&self.inner.counters.corrupt_detected);
-                NicCounters::add(
-                    &self.inner.counters.detection_latency,
-                    self.inner.sim.now().saturating_sub(pkt.sent_at),
-                );
-                if pkt.seq != 0 {
-                    self.send_control(pkt.src, pkt.seq, PacketKind::Nack);
-                }
-                continue;
-            }
+            self.process_incoming(&mut pkt, link_bw).await;
+            // The packet terminates here on every path; its payload buffer
+            // goes back to the pool for the next send.
+            crate::pool::recycle(std::mem::take(&mut pkt.data));
+        }
+    }
+
+    async fn process_incoming(&self, pkt: &mut Packet, link_bw: u64) {
+        if pkt.kind.is_control() {
+            self.handle_control(pkt);
+            return;
+        }
+        NicCounters::bump(&self.inner.counters.packets_received);
+        if !pkt.checksum_ok() {
+            // In-flight corruption: count it, record how long the damage
+            // was in flight, and nack sequenced transfers so the sender
+            // retransmits without waiting out its timeout.
+            NicCounters::bump(&self.inner.counters.corrupt_detected);
+            NicCounters::add(
+                &self.inner.counters.detection_latency,
+                self.inner.sim.now().saturating_sub(pkt.sent_at),
+            );
             if pkt.seq != 0 {
-                let already = !self
-                    .inner
-                    .seen_seqs
-                    .borrow_mut()
-                    .entry(pkt.src.0)
-                    .or_default()
-                    .insert(pkt.seq);
-                if already {
-                    // Retransmit of a delivered transfer (its ack was lost or
-                    // late, or the plane duplicated it): re-ack, never DMA or
-                    // interrupt twice.
-                    NicCounters::bump(&self.inner.counters.dup_suppressed);
-                    self.send_control(pkt.src, pkt.seq, PacketKind::Ack);
-                    continue;
-                }
+                self.send_control(pkt.src, pkt.seq, PacketKind::Nack);
             }
-            let Some(entry) = self.inner.tables.ipt_get(pkt.dst_page) else {
-                NicCounters::bump(&self.inner.counters.protection_drops);
-                continue;
-            };
-            if !entry.accept {
-                NicCounters::bump(&self.inner.counters.protection_drops);
-                continue;
-            }
-            // Receive through the NIC chip port (blocks the outgoing drain),
-            // then DMA to main memory over the EISA and memory buses.
-            let recv_d =
-                self.inner.cfg.incoming_packet_overhead + time::transfer(pkt.len() as u64, link_bw);
-            self.inner.nic_access.use_for(&self.inner.sim, recv_d).await;
-            // The incoming engine streams packets to memory: each packet is
-            // an individual bus transaction (what combining amortizes), not
-            // a full DMA arm-up.
-            let dma_d =
-                time::ns(200) + time::transfer(pkt.len() as u64, self.inner.cfg.eisa_bytes_per_sec);
-            let (_, end) = self.inner.eisa.reserve(&self.inner.sim, dma_d);
-            let end = end.max(self.inner.membus.occupy_reserve(&self.inner.sim, dma_d).1);
-            self.inner.sim.sleep_until(end).await;
-            self.stall_cpu(dma_d);
-            self.inner
-                .mem
-                .dma_write(Paddr::from_parts(pkt.dst_page, pkt.offset), &pkt.data);
-            if pkt.interrupt && (entry.interrupt_enable || self.inner.cfg.force_arrival_interrupts)
-            {
-                NicCounters::bump(&self.inner.counters.interrupts_raised);
-                trace_event!(
-                    self.inner.sim.trace(),
-                    self.inner.sim.now(),
-                    shrimp_sim::Category::Nic,
-                    [
-                        ("node", self.inner.node.0),
-                        ("src", pkt.src.0),
-                        ("buffer", entry.buffer_id),
-                    ],
-                    "{}: interrupt from {} (buffer {})",
-                    self.inner.node,
-                    pkt.src,
-                    entry.buffer_id
-                );
-                self.inner.interrupts.send(Interrupt {
-                    src: pkt.src,
-                    dst_page: pkt.dst_page,
-                    offset: pkt.offset,
-                    len: pkt.len(),
-                    buffer_id: entry.buffer_id,
-                    notify: pkt.notify,
-                });
-            }
-            // Sequenced transfer landed in memory: acknowledge it.
-            if pkt.seq != 0 {
+            return;
+        }
+        if pkt.seq != 0 {
+            let already = !self
+                .inner
+                .seen_seqs
+                .borrow_mut()
+                .entry(pkt.src.0)
+                .or_default()
+                .insert(pkt.seq);
+            if already {
+                // Retransmit of a delivered transfer (its ack was lost or
+                // late, or the plane duplicated it): re-ack, never DMA or
+                // interrupt twice.
+                NicCounters::bump(&self.inner.counters.dup_suppressed);
                 self.send_control(pkt.src, pkt.seq, PacketKind::Ack);
+                return;
             }
+        }
+        let Some(entry) = self.inner.tables.ipt_get(pkt.dst_page) else {
+            NicCounters::bump(&self.inner.counters.protection_drops);
+            return;
+        };
+        if !entry.accept {
+            NicCounters::bump(&self.inner.counters.protection_drops);
+            return;
+        }
+        // Receive through the NIC chip port (blocks the outgoing drain),
+        // then DMA to main memory over the EISA and memory buses.
+        let recv_d =
+            self.inner.cfg.incoming_packet_overhead + time::transfer(pkt.len() as u64, link_bw);
+        self.inner.nic_access.use_for(&self.inner.sim, recv_d).await;
+        // The incoming engine streams packets to memory: each packet is
+        // an individual bus transaction (what combining amortizes), not
+        // a full DMA arm-up.
+        let dma_d =
+            time::ns(200) + time::transfer(pkt.len() as u64, self.inner.cfg.eisa_bytes_per_sec);
+        let (_, end) = self.inner.eisa.reserve(&self.inner.sim, dma_d);
+        let end = end.max(self.inner.membus.occupy_reserve(&self.inner.sim, dma_d).1);
+        self.inner.sim.sleep_until(end).await;
+        self.stall_cpu(dma_d);
+        self.inner
+            .mem
+            .dma_write(Paddr::from_parts(pkt.dst_page, pkt.offset), &pkt.data);
+        if pkt.interrupt && (entry.interrupt_enable || self.inner.cfg.force_arrival_interrupts) {
+            NicCounters::bump(&self.inner.counters.interrupts_raised);
+            trace_event!(
+                self.inner.sim.trace(),
+                self.inner.sim.now(),
+                shrimp_sim::Category::Nic,
+                [
+                    ("node", self.inner.node.0),
+                    ("src", pkt.src.0),
+                    ("buffer", entry.buffer_id),
+                ],
+                "{}: interrupt from {} (buffer {})",
+                self.inner.node,
+                pkt.src,
+                entry.buffer_id
+            );
+            self.inner.interrupts.send(Interrupt {
+                src: pkt.src,
+                dst_page: pkt.dst_page,
+                offset: pkt.offset,
+                len: pkt.len(),
+                buffer_id: entry.buffer_id,
+                notify: pkt.notify,
+            });
+        }
+        // Sequenced transfer landed in memory: acknowledge it.
+        if pkt.seq != 0 {
+            self.send_control(pkt.src, pkt.seq, PacketKind::Ack);
         }
     }
 

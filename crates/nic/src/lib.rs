@@ -32,6 +32,7 @@ pub mod config;
 pub mod counters;
 pub mod engine;
 pub mod packet;
+pub mod pool;
 pub mod tables;
 
 pub use config::NicConfig;

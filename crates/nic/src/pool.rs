@@ -1,0 +1,85 @@
+//! Thread-local recycling pool for packet payload buffers.
+//!
+//! Every packet hop used to allocate a fresh `Vec<u8>` at the producer and
+//! drop it at the consumer. The pool closes that loop: ingress returns a
+//! delivered packet's buffer here, and the DU/AU/control producers draw from
+//! it, so steady-state simulation does no per-hop heap allocation.
+//!
+//! The pool is thread-local. The simulator is single-threaded and the sweep
+//! harness pins each run to its own thread, so pooling never couples runs —
+//! and buffer *contents* are fully overwritten on reuse, so determinism is
+//! untouched either way.
+
+use std::cell::RefCell;
+
+/// Buffers retained per thread; more are simply dropped.
+const MAX_POOLED: usize = 64;
+/// Largest capacity worth hoarding; bigger one-off buffers are dropped.
+const MAX_BUF_CAPACITY: usize = 64 * 1024;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take() -> Vec<u8> {
+    POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// A zero-filled buffer of exactly `len` bytes, recycled when possible.
+pub fn zeroed(len: usize) -> Vec<u8> {
+    let mut buf = take();
+    buf.clear();
+    buf.resize(len, 0);
+    buf
+}
+
+/// A buffer holding a copy of `src`, recycled when possible.
+pub fn copied(src: &[u8]) -> Vec<u8> {
+    let mut buf = take();
+    buf.clear();
+    buf.extend_from_slice(src);
+    buf
+}
+
+/// Returns a spent payload buffer to the pool (capacity kept, contents
+/// irrelevant). Oversized or surplus buffers are dropped to bound memory.
+pub fn recycle(buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > MAX_BUF_CAPACITY {
+        return;
+    }
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_buffer_is_reused_and_rewritten() {
+        // Drain anything other tests left behind so capacity checks are ours.
+        while let Some(b) = POOL.with(|p| p.borrow_mut().pop()) {
+            drop(b);
+        }
+        let mut a = zeroed(100);
+        a[0] = 0xAA;
+        let cap = a.capacity();
+        recycle(a);
+        let b = copied(&[1, 2, 3]);
+        assert_eq!(b.as_slice(), &[1, 2, 3], "stale contents must not leak");
+        assert_eq!(b.capacity(), cap, "allocation should be reused");
+        let c = zeroed(10);
+        assert!(c.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_hoarded() {
+        recycle(vec![0u8; MAX_BUF_CAPACITY * 2]);
+        let got = zeroed(1);
+        assert!(got.capacity() <= MAX_BUF_CAPACITY * 2);
+    }
+}

@@ -7,22 +7,36 @@
 //! 1. Woken processes are polled in FIFO wake order.
 //! 2. When no process is runnable, the earliest timer fires; ties break on a
 //!    monotonically increasing sequence number assigned at scheduling time.
+//!
+//! # Hot path
+//!
+//! Timers live in an indexed hierarchical [timer wheel](crate::wheel) and
+//! tasks in a slab with an intrusive free list, so steady-state scheduling
+//! performs no heap allocation: timer nodes and task slots are recycled, each
+//! task's [`Waker`] is created once at spawn and reused for every poll, and
+//! the wake queue is a plain `VecDeque` guarded by a run-time owner-thread
+//! check instead of a `Mutex` (the simulator is single-threaded; a waker that
+//! crosses threads panics rather than corrupting the queue).
 
-use std::cell::{Cell, RefCell};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
+use std::thread::ThreadId;
 
 use crate::time::Time;
 use crate::trace::TraceSink;
+use crate::wheel::TimerWheel;
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 
 /// Identifier of a spawned simulation process.
+///
+/// Encodes a slab slot index plus a generation tag, so a wake aimed at a
+/// completed (and since recycled) process is a detectable no-op.
 pub type TaskId = u64;
 
 /// What a timer does when it fires.
@@ -31,36 +45,151 @@ enum TimerAction {
     Call(Box<dyn FnOnce()>),
 }
 
-struct TimerEntry {
-    at: Time,
-    seq: u64,
-    action: TimerAction,
+/// Pending-timer storage. The wheel is the production scheduler; the legacy
+/// binary heap it replaced is kept compilable only for tests and the
+/// `legacy-sched` feature, as the reference for byte-identity checks.
+// The wheel's inline slot arrays dwarf the legacy heap; with one TimerStore
+// per Sim, boxing the hot variant to please the lint would be backwards.
+#[cfg_attr(any(test, feature = "legacy-sched"), allow(clippy::large_enum_variant))]
+enum TimerStore {
+    Wheel(TimerWheel<TimerAction>),
+    #[cfg(any(test, feature = "legacy-sched"))]
+    Legacy {
+        heap: std::collections::BinaryHeap<legacy::TimerEntry>,
+        next_seq: u64,
+    },
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl TimerStore {
+    fn insert(&mut self, at: Time, action: TimerAction) {
+        match self {
+            TimerStore::Wheel(w) => {
+                w.insert(at, action);
+            }
+            #[cfg(any(test, feature = "legacy-sched"))]
+            TimerStore::Legacy { heap, next_seq } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                heap.push(legacy::TimerEntry { at, seq, action });
+            }
+        }
     }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+    fn pop(&mut self) -> Option<(Time, TimerAction)> {
+        match self {
+            TimerStore::Wheel(w) => w.pop(),
+            #[cfg(any(test, feature = "legacy-sched"))]
+            TimerStore::Legacy { heap, .. } => heap.pop().map(|e| (e.at, e.action)),
+        }
     }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq).
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+    fn next_deadline(&mut self) -> Option<Time> {
+        match self {
+            TimerStore::Wheel(w) => w.peek_deadline(),
+            #[cfg(any(test, feature = "legacy-sched"))]
+            TimerStore::Legacy { heap, .. } => heap.peek().map(|e| e.at),
+        }
     }
 }
 
-/// Wake queue shared with `Waker`s. `Waker` must be `Send + Sync`, so this is
-/// the single place the otherwise thread-bound simulator uses a `Mutex`; it is
-/// always uncontended.
-#[derive(Default)]
+#[cfg(any(test, feature = "legacy-sched"))]
+mod legacy {
+    use super::{Time, TimerAction};
+    use std::cmp::Ordering;
+
+    pub(super) struct TimerEntry {
+        pub at: Time,
+        pub seq: u64,
+        pub action: TimerAction,
+    }
+
+    impl PartialEq for TimerEntry {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl Eq for TimerEntry {}
+    impl PartialOrd for TimerEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for TimerEntry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq).
+            (other.at, other.seq).cmp(&(self.at, self.seq))
+        }
+    }
+}
+
+/// Scheduler selection for byte-identity testing. Only compiled for tests
+/// and the `legacy-sched` feature; release builds contain the wheel alone.
+#[cfg(any(test, feature = "legacy-sched"))]
+pub mod sched {
+    use std::cell::Cell;
+
+    thread_local! {
+        static USE_LEGACY: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Makes every [`Sim`](super::Sim) subsequently created **on this
+    /// thread** use the legacy `BinaryHeap` scheduler instead of the timer
+    /// wheel. Both must produce byte-identical results; tests flip this to
+    /// prove it.
+    pub fn set_legacy_scheduler(on: bool) {
+        USE_LEGACY.with(|f| f.set(on));
+    }
+
+    /// Whether new simulators on this thread use the legacy scheduler.
+    pub fn legacy_scheduler() -> bool {
+        USE_LEGACY.with(|f| f.get())
+    }
+}
+
+/// Wake queue shared with `Waker`s. `Waker` must be `Send + Sync`, so the
+/// compiler cannot prove this stays on one thread — but the simulator *is*
+/// strictly single-threaded, so instead of an always-uncontended `Mutex` the
+/// queue records its owner thread and asserts it on every access.
+///
+/// Safety: the `UnsafeCell` is only touched after the owner check passes, so
+/// all access is serialized on the owner thread; a waker that migrates to
+/// another thread panics before reaching the cell. Each method holds its
+/// mutable reference only for a single `VecDeque<u64>` operation, which
+/// cannot re-enter user code.
 struct ReadyQueue {
-    woken: Mutex<VecDeque<TaskId>>,
+    owner: ThreadId,
+    woken: UnsafeCell<VecDeque<TaskId>>,
+}
+
+unsafe impl Send for ReadyQueue {}
+unsafe impl Sync for ReadyQueue {}
+
+impl ReadyQueue {
+    fn new() -> Self {
+        ReadyQueue {
+            owner: std::thread::current().id(),
+            woken: UnsafeCell::new(VecDeque::new()),
+        }
+    }
+
+    #[inline]
+    fn assert_owner(&self) {
+        assert_eq!(
+            std::thread::current().id(),
+            self.owner,
+            "Sim waker used from a foreign thread; the simulator is strictly single-threaded"
+        );
+    }
+
+    fn push(&self, id: TaskId) {
+        self.assert_owner();
+        unsafe { (*self.woken.get()).push_back(id) }
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.assert_owner();
+        unsafe { (*self.woken.get()).pop_front() }
+    }
 }
 
 struct TaskWaker {
@@ -70,28 +199,144 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready.woken.lock().unwrap().push_back(self.id);
+        self.ready.push(self.id);
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.woken.lock().unwrap().push_back(self.id);
+        self.ready.push(self.id);
+    }
+}
+
+enum SlotState {
+    Free {
+        next: u32,
+    },
+    Live {
+        fut: Option<BoxFuture>,
+        waker: Waker,
+    },
+}
+
+struct TaskSlot {
+    gen: u32,
+    state: SlotState,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+/// Task storage: a slab with an intrusive free list. Slots (and their cached
+/// `Waker`s' slab indices) are recycled; generations keep stale wakes inert.
+struct TaskSlab {
+    slots: Vec<TaskSlot>,
+    free: u32,
+    live: usize,
+}
+
+fn task_id(idx: u32, gen: u32) -> TaskId {
+    ((gen as u64) << 32) | idx as u64
+}
+
+fn split_id(id: TaskId) -> (u32, u32) {
+    (id as u32, (id >> 32) as u32)
+}
+
+impl TaskSlab {
+    fn new() -> Self {
+        TaskSlab {
+            slots: Vec::new(),
+            free: NO_SLOT,
+            live: 0,
+        }
+    }
+
+    fn insert(&mut self, fut: BoxFuture, ready: &Arc<ReadyQueue>) -> TaskId {
+        self.live += 1;
+        let idx = if self.free != NO_SLOT {
+            let idx = self.free;
+            match self.slots[idx as usize].state {
+                SlotState::Free { next } => self.free = next,
+                SlotState::Live { .. } => unreachable!("live slot on free list"),
+            }
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != NO_SLOT, "task slab exhausted");
+            self.slots.push(TaskSlot {
+                gen: 0,
+                state: SlotState::Free { next: NO_SLOT },
+            });
+            idx
+        };
+        let id = task_id(idx, self.slots[idx as usize].gen);
+        // The task's one Waker, cloned (refcount bump only) for every poll.
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: ready.clone(),
+        }));
+        self.slots[idx as usize].state = SlotState::Live {
+            fut: Some(fut),
+            waker,
+        };
+        id
+    }
+
+    /// Takes the future (and a waker clone) out of a slot for polling, so the
+    /// slab is not borrowed while the process body runs (it may spawn/wake).
+    /// `None` for stale or mid-poll wakes.
+    fn begin_poll(&mut self, id: TaskId) -> Option<(BoxFuture, Waker)> {
+        let (idx, gen) = split_id(id);
+        let slot = self.slots.get_mut(idx as usize)?;
+        if slot.gen != gen {
+            return None; // task completed; slot recycled
+        }
+        match &mut slot.state {
+            SlotState::Live { fut, waker } => fut.take().map(|f| (f, waker.clone())),
+            SlotState::Free { .. } => None,
+        }
+    }
+
+    fn finish_poll(&mut self, id: TaskId, fut: BoxFuture) {
+        let (idx, gen) = split_id(id);
+        let slot = &mut self.slots[idx as usize];
+        debug_assert_eq!(slot.gen, gen);
+        if let SlotState::Live { fut: f, .. } = &mut slot.state {
+            *f = Some(fut);
+        }
+    }
+
+    fn complete(&mut self, id: TaskId) {
+        let (idx, _) = split_id(id);
+        let slot = &mut self.slots[idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.state = SlotState::Free { next: self.free };
+        self.free = idx;
+        self.live -= 1;
     }
 }
 
 struct SimInner {
     now: Cell<Time>,
     trace: TraceSink,
-    next_seq: Cell<u64>,
-    next_task: Cell<TaskId>,
-    timers: RefCell<BinaryHeap<TimerEntry>>,
+    /// Executor events processed: process polls + timer fires. Purely a
+    /// function of the simulated program, so deterministic across runs.
+    events: Cell<u64>,
+    timers: RefCell<TimerStore>,
     ready: Arc<ReadyQueue>,
-    tasks: RefCell<HashMap<TaskId, Option<BoxFuture>>>,
-    to_spawn: RefCell<Vec<(TaskId, BoxFuture)>>,
+    tasks: RefCell<TaskSlab>,
 }
 
 /// Handle to the simulator. Cheap to clone; every simulated component and
 /// process holds one.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
+///
+/// `Sim` is deliberately `!Send`: the executor is single-threaded and its
+/// wake path relies on that, so moving a simulator across threads must not
+/// compile:
+///
+/// ```compile_fail
+/// fn requires_send<T: Send>() {}
+/// requires_send::<shrimp_sim::Sim>();
+/// ```
 #[derive(Clone)]
 pub struct Sim {
     inner: Rc<SimInner>,
@@ -115,16 +360,26 @@ impl std::fmt::Debug for Sim {
 impl Sim {
     /// Creates an empty simulator at time zero.
     pub fn new() -> Self {
+        #[cfg(any(test, feature = "legacy-sched"))]
+        let timers = if sched::legacy_scheduler() {
+            TimerStore::Legacy {
+                heap: std::collections::BinaryHeap::new(),
+                next_seq: 0,
+            }
+        } else {
+            TimerStore::Wheel(TimerWheel::new())
+        };
+        #[cfg(not(any(test, feature = "legacy-sched")))]
+        let timers = TimerStore::Wheel(TimerWheel::new());
+
         Sim {
             inner: Rc::new(SimInner {
                 now: Cell::new(0),
                 trace: TraceSink::new(),
-                next_seq: Cell::new(0),
-                next_task: Cell::new(0),
-                timers: RefCell::new(BinaryHeap::new()),
-                ready: Arc::new(ReadyQueue::default()),
-                tasks: RefCell::new(HashMap::new()),
-                to_spawn: RefCell::new(Vec::new()),
+                events: Cell::new(0),
+                timers: RefCell::new(timers),
+                ready: Arc::new(ReadyQueue::new()),
+                tasks: RefCell::new(TaskSlab::new()),
             }),
         }
     }
@@ -142,13 +397,19 @@ impl Sim {
 
     /// Number of processes that have been spawned and have not yet completed.
     pub fn live_tasks(&self) -> usize {
-        self.inner.tasks.borrow().len() + self.inner.to_spawn.borrow().len()
+        self.inner.tasks.borrow().live
     }
 
-    fn next_seq(&self) -> u64 {
-        let s = self.inner.next_seq.get();
-        self.inner.next_seq.set(s + 1);
-        s
+    /// Number of executor events processed so far: process polls plus timer
+    /// fires. A pure function of the simulated program — identical across
+    /// runs and hosts — which makes it the denominator-free workload measure
+    /// for events-per-second reporting.
+    pub fn events(&self) -> u64 {
+        self.inner.events.get()
+    }
+
+    fn bump_events(&self) {
+        self.inner.events.set(self.inner.events.get() + 1);
     }
 
     /// Spawns a simulation process; it starts running at the current time on
@@ -159,8 +420,6 @@ impl Sim {
         F: Future + 'static,
         F::Output: 'static,
     {
-        let id = self.inner.next_task.get();
-        self.inner.next_task.set(id + 1);
         let state = Rc::new(RefCell::new(JoinState::<F::Output> {
             value: None,
             done: false,
@@ -176,9 +435,13 @@ impl Sim {
                 w.wake();
             }
         });
-        self.inner.to_spawn.borrow_mut().push((id, wrapped));
+        let id = self
+            .inner
+            .tasks
+            .borrow_mut()
+            .insert(wrapped, &self.inner.ready);
         // Newly spawned tasks are immediately runnable.
-        self.inner.ready.woken.lock().unwrap().push_back(id);
+        self.inner.ready.push(id);
         TaskHandle { state }
     }
 
@@ -189,12 +452,10 @@ impl Sim {
     /// Panics if `at` is in the past.
     pub fn schedule<F: FnOnce() + 'static>(&self, at: Time, f: F) {
         assert!(at >= self.now(), "schedule() into the past");
-        let seq = self.next_seq();
-        self.inner.timers.borrow_mut().push(TimerEntry {
-            at,
-            seq,
-            action: TimerAction::Call(Box::new(f)),
-        });
+        self.inner
+            .timers
+            .borrow_mut()
+            .insert(at, TimerAction::Call(Box::new(f)));
     }
 
     /// Schedules `f` to run after `delay`.
@@ -218,56 +479,41 @@ impl Sim {
     }
 
     fn register_timer_wake(&self, at: Time, waker: Waker) {
-        let seq = self.next_seq();
-        self.inner.timers.borrow_mut().push(TimerEntry {
-            at,
-            seq,
-            action: TimerAction::Wake(waker),
-        });
+        self.inner
+            .timers
+            .borrow_mut()
+            .insert(at, TimerAction::Wake(waker));
     }
 
-    /// Polls every woken process (in wake order), installing new spawns first.
-    /// Returns `true` if any process was polled.
+    /// Polls every woken process in wake order. Returns `true` if any process
+    /// was polled.
     fn drain_ready(&self) -> bool {
         let mut any = false;
-        loop {
-            // Install pending spawns.
-            {
-                let mut sp = self.inner.to_spawn.borrow_mut();
-                if !sp.is_empty() {
-                    let mut tasks = self.inner.tasks.borrow_mut();
-                    for (id, fut) in sp.drain(..) {
-                        tasks.insert(id, Some(fut));
-                    }
-                }
-            }
-            let next = self.inner.ready.woken.lock().unwrap().pop_front();
-            let Some(id) = next else { break };
-            // Take the future out of its slot so the tasks map is not
-            // borrowed while the process body runs (it may spawn/wake).
-            let fut = match self.inner.tasks.borrow_mut().get_mut(&id) {
-                Some(slot) => slot.take(),
-                None => None, // already completed; spurious wake
+        while let Some(id) = self.inner.ready.pop() {
+            // Take the future out of its slot so the slab is not borrowed
+            // while the process body runs.
+            let Some((mut fut, waker)) = self.inner.tasks.borrow_mut().begin_poll(id) else {
+                continue; // completed or duplicate wake
             };
-            let Some(mut fut) = fut else { continue };
             any = true;
-            let waker = Waker::from(Arc::new(TaskWaker {
-                id,
-                ready: self.inner.ready.clone(),
-            }));
+            self.bump_events();
             let mut cx = Context::from_waker(&waker);
             match fut.as_mut().poll(&mut cx) {
-                Poll::Ready(()) => {
-                    self.inner.tasks.borrow_mut().remove(&id);
-                }
-                Poll::Pending => {
-                    if let Some(slot) = self.inner.tasks.borrow_mut().get_mut(&id) {
-                        *slot = Some(fut);
-                    }
-                }
+                Poll::Ready(()) => self.inner.tasks.borrow_mut().complete(id),
+                Poll::Pending => self.inner.tasks.borrow_mut().finish_poll(id, fut),
             }
         }
         any
+    }
+
+    fn fire(&self, at: Time, action: TimerAction) {
+        debug_assert!(at >= self.inner.now.get());
+        self.inner.now.set(at);
+        self.bump_events();
+        match action {
+            TimerAction::Wake(w) => w.wake(),
+            TimerAction::Call(f) => f(),
+        }
     }
 
     /// Runs the simulation until no process is runnable and no timer is
@@ -281,14 +527,7 @@ impl Sim {
             self.drain_ready();
             let entry = self.inner.timers.borrow_mut().pop();
             match entry {
-                Some(e) => {
-                    debug_assert!(e.at >= self.inner.now.get());
-                    self.inner.now.set(e.at);
-                    match e.action {
-                        TimerAction::Wake(w) => w.wake(),
-                        TimerAction::Call(f) => f(),
-                    }
-                }
+                Some((at, action)) => self.fire(at, action),
                 None => break,
             }
         }
@@ -317,18 +556,14 @@ impl Sim {
         loop {
             self.drain_ready();
             let fire = {
-                let timers = self.inner.timers.borrow();
-                matches!(timers.peek(), Some(e) if e.at <= limit)
+                let mut timers = self.inner.timers.borrow_mut();
+                matches!(timers.next_deadline(), Some(at) if at <= limit)
             };
             if !fire {
                 break;
             }
-            let e = self.inner.timers.borrow_mut().pop().unwrap();
-            self.inner.now.set(e.at);
-            match e.action {
-                TimerAction::Wake(w) => w.wake(),
-                TimerAction::Call(f) => f(),
-            }
+            let (at, action) = self.inner.timers.borrow_mut().pop().unwrap();
+            self.fire(at, action);
         }
         self.inner.now.get()
     }
@@ -499,6 +734,25 @@ mod tests {
     }
 
     #[test]
+    fn schedule_earlier_after_run_for_peek_still_fires_in_order() {
+        // run_for's non-firing peek may advance the wheel cursor; an
+        // earlier-deadline schedule afterwards must still fire first.
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let log = log.clone();
+            sim.schedule(us(10), move || log.borrow_mut().push(1));
+        }
+        assert_eq!(sim.run_for(us(4)), 0);
+        {
+            let log = log.clone();
+            sim.schedule(us(5), move || log.borrow_mut().push(2));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2, 1]);
+    }
+
+    #[test]
     #[should_panic(expected = "deadlocked")]
     fn deadlock_detected() {
         let sim = Sim::new();
@@ -529,5 +783,80 @@ mod tests {
             (t, l)
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn event_counter_is_deterministic_and_monotone() {
+        fn run_once() -> u64 {
+            let sim = Sim::new();
+            for i in 0..8u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep(ns(i * 31 % 13)).await;
+                    s.sleep(ns(i * 7 % 5)).await;
+                });
+            }
+            sim.run_to_completion();
+            sim.events()
+        }
+        let e = run_once();
+        assert!(e > 0, "polls and timer fires must be counted");
+        assert_eq!(e, run_once(), "event count must be deterministic");
+    }
+
+    #[test]
+    fn legacy_and_wheel_schedulers_agree() {
+        fn scenario() -> (Time, Vec<u64>, u64) {
+            let sim = Sim::new();
+            let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..16u64 {
+                let s = sim.clone();
+                let log = log.clone();
+                sim.spawn(async move {
+                    s.sleep(ns(i * 37 % 23)).await;
+                    log.borrow_mut().push(i);
+                    s.sleep(us(i % 3)).await;
+                    log.borrow_mut().push(100 + i);
+                });
+            }
+            let t = sim.run_to_completion();
+            let l = log.borrow().clone();
+            (t, l, sim.events())
+        }
+        let wheel = scenario();
+        sched::set_legacy_scheduler(true);
+        let legacy = scenario();
+        sched::set_legacy_scheduler(false);
+        assert_eq!(wheel, legacy);
+    }
+
+    #[test]
+    fn cross_thread_wake_panics_instead_of_racing() {
+        let sim = Sim::new();
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id: 0,
+            ready: sim.inner.ready.clone(),
+        }));
+        let joined = std::thread::spawn(move || waker.wake()).join();
+        assert!(
+            joined.is_err(),
+            "waking from a foreign thread must panic, not touch the queue"
+        );
+    }
+
+    #[test]
+    fn task_slots_are_recycled_with_inert_stale_wakes() {
+        let sim = Sim::new();
+        for round in 0..50u64 {
+            let s = sim.clone();
+            let h = sim.spawn(async move {
+                s.sleep(ns(round)).await;
+                round
+            });
+            sim.run();
+            assert_eq!(h.try_take(), Some(round));
+        }
+        // 50 sequential tasks must reuse one slot, not grow 50.
+        assert!(sim.inner.tasks.borrow().slots.len() <= 2);
     }
 }

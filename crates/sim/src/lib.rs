@@ -45,6 +45,7 @@ pub mod rng;
 pub mod sync;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use executor::{Sim, TaskHandle};
 pub use queue::{unbounded, Queue, QueueReceiver, QueueSender};

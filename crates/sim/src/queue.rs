@@ -11,9 +11,53 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+/// Parked receiver wakers. Nearly every queue in the simulated system has
+/// exactly one receiver, so the single-waiter case stores the `Waker` inline
+/// with no heap allocation; only genuinely contended queues promote to a
+/// `Vec`, whose allocation is then kept and reused across wake cycles.
+/// Wake order is FIFO (registration order) in all cases.
+enum Waiters {
+    Empty,
+    One(Waker),
+    Many(Vec<Waker>),
+}
+
+impl Waiters {
+    fn push(&mut self, w: Waker) {
+        match self {
+            Waiters::Empty => *self = Waiters::One(w),
+            Waiters::One(_) => {
+                let Waiters::One(first) = std::mem::replace(self, Waiters::Empty) else {
+                    unreachable!()
+                };
+                *self = Waiters::Many(vec![first, w]);
+            }
+            Waiters::Many(v) => v.push(w),
+        }
+    }
+
+    fn wake_all(&mut self) {
+        match self {
+            Waiters::Empty => {}
+            Waiters::One(_) => {
+                if let Waiters::One(w) = std::mem::replace(self, Waiters::Empty) {
+                    w.wake();
+                }
+            }
+            // Drain in registration order; the Vec's capacity is retained so
+            // a contended queue allocates once, not per wake cycle.
+            Waiters::Many(v) => {
+                for w in v.drain(..) {
+                    w.wake();
+                }
+            }
+        }
+    }
+}
+
 struct Inner<T> {
     items: VecDeque<T>,
-    recv_waiters: Vec<Waker>,
+    recv_waiters: Waiters,
     closed: bool,
 }
 
@@ -54,7 +98,7 @@ impl<T> Queue<T> {
         Queue {
             inner: Rc::new(RefCell::new(Inner {
                 items: VecDeque::new(),
-                recv_waiters: Vec::new(),
+                recv_waiters: Waiters::Empty,
                 closed: false,
             })),
         }
@@ -69,9 +113,7 @@ impl<T> Queue<T> {
         let mut inner = self.inner.borrow_mut();
         assert!(!inner.closed, "send on closed queue");
         inner.items.push_back(item);
-        for w in inner.recv_waiters.drain(..) {
-            w.wake();
-        }
+        inner.recv_waiters.wake_all();
     }
 
     /// Closes the queue: pending items may still be received, after which
@@ -79,9 +121,7 @@ impl<T> Queue<T> {
     pub fn close(&self) {
         let mut inner = self.inner.borrow_mut();
         inner.closed = true;
-        for w in inner.recv_waiters.drain(..) {
-            w.wake();
-        }
+        inner.recv_waiters.wake_all();
     }
 
     /// Receives the next item, waiting if the queue is empty. Yields `None`
