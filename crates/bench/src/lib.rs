@@ -23,7 +23,7 @@ use shrimp_core::{Cluster, DesignConfig};
 use shrimp_sim::{time, Time};
 use shrimp_testkit::HarnessConfig;
 
-pub use spec::{matrix, Knobs, PerfSample, RunRecord, RunSpec, Scale, Variant};
+pub use spec::{matrix, Knobs, Observation, PerfSample, RunRecord, RunSpec, Scale, Variant};
 
 /// The problem scale a harness configuration selects (`Full` under
 /// `SHRIMP_FULL=1`, `Reduced` otherwise; [`Scale::Smoke`] is only reachable

@@ -19,7 +19,7 @@ use shrimp_apps::render::{run_render, RenderParams};
 use shrimp_apps::{Mechanism, RunOutcome};
 use shrimp_core::{Cluster, ClusterReport, DesignConfig, RingBulk};
 use shrimp_faults::{FaultScenario, FifoStall, LinkFault, NodePause};
-use shrimp_sim::{time, Time};
+use shrimp_sim::{time, MetricsSnapshot, Time, TraceEvent};
 use shrimp_sockets::SocketConfig;
 use shrimp_svm::Protocol;
 
@@ -400,8 +400,35 @@ impl RunSpec {
     /// record — never inside it — so the deterministic artifact cannot pick
     /// up host timing.
     pub fn execute_timed(&self) -> (RunRecord, PerfSample) {
+        let (record, perf, _) = self.execute_inner(false);
+        (record, perf)
+    }
+
+    /// [`RunSpec::execute_timed`] with the observability plane switched on:
+    /// the simulator's [`TraceSink`](shrimp_sim::TraceSink) and
+    /// [`MetricsRegistry`](shrimp_sim::MetricsRegistry) record throughout
+    /// the run, and everything they captured comes back as an
+    /// [`Observation`]. The plain `execute`/`execute_timed` paths never
+    /// enable either, so their artifacts stay byte-identical.
+    pub fn execute_observed(&self) -> (RunRecord, PerfSample, Observation) {
+        let (record, perf, obs) = self.execute_inner(true);
+        (
+            record,
+            perf,
+            obs.expect("observed run must yield an observation"),
+        )
+    }
+
+    fn execute_inner(&self, observe: bool) -> (RunRecord, PerfSample, Option<Observation>) {
         let start = std::time::Instant::now();
         let cluster = Cluster::new(self.nodes, self.design_config());
+        if observe {
+            // Per-packet network events push a smoke row past the sink's
+            // default 64 K bound; a 1 M cap keeps whole smoke timelines.
+            // Bigger scales overflow it and report via `trace_dropped`.
+            cluster.sim().trace().enable(Some(1 << 20));
+            cluster.sim().metrics().enable();
+        }
         let out = self.run_on(&cluster);
         let report = ClusterReport::capture(&cluster, out.elapsed);
         // Recovery metrics only exist on chaos/reliability runs; plain rows
@@ -434,6 +461,11 @@ impl RunSpec {
             recovery,
         };
         let events = cluster.sim().events();
+        let observation = observe.then(|| Observation {
+            events: cluster.sim().trace().take(),
+            trace_dropped: cluster.sim().trace().dropped(),
+            metrics: cluster.sim().metrics().snapshot(),
+        });
         let wall_ns = start.elapsed().as_nanos() as u64;
         (
             record,
@@ -442,6 +474,7 @@ impl RunSpec {
                 events,
                 peak_rss_bytes: peak_rss_bytes(),
             },
+            observation,
         )
     }
 
@@ -545,6 +578,22 @@ pub struct PerfSample {
     /// completed. Process-wide and monotone across a sweep, so it bounds —
     /// rather than attributes — per-run memory; `0` where unavailable.
     pub peak_rss_bytes: u64,
+}
+
+/// Everything the observability plane captured during one observed run:
+/// the drained trace timeline plus a snapshot of every metrics-registry
+/// instrument. Deterministic, simulated data only (plain `Send` values),
+/// so the harness carries it across run-thread boundaries and serializes
+/// it byte-identically on every host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// The run's trace timeline in record order.
+    pub events: Vec<TraceEvent>,
+    /// Events the sink discarded to its capacity bound (oldest first);
+    /// non-zero means [`Observation::events`] is the *tail* of the run.
+    pub trace_dropped: u64,
+    /// Final values of every counter, gauge and histogram.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Process peak RSS in bytes from `/proc/self/status` (`VmHWM`); `0` on

@@ -174,7 +174,18 @@ impl Cluster {
                 }
                 let n = &cluster.inner.nodes[node];
                 NodeStats::bump(&n.stats.interrupts_taken);
+                let svc_t0 = cluster.inner.sim.now();
                 n.cpu.run_handler(cluster.inner.cfg.interrupt_cost).await;
+                {
+                    let metrics = cluster.inner.sim.metrics();
+                    metrics.counter_add(shrimp_sim::Category::Core, "interrupts_taken", 1);
+                    // Handler cost plus any CPU contention the dispatch paid.
+                    metrics.observe(
+                        shrimp_sim::Category::Core,
+                        "intr_service_ps",
+                        cluster.inner.sim.now() - svc_t0,
+                    );
+                }
                 if !intr.notify {
                     continue; // forced interrupt (Table 4): null handler only
                 }

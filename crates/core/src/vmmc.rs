@@ -440,6 +440,10 @@ impl Vmmc {
         let node = self.cluster.node(self.node);
         NodeStats::bump(&node.stats.messages_sent);
         NodeStats::add(&node.stats.bytes_sent, len as u64);
+        let send_t0 = self.sim().now();
+        let metrics = self.sim().metrics().clone();
+        metrics.counter_add(shrimp_sim::Category::Core, "messages_sent", 1);
+        metrics.counter_add(shrimp_sim::Category::Core, "bytes_sent", len as u64);
         shrimp_sim::trace_event!(
             self.sim().trace(),
             self.sim().now(),
@@ -493,6 +497,13 @@ impl Vmmc {
             last = Some(ev);
             sent += step;
         }
+        // Initiation latency: syscall (if any) + per-chunk UDMA setup +
+        // reliable handshakes, up to the last chunk's hand-off to the NIC.
+        metrics.observe(
+            shrimp_sim::Category::Core,
+            "send_latency_ps",
+            self.sim().now() - send_t0,
+        );
         Ok(SendTicket {
             done: last.expect("send_inner sent nothing"),
         })
@@ -549,6 +560,9 @@ impl Vmmc {
                 });
             }
             NodeStats::bump(&node.stats.retransmits);
+            self.sim()
+                .metrics()
+                .counter_add(shrimp_sim::Category::Core, "retransmits", 1);
         }
     }
 

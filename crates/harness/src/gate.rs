@@ -146,7 +146,20 @@ impl GateOutcome {
 }
 
 /// Diffs fresh `results` against a parsed `baseline` document.
+///
+/// Accepts both the current sweep schema and `v1` baselines: `v2` only
+/// added optional nested observed-metrics entries, which the comparison
+/// below skips anyway (`as_u64` on an object is `None`).
 pub fn check(baseline: &Json, results: &[RunResult]) -> Result<GateOutcome, String> {
+    if let Some(schema) = baseline.get("schema").and_then(|v| v.as_str()) {
+        if schema != crate::sweep::SCHEMA && schema != crate::sweep::SCHEMA_V1 {
+            return Err(format!(
+                "unsupported baseline schema \"{schema}\" (expected \"{}\" or \"{}\")",
+                crate::sweep::SCHEMA,
+                crate::sweep::SCHEMA_V1
+            ));
+        }
+    }
     let rows = baseline
         .get("rows")
         .and_then(|r| r.as_arr())
@@ -229,6 +242,7 @@ mod tests {
             spec,
             status: RunStatus::Ok(record),
             perf: None,
+            obs: None,
         }]
     }
 
@@ -296,6 +310,28 @@ mod tests {
             &outcome.regressions[0].kind,
             RegressionKind::Failed(label) if label == "timeout"
         ));
+    }
+
+    #[test]
+    fn gate_reads_v1_and_v2_schemas_but_rejects_unknown() {
+        let results = one_result();
+        let v2 = baseline_of(&results);
+        assert!(check(&v2, &results).unwrap().passed());
+        // A v1 baseline (pre-observability rows are shaped identically).
+        let v1 = json::parse(
+            &sweep::to_json("smoke", &results).replace(sweep::SCHEMA, sweep::SCHEMA_V1),
+        )
+        .unwrap();
+        assert_eq!(
+            v1.get("schema").unwrap().as_str(),
+            Some(sweep::SCHEMA_V1),
+            "replace missed the schema tag"
+        );
+        assert!(check(&v1, &results).unwrap().passed());
+        // Anything else is an explicit error, not silent mis-comparison.
+        let v9 = json::parse("{\"schema\": \"shrimp-sweep-v9\", \"rows\": []}").unwrap();
+        let err = check(&v9, &results).unwrap_err();
+        assert!(err.contains("shrimp-sweep-v9"), "{err}");
     }
 
     #[test]

@@ -62,7 +62,14 @@ impl Json {
 /// Parses one JSON document. Returns a human-readable error on malformed
 /// input (byte offset plus what was expected).
 pub fn parse(text: &str) -> Result<Json, String> {
-    let bytes = text.as_bytes();
+    parse_bytes(text.as_bytes())
+}
+
+/// Parses one JSON document from raw bytes — the artifact files arrive as
+/// bytes off disk, and nothing guarantees they are valid UTF-8. Malformed
+/// input of any kind (including invalid UTF-8 inside strings or numbers)
+/// is an `Err`, never a panic.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Json, String> {
     let mut pos = 0;
     let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
@@ -121,9 +128,11 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     if *pos == start {
         return Err(format!("expected a number at byte {start}"));
     }
-    Ok(Json::Num(
-        std::str::from_utf8(&b[start..*pos]).unwrap().to_string(),
-    ))
+    // The scan above admits ASCII only, but propagate the error rather
+    // than unwrap: a parser must never panic on input bytes.
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| format!("invalid UTF-8 in number at byte {start}"))?;
+    Ok(Json::Num(text.to_string()))
 }
 
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -277,6 +286,21 @@ mod tests {
         assert!(parse("[1, 2,]").is_err());
         assert!(parse("{\"a\": 1} trailing").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_an_error_not_a_panic() {
+        // Invalid UTF-8 inside a quoted string.
+        assert!(parse_bytes(b"\"\xff\xfe\"").is_err());
+        // A lone continuation byte where a value is expected.
+        assert!(parse_bytes(b"\x80").is_err());
+        // Truncated multi-byte sequence at end of string.
+        assert!(parse_bytes(b"\"\xe2\x82\"").is_err());
+        // Valid UTF-8 through the bytes entry point still parses.
+        assert_eq!(
+            parse_bytes("\"caf\u{e9}\"".as_bytes()).unwrap().as_str(),
+            Some("café")
+        );
     }
 
     #[test]

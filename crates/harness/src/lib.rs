@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod gate;
 pub mod json;
 pub mod perf;
@@ -55,6 +56,7 @@ mod determinism_tests {
             &RunnerOptions {
                 workers: 1,
                 timeout: Duration::from_secs(600),
+                observe: false,
             },
         );
         let parallel = run_sweep(
@@ -62,6 +64,7 @@ mod determinism_tests {
             &RunnerOptions {
                 workers: 4,
                 timeout: Duration::from_secs(600),
+                observe: false,
             },
         );
         let a = sweep::to_json("smoke", &serial);

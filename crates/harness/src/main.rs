@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use shrimp_bench::{matrix, Scale};
 use shrimp_harness::runner::{run_sweep_with_progress, RunnerOptions};
-use shrimp_harness::{gate, json, perf, sweep};
+use shrimp_harness::{chrome, gate, json, perf, sweep};
 
 const USAGE: &str = "\
 shrimp-harness — parallel experiment sweep with baseline regression gating
@@ -36,6 +36,13 @@ FLAGS:
   --perf-baseline <PATH>
                       perf baseline to gate against
                       (default results/baselines/perf-<scale>.json)
+  --trace-out <PATH>  run with tracing + metrics enabled and export each
+                      run's timeline as Chrome trace_event JSON (open in
+                      chrome://tracing or ui.perfetto.dev); with several
+                      runs, PATH gains a per-run id suffix. Also embeds
+                      observed metrics in the sweep rows, so combine with
+                      --filter and don't gate the output against a
+                      baseline recorded without it
   --list              print the matrix's run ids and exit
 
 EXIT STATUS:
@@ -57,6 +64,7 @@ struct Cli {
     perf: bool,
     perf_out: Option<PathBuf>,
     perf_baseline: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     list: bool,
 }
 
@@ -75,6 +83,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         perf: false,
         perf_out: None,
         perf_baseline: None,
+        trace_out: None,
         list: false,
     };
     let mut it = args.iter();
@@ -101,6 +110,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--perf" => cli.perf = true,
             "--perf-out" => cli.perf_out = Some(PathBuf::from(value("--perf-out")?)),
             "--perf-baseline" => cli.perf_baseline = Some(PathBuf::from(value("--perf-baseline")?)),
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--list" => cli.list = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -114,6 +124,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 
 fn parse_num(s: &str) -> Result<usize, String> {
     s.parse().map_err(|_| format!("'{s}' is not a number"))
+}
+
+/// With several observed runs, `--trace-out results/trace.json` fans out to
+/// `results/trace-<id>.json` per run, with the id's slashes flattened.
+fn per_run_trace_path(base: &Path, id: &str) -> PathBuf {
+    let sanitized = id.replace('/', "-");
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("json");
+    base.with_file_name(format!("{stem}-{sanitized}.{ext}"))
 }
 
 /// `results/` next to the workspace root when run under cargo, else CWD.
@@ -166,6 +185,7 @@ fn main() -> ExitCode {
                 .unwrap_or(4)
         }),
         timeout: cli.timeout,
+        observe: cli.trace_out.is_some(),
     };
     println!(
         "[shrimp-harness] {} runs at {} scale (max {} nodes) on {} workers, {}s timeout/run",
@@ -197,6 +217,30 @@ fn main() -> ExitCode {
     }
     print!("{}", sweep::render_table(&results));
     println!("\nwrote {}", out_path.display());
+
+    if let Some(trace_path) = &cli.trace_out {
+        let observed: Vec<_> = results.iter().filter(|r| r.obs.is_some()).collect();
+        for r in &observed {
+            let id = r.spec.id();
+            let path = if observed.len() == 1 {
+                trace_path.clone()
+            } else {
+                per_run_trace_path(trace_path, &id)
+            };
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let doc = chrome::to_chrome_json(&id, r.obs.as_ref().expect("observed run"));
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!("wrote trace {}", path.display());
+        }
+        if observed.is_empty() {
+            println!("no completed runs to trace");
+        }
+    }
 
     // The perf artifact is written beside — never inside — the sweep: it
     // holds host wall-clock, which must not contaminate the deterministic

@@ -194,6 +194,7 @@ mod tests {
                 events,
                 peak_rss_bytes: 1 << 20,
             }),
+            obs: None,
         }
     }
 

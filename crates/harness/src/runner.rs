@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex, Once};
 use std::thread;
 use std::time::Duration;
 
-use shrimp_bench::{PerfSample, RunRecord, RunSpec};
+use shrimp_bench::{Observation, PerfSample, RunRecord, RunSpec};
 
 /// How one run ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +62,11 @@ pub struct RunResult {
     /// [`RunStatus`] (and outside `sweep.json`) so the deterministic artifact
     /// never sees host timing; `--perf` renders it into `results/perf.json`.
     pub perf: Option<PerfSample>,
+    /// Trace timeline + metrics snapshot, present only when the sweep ran
+    /// with [`RunnerOptions::observe`] (`--trace-out`). Deterministic
+    /// simulated data; `sweep.json` embeds the metrics per row and the
+    /// Chrome-trace exporter renders the timeline.
+    pub obs: Option<Observation>,
 }
 
 /// Runner knobs.
@@ -71,6 +76,11 @@ pub struct RunnerOptions {
     pub workers: usize,
     /// Per-run wall-clock timeout.
     pub timeout: Duration,
+    /// Record each run's trace timeline and metrics snapshot
+    /// ([`RunResult::obs`]). Off by default: the unobserved path leaves the
+    /// simulator's trace sink and metrics registry disabled, keeping
+    /// `sweep.json` byte-identical to the committed baselines.
+    pub observe: bool,
 }
 
 impl Default for RunnerOptions {
@@ -80,6 +90,7 @@ impl Default for RunnerOptions {
                 .map(|n| n.get())
                 .unwrap_or(4),
             timeout: Duration::from_secs(600),
+            observe: false,
         }
     }
 }
@@ -121,15 +132,17 @@ where
         for w in 0..workers {
             let deques = Arc::clone(&deques);
             let timeout = opts.timeout;
+            let observe = opts.observe;
             scope.spawn(move || {
                 while let Some(index) = next_index(&deques, w) {
                     let spec = specs[index].clone();
-                    let (status, perf) = execute_isolated(spec.clone(), timeout);
+                    let (status, perf, obs) = execute_isolated(spec.clone(), timeout, observe);
                     let result = RunResult {
                         index,
                         spec,
                         status,
                         perf,
+                        obs,
                     };
                     on_done(&result);
                     results_ref.lock().unwrap().push(result);
@@ -160,14 +173,26 @@ fn next_index(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
 /// [`RunStatus::Panicked`] and over-long runs into [`RunStatus::TimedOut`]
 /// (the run thread is abandoned; a detached thread cannot corrupt other
 /// runs since every run owns its whole simulation).
-fn execute_isolated(spec: RunSpec, timeout: Duration) -> (RunStatus, Option<PerfSample>) {
+fn execute_isolated(
+    spec: RunSpec,
+    timeout: Duration,
+    observe: bool,
+) -> (RunStatus, Option<PerfSample>, Option<Observation>) {
     let (tx, rx) = mpsc::channel();
     let id = spec.id();
     let handle = thread::Builder::new()
         .name(format!("run-{id}"))
         .spawn(move || {
             install_panic_location_hook();
-            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| spec.execute_timed()));
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if observe {
+                    let (record, perf, obs) = spec.execute_observed();
+                    (record, perf, Some(obs))
+                } else {
+                    let (record, perf) = spec.execute_timed();
+                    (record, perf, None)
+                }
+            }));
             // The receiver may have given up (timeout); ignore send errors.
             let _ = tx.send(outcome.map_err(|payload| {
                 let msg = panic_message(&*payload);
@@ -179,15 +204,15 @@ fn execute_isolated(spec: RunSpec, timeout: Duration) -> (RunStatus, Option<Perf
         })
         .expect("spawn run thread");
     match rx.recv_timeout(timeout) {
-        Ok(Ok((record, perf))) => {
+        Ok(Ok((record, perf, obs))) => {
             let _ = handle.join();
-            (RunStatus::Ok(record), Some(perf))
+            (RunStatus::Ok(record), Some(perf), obs)
         }
         Ok(Err(msg)) => {
             let _ = handle.join();
-            (RunStatus::Panicked(msg), None)
+            (RunStatus::Panicked(msg), None, None)
         }
-        Err(_) => (RunStatus::TimedOut, None),
+        Err(_) => (RunStatus::TimedOut, None, None),
     }
 }
 
@@ -244,6 +269,7 @@ mod tests {
             &RunnerOptions {
                 workers: 3,
                 timeout: Duration::from_secs(600),
+                observe: false,
             },
         );
         assert_eq!(results.len(), 5);
@@ -267,6 +293,7 @@ mod tests {
             &RunnerOptions {
                 workers: 2,
                 timeout: Duration::from_secs(600),
+                observe: false,
             },
         );
         assert_eq!(results.len(), 3);
@@ -290,6 +317,7 @@ mod tests {
             &RunnerOptions {
                 workers: 1,
                 timeout: Duration::from_millis(1),
+                observe: false,
             },
         );
         assert_eq!(results[0].status.label(), "timeout");

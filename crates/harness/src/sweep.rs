@@ -8,13 +8,21 @@
 
 use std::fmt::Write as _;
 
+use shrimp_bench::Observation;
+use shrimp_sim::metrics::{HistogramSnapshot, MetricValue};
 use shrimp_sim::time;
 
 use crate::json::escape;
 use crate::runner::{RunResult, RunStatus};
 
-/// Schema tag written into every sweep document.
-pub const SCHEMA: &str = "shrimp-sweep-v1";
+/// Schema tag written into every sweep document. `v2` added the optional
+/// observed-metrics entries (histograms/gauges as nested objects under
+/// `"<category>/<name>"` keys) to the per-row `metrics` block; rows from
+/// unobserved sweeps are byte-identical to `v1` rows.
+pub const SCHEMA: &str = "shrimp-sweep-v2";
+
+/// The previous schema tag; the regression gate reads both.
+pub const SCHEMA_V1: &str = "shrimp-sweep-v1";
 
 /// Serializes results as the sweep document.
 pub fn to_json(scale: &str, results: &[RunResult]) -> String {
@@ -48,6 +56,9 @@ pub fn to_json(scale: &str, results: &[RunResult]) -> String {
                     }
                     let _ = write!(out, "\"{k}\": {v}");
                 }
+                if let Some(obs) = &r.obs {
+                    write_observed_metrics(&mut out, obs);
+                }
                 out.push('}');
             }
             RunStatus::Panicked(msg) => {
@@ -60,6 +71,47 @@ pub fn to_json(scale: &str, results: &[RunResult]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Appends the observed-metrics entries to an open per-row `metrics`
+/// object: one `"<category>/<name>"` key per registry instrument, in
+/// snapshot (deterministic) order. Counters serialize as plain numbers
+/// like the flat record fields; gauges and histograms as nested objects
+/// with a `"kind"` discriminator. The slash in the key keeps the observed
+/// namespace disjoint from the gated flat fields, and the regression gate
+/// skips nested objects anyway (`as_u64` on an object is `None`).
+fn write_observed_metrics(out: &mut String, obs: &Observation) {
+    for s in &obs.metrics.samples {
+        let _ = write!(out, ", \"{}/{}\": ", s.category.as_str(), s.name);
+        match &s.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Gauge { last, max } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\": \"gauge\", \"last\": {last}, \"max\": {max}}}"
+                );
+            }
+            MetricValue::Histogram(h) => write_histogram(out, h),
+        }
+    }
+}
+
+fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"kind\": \"histogram\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+         \"buckets\": [",
+        h.count, h.sum, h.min, h.max
+    );
+    for (i, b) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{b}");
+    }
+    out.push_str("]}");
 }
 
 /// Renders the human-readable comparison table: one section per
@@ -123,12 +175,14 @@ mod tests {
                 spec: spec.clone(),
                 status: RunStatus::Ok(record),
                 perf: None,
+                obs: None,
             },
             RunResult {
                 index: 1,
                 spec,
                 status: RunStatus::Panicked("boom".to_string()),
                 perf: None,
+                obs: None,
             },
         ]
     }

@@ -1,0 +1,70 @@
+//! Fuzz-style property tests for the hand-rolled JSON reader: whatever
+//! bytes arrive — truncated documents, invalid UTF-8 mid-string, garbage
+//! escapes — the parser returns `Err`, it never panics. (The historical
+//! bug: `parse_num` unwrapped `from_utf8` on its scanned slice.)
+
+use shrimp_harness::json::{self, Json};
+use shrimp_testkit::prop::*;
+use shrimp_testkit::{prop_assert, prop_assert_eq, props};
+
+props! {
+    cases = 256;
+
+    /// Uniformly random bytes: parse must classify, not crash.
+    fn random_bytes_never_panic(bytes in vec_of(any_u8(), 0..64)) {
+        // Ok or Err are both acceptable; reaching this line is the property.
+        let _ = json::parse_bytes(&bytes);
+    }
+
+    /// Bytes biased toward JSON syntax (quotes, escapes, digits, UTF-8
+    /// lead/continuation bytes) reach much deeper into the parser —
+    /// string escapes, `\u` sequences, multi-byte passthrough, numbers.
+    fn json_shaped_bytes_never_panic(
+        bytes in vec_of(select(vec![
+            b'"', b'\\', b'u', b'n', b't', b'{', b'}', b'[', b']',
+            b',', b':', b' ', b'-', b'+', b'.', b'e', b'E',
+            b'0', b'1', b'9', b'a', b'f',
+            0x00, 0x1f, 0x7f, 0x80, 0xbf, 0xc2, 0xe2, 0xf0, 0xff,
+        ]), 0..48),
+    ) {
+        let _ = json::parse_bytes(&bytes);
+    }
+
+    /// A quoted string of arbitrary bytes: either it parses (the bytes
+    /// happened to be valid UTF-8 with balanced escapes) or it errors —
+    /// and a parsed result round-trips through escape().
+    fn quoted_arbitrary_bytes_parse_or_error(inner in vec_of(any_u8(), 0..32)) {
+        let mut doc = vec![b'"'];
+        doc.extend_from_slice(&inner);
+        doc.push(b'"');
+        if let Ok(v) = json::parse_bytes(&doc) {
+            let Json::Str(s) = &v else {
+                panic!("quoted input parsed as non-string: {v:?}");
+            };
+            let re = format!("\"{}\"", json::escape(s));
+            let parsed = json::parse(&re).unwrap();
+            prop_assert_eq!(
+                parsed.as_str(),
+                Some(s.as_str()),
+                "escape/parse round-trip diverged"
+            );
+        }
+    }
+
+    /// Numbers embedded in random surroundings: the historical panic site.
+    fn numbers_with_junk_suffixes_never_panic(
+        digits in vec_of(u8_in(b'0'..b'9' + 1), 1..20),
+        junk in vec_of(any_u8(), 0..8),
+    ) {
+        let mut doc = digits.clone();
+        doc.extend_from_slice(&junk);
+        let _ = json::parse_bytes(&doc);
+        // The clean prefix alone must parse as that exact number.
+        let clean = json::parse_bytes(&digits).unwrap();
+        let text = std::str::from_utf8(&digits).unwrap();
+        prop_assert!(
+            matches!(&clean, Json::Num(s) if s == text),
+            "number text mangled: {clean:?} vs {text}"
+        );
+    }
+}

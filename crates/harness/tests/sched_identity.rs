@@ -41,6 +41,7 @@ fn sweep_bytes(specs: &[RunSpec]) -> String {
             spec: spec.clone(),
             status: RunStatus::Ok(spec.execute()),
             perf: None,
+            obs: None,
         })
         .collect();
     sweep::to_json("smoke", &results)

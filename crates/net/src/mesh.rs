@@ -300,6 +300,31 @@ impl<P: 'static> Network<P> {
             );
             let waited = head - (ideal_start + (hops + 1) * cfg.hop_latency);
             self.inner.stats.record_packet(wire_bytes, hops, waited);
+            let metrics = sim.metrics();
+            metrics.counter_add(shrimp_sim::Category::Net, "packets", 1);
+            metrics.counter_add(shrimp_sim::Category::Net, "wire_bytes", wire_bytes);
+            // Channel-busy time: serialization on the inject channel, each
+            // router-to-router link, and the eject channel (utilization
+            // numerator; the run's elapsed time is the denominator).
+            metrics.counter_add(
+                shrimp_sim::Category::Net,
+                "link_busy_ps",
+                serialization * (hops + 2),
+            );
+            metrics.observe(shrimp_sim::Category::Net, "contention_wait_ps", waited);
+            shrimp_sim::trace_event!(
+                sim.trace(),
+                sim.now(),
+                shrimp_sim::Category::Net,
+                [
+                    ("node", src.0),
+                    ("dst", dst.0),
+                    ("bytes", wire_bytes),
+                    ("hops", hops),
+                    ("wait_ps", waited),
+                ],
+                "{src} -> {dst}: {wire_bytes} B over {hops} hops (waited {waited} ps)"
+            );
             let fate = plane
                 .as_ref()
                 .map_or(PacketFate::Deliver, |p| p.packet_fate());
@@ -386,6 +411,10 @@ impl<P: 'static> Network<P> {
         }
         path.reverse();
         plane.record_reroute();
+        self.inner
+            .sim
+            .metrics()
+            .counter_add(shrimp_sim::Category::Net, "reroutes", 1);
         Some(path)
     }
 }

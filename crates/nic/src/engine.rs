@@ -394,6 +394,15 @@ impl Nic {
             self.inner.mem.read(req.src, &mut data);
             NicCounters::bump(&self.inner.counters.du_transfers);
             NicCounters::add(&self.inner.counters.du_bytes, req.len as u64);
+            let metrics = self.inner.sim.metrics();
+            metrics.counter_add(shrimp_sim::Category::Nic, "du_transfers", 1);
+            metrics.counter_add(shrimp_sim::Category::Nic, "du_bytes", req.len as u64);
+            // Requests still queued behind this one (the depth §4.5.3 varies).
+            metrics.gauge_set(
+                shrimp_sim::Category::Nic,
+                "du_queue_depth",
+                self.inner.du_queue.len() as u64,
+            );
             trace_event!(
                 self.inner.sim.trace(),
                 self.inner.sim.now(),
@@ -542,6 +551,10 @@ impl Nic {
         }
         NicCounters::bump(&self.inner.counters.au_packets);
         NicCounters::add(&self.inner.counters.au_bytes, len as u64);
+        let metrics = self.inner.sim.metrics();
+        metrics.counter_add(shrimp_sim::Category::Nic, "au_packets", 1);
+        metrics.counter_add(shrimp_sim::Category::Nic, "au_bytes", len as u64);
+        metrics.gauge_set(shrimp_sim::Category::Nic, "fifo_occupancy", occ as u64);
         trace_event!(
             self.inner.sim.trace(),
             self.inner.sim.now(),
@@ -583,6 +596,7 @@ impl Nic {
         if occ > self.inner.cfg.out_fifo_threshold && !self.inner.threshold_pending.get() {
             self.inner.threshold_pending.set(true);
             NicCounters::bump(&self.inner.counters.fifo_threshold_interrupts);
+            metrics.counter_add(shrimp_sim::Category::Nic, "fifo_threshold_interrupts", 1);
             let nic = self.clone();
             self.inner
                 .sim
@@ -671,6 +685,12 @@ impl Nic {
             return;
         }
         NicCounters::bump(&self.inner.counters.packets_received);
+        // Wire+contention latency of this packet, source NIC to ingress.
+        self.inner.sim.metrics().observe(
+            shrimp_sim::Category::Nic,
+            "pkt_latency_ps",
+            self.inner.sim.now().saturating_sub(pkt.sent_at),
+        );
         if !pkt.checksum_ok() {
             // In-flight corruption: count it, record how long the damage
             // was in flight, and nack sequenced transfers so the sender
@@ -729,6 +749,15 @@ impl Nic {
             .dma_write(Paddr::from_parts(pkt.dst_page, pkt.offset), &pkt.data);
         if pkt.interrupt && (entry.interrupt_enable || self.inner.cfg.force_arrival_interrupts) {
             NicCounters::bump(&self.inner.counters.interrupts_raised);
+            let metrics = self.inner.sim.metrics();
+            metrics.counter_add(shrimp_sim::Category::Nic, "interrupts_raised", 1);
+            // Latency from the sender's NIC to the interrupt being raised —
+            // what the paper's Table 4 pays on every message arrival.
+            metrics.observe(
+                shrimp_sim::Category::Nic,
+                "intr_raise_latency_ps",
+                self.inner.sim.now().saturating_sub(pkt.sent_at),
+            );
             trace_event!(
                 self.inner.sim.trace(),
                 self.inner.sim.now(),

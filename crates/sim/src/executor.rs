@@ -27,6 +27,7 @@ use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 use std::thread::ThreadId;
 
+use crate::metrics::MetricsRegistry;
 use crate::time::Time;
 use crate::trace::TraceSink;
 use crate::wheel::TimerWheel;
@@ -316,6 +317,7 @@ impl TaskSlab {
 struct SimInner {
     now: Cell<Time>,
     trace: TraceSink,
+    metrics: MetricsRegistry,
     /// Executor events processed: process polls + timer fires. Purely a
     /// function of the simulated program, so deterministic across runs.
     events: Cell<u64>,
@@ -376,6 +378,7 @@ impl Sim {
             inner: Rc::new(SimInner {
                 now: Cell::new(0),
                 trace: TraceSink::new(),
+                metrics: MetricsRegistry::new(),
                 events: Cell::new(0),
                 timers: RefCell::new(timers),
                 ready: Arc::new(ReadyQueue::new()),
@@ -393,6 +396,12 @@ impl Sim {
     /// [`TraceSink::enable`]).
     pub fn trace(&self) -> &TraceSink {
         &self.inner.trace
+    }
+
+    /// The simulator's metrics registry (disabled by default; see
+    /// [`MetricsRegistry::enable`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
     /// Number of processes that have been spawned and have not yet completed.

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod sync;
@@ -48,6 +49,7 @@ pub mod trace;
 pub mod wheel;
 
 pub use executor::{Sim, TaskHandle};
+pub use metrics::{MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use queue::{unbounded, Queue, QueueReceiver, QueueSender};
 pub use rng::SimRng;
 pub use sync::{Event, Gate, Resource, Semaphore};

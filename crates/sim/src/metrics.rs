@@ -1,0 +1,365 @@
+//! Deterministic metrics registry: typed counters, gauges, and fixed-bucket
+//! latency histograms keyed by `(Category, &'static str)`.
+//!
+//! Like the [`TraceSink`](crate::trace::TraceSink), the registry is off by
+//! default and costs one branch per call site when disabled, so the
+//! deterministic sweep artifacts stay byte-identical whether or not the
+//! observability plane is compiled in. Every recorded quantity is simulated
+//! (picoseconds, byte counts, occupancies) — never host wall-clock — so a
+//! [`MetricsSnapshot`] serializes identically on every machine.
+//!
+//! Instruments:
+//!
+//! * **Counter** — monotone sum ([`MetricsRegistry::counter_add`]).
+//! * **Gauge** — last-written value plus the high-water mark
+//!   ([`MetricsRegistry::gauge_set`]).
+//! * **Histogram** — power-of-two buckets over `u64` with count/sum/min/max
+//!   ([`MetricsRegistry::observe`]); bucket `i` holds values whose bit
+//!   length is `i` (value `0` lands in bucket `0`), so the layout is fixed
+//!   and host-independent.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::trace::Category;
+
+/// Number of histogram buckets: one per possible `u64` bit length (0..=64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index of a value: its bit length (`0` for `0`, `64` for values
+/// with the top bit set). Fixed for all time so snapshots compare across
+/// runs and commits.
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Hist {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(u64),
+    Gauge { last: u64, max: u64 },
+    // Boxed: the inline bucket array would bloat every counter/gauge
+    // entry to histogram size.
+    Histogram(Box<Hist>),
+}
+
+struct RegistryInner {
+    enabled: Cell<bool>,
+    map: RefCell<BTreeMap<(Category, &'static str), Instrument>>,
+}
+
+/// A shared, deterministic metrics registry. Cheap to clone; disabled by
+/// default ([`MetricsRegistry::enable`]).
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Rc<RegistryInner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.inner.enabled.get())
+            .field("instruments", &self.inner.map.borrow().len())
+            .finish()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates a disabled, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Rc::new(RegistryInner {
+                enabled: Cell::new(false),
+                map: RefCell::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Enables recording. Until this is called every instrument method is
+    /// a single predictable branch.
+    pub fn enable(&self) {
+        self.inner.enabled.set(true);
+    }
+
+    /// Disables recording (already-recorded values are kept).
+    pub fn disable(&self) {
+        self.inner.enabled.set(false);
+    }
+
+    /// `true` while recording.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.get()
+    }
+
+    /// Adds `v` to the counter `(category, name)` (no-op when disabled).
+    pub fn counter_add(&self, category: Category, name: &'static str, v: u64) {
+        if !self.inner.enabled.get() {
+            return;
+        }
+        let mut map = self.inner.map.borrow_mut();
+        match map
+            .entry((category, name))
+            .or_insert(Instrument::Counter(0))
+        {
+            Instrument::Counter(c) => *c = c.saturating_add(v),
+            other => panic!("metric {category}/{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `(category, name)` to `v`, tracking its high-water
+    /// mark (no-op when disabled).
+    pub fn gauge_set(&self, category: Category, name: &'static str, v: u64) {
+        if !self.inner.enabled.get() {
+            return;
+        }
+        let mut map = self.inner.map.borrow_mut();
+        match map
+            .entry((category, name))
+            .or_insert(Instrument::Gauge { last: 0, max: 0 })
+        {
+            Instrument::Gauge { last, max } => {
+                *last = v;
+                *max = (*max).max(v);
+            }
+            other => panic!("metric {category}/{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records `v` into the histogram `(category, name)` (no-op when
+    /// disabled). Values are simulated quantities — latencies in
+    /// picoseconds, depths, byte counts — never host time.
+    pub fn observe(&self, category: Category, name: &'static str, v: u64) {
+        if !self.inner.enabled.get() {
+            return;
+        }
+        let mut map = self.inner.map.borrow_mut();
+        match map
+            .entry((category, name))
+            .or_insert_with(|| Instrument::Histogram(Box::new(Hist::new())))
+        {
+            Instrument::Histogram(h) => h.observe(v),
+            other => panic!("metric {category}/{name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Snapshots every instrument in deterministic `(Category, name)`
+    /// order. The registry keeps recording afterwards.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let samples = self
+            .inner
+            .map
+            .borrow()
+            .iter()
+            .map(|(&(category, name), inst)| MetricSample {
+                category,
+                name,
+                value: match inst {
+                    &Instrument::Counter(v) => MetricValue::Counter(v),
+                    &Instrument::Gauge { last, max } => MetricValue::Gauge { last, max },
+                    Instrument::Histogram(h) => {
+                        // Trim trailing empty buckets; the index encodes the
+                        // bit length, so a short vector is unambiguous.
+                        let upper = h.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+                        MetricValue::Histogram(HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            min: if h.count == 0 { 0 } else { h.min },
+                            max: h.max,
+                            buckets: h.buckets[..upper].to_vec(),
+                        })
+                    }
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+}
+
+/// A point-in-time copy of one instrument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Component that owns the instrument.
+    pub category: Category,
+    /// Instrument name, unique within its category.
+    pub name: &'static str,
+    /// The recorded value(s).
+    pub value: MetricValue,
+}
+
+/// The value of one instrument at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotone counter total.
+    Counter(u64),
+    /// Last-written gauge value plus its high-water mark.
+    Gauge {
+        /// Most recent value.
+        last: u64,
+        /// Largest value ever set.
+        max: u64,
+    },
+    /// Fixed-bucket histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// Histogram summary: totals plus per-bit-length bucket counts (trailing
+/// empty buckets trimmed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observation (`0` when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// `buckets[i]` counts observations whose bit length is `i`.
+    pub buckets: Vec<u64>,
+}
+
+/// Everything the registry captured, in deterministic order. Plain data
+/// (`Send`), so the harness can carry it across run-thread boundaries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All instruments, sorted by `(Category, name)`.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Looks an instrument up by category and name.
+    pub fn get(&self, category: Category, name: &str) -> Option<&MetricValue> {
+        self.samples
+            .iter()
+            .find(|s| s.category == category && s.name == name)
+            .map(|s| &s.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = MetricsRegistry::new();
+        m.counter_add(Category::Nic, "pkts", 3);
+        m.gauge_set(Category::Nic, "depth", 9);
+        m.observe(Category::Net, "lat_ps", 1234);
+        assert!(m.snapshot().samples.is_empty());
+    }
+
+    #[test]
+    fn counters_sum_and_gauges_track_high_water() {
+        let m = MetricsRegistry::new();
+        m.enable();
+        m.counter_add(Category::Nic, "pkts", 3);
+        m.counter_add(Category::Nic, "pkts", 4);
+        m.gauge_set(Category::Nic, "depth", 9);
+        m.gauge_set(Category::Nic, "depth", 2);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.get(Category::Nic, "pkts"),
+            Some(&MetricValue::Counter(7))
+        );
+        assert_eq!(
+            snap.get(Category::Nic, "depth"),
+            Some(&MetricValue::Gauge { last: 2, max: 9 })
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        let m = MetricsRegistry::new();
+        m.enable();
+        for v in [0, 1, 2, 3, 1000] {
+            m.observe(Category::Svm, "fault_ps", v);
+        }
+        let snap = m.snapshot();
+        let Some(MetricValue::Histogram(h)) = snap.get(Category::Svm, "fault_ps") else {
+            panic!("expected a histogram");
+        };
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[10], 1); // 1000 (10 bits)
+        assert_eq!(h.buckets.len(), 11, "trailing zero buckets trimmed");
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let build = || {
+            let m = MetricsRegistry::new();
+            m.enable();
+            m.counter_add(Category::Svm, "b", 1);
+            m.counter_add(Category::Nic, "z", 1);
+            m.counter_add(Category::Nic, "a", 1);
+            m.snapshot()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        let names: Vec<_> = a.samples.iter().map(|s| (s.category, s.name)).collect();
+        assert_eq!(
+            names,
+            vec![
+                (Category::Nic, "a"),
+                (Category::Nic, "z"),
+                (Category::Svm, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let m = MetricsRegistry::new();
+        m.enable();
+        m.observe(Category::Other, "x", 1);
+        m.counter_add(Category::Other, "x", 1);
+    }
+}

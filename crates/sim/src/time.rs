@@ -17,28 +17,57 @@ pub const PS_PER_MS: Time = 1_000_000_000;
 /// Picoseconds per second.
 pub const PS_PER_S: Time = 1_000_000_000_000;
 
+/// Multiplies with an overflow check: `u64` picoseconds wrap silently in
+/// release builds, and a wrapped timestamp is a wrong *schedule*, not a
+/// crash — far harder to debug than this panic.
+const fn scale(v: u64, ps_per_unit: Time) -> Time {
+    match v.checked_mul(ps_per_unit) {
+        Some(t) => t,
+        None => panic!("time overflow: value in this unit exceeds u64 picoseconds (~213 days)"),
+    }
+}
+
 /// Converts nanoseconds to [`Time`].
+///
+/// Panics if the result overflows `u64` picoseconds (~213 days of
+/// simulated time):
 ///
 /// ```
 /// assert_eq!(shrimp_sim::time::ns(3), 3_000);
+/// // The largest representable span in each unit still converts…
+/// assert_eq!(shrimp_sim::time::ns(u64::MAX / 1_000), 18_446_744_073_709_551_000);
+/// ```
+///
+/// ```should_panic
+/// shrimp_sim::time::ns(u64::MAX / 1_000 + 1); // one past the boundary
 /// ```
 pub const fn ns(v: u64) -> Time {
-    v * PS_PER_NS
+    scale(v, PS_PER_NS)
 }
 
-/// Converts microseconds to [`Time`].
+/// Converts microseconds to [`Time`]. Panics on `u64` overflow.
 pub const fn us(v: u64) -> Time {
-    v * PS_PER_US
+    scale(v, PS_PER_US)
 }
 
-/// Converts milliseconds to [`Time`].
+/// Converts milliseconds to [`Time`]. Panics on `u64` overflow.
 pub const fn ms(v: u64) -> Time {
-    v * PS_PER_MS
+    scale(v, PS_PER_MS)
 }
 
-/// Converts seconds to [`Time`].
+/// Converts seconds to [`Time`]. Panics on `u64` overflow — the silent
+/// wrap this replaces turned e.g. `s(20_000_000)` into a *small* value:
+///
+/// ```
+/// // 18 446 744 s (~213 days) is the last representable second count…
+/// assert_eq!(shrimp_sim::time::s(18_446_744), 18_446_744_000_000_000_000);
+/// ```
+///
+/// ```should_panic
+/// shrimp_sim::time::s(18_446_745); // …and one more second overflows
+/// ```
 pub const fn s(v: u64) -> Time {
-    v * PS_PER_S
+    scale(v, PS_PER_S)
 }
 
 /// Converts a [`Time`] to fractional seconds (for reporting).

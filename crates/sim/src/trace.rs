@@ -152,17 +152,34 @@ impl TraceSink {
     }
 
     /// Records an event with a structured payload (no-op when disabled).
+    ///
+    /// Duplicate keys are collapsed in place, last write wins:
+    /// [`TraceEvent::field`] is a first-match linear scan, so without this a
+    /// repeated key would shadow its own latest value. First-occurrence
+    /// order is kept so rendered timelines stay stable.
     pub fn record_kv(
         &self,
         at: Time,
         category: Category,
-        kv: Vec<(&'static str, u64)>,
+        mut kv: Vec<(&'static str, u64)>,
         message: String,
     ) {
         let mut inner = self.inner.borrow_mut();
         if !inner.enabled {
             return;
         }
+        let mut kept = 0;
+        for i in 0..kv.len() {
+            let (k, v) = kv[i];
+            match kv[..kept].iter_mut().find(|(dk, _)| *dk == k) {
+                Some(slot) => slot.1 = v,
+                None => {
+                    kv[kept] = (k, v);
+                    kept += 1;
+                }
+            }
+        }
+        kv.truncate(kept);
         if inner.events.len() >= inner.capacity {
             inner.events.remove(0);
             inner.dropped += 1;
@@ -241,12 +258,12 @@ impl TraceSink {
 macro_rules! trace_event {
     ($sink:expr, $at:expr, $cat:expr, [$(($k:expr, $v:expr)),* $(,)?], $($arg:tt)*) => {
         if $sink.enabled() {
-            $sink.record_kv(
-                $at,
-                $cat,
-                vec![$(($k, $v as u64)),*],
-                format!($($arg)*),
-            );
+            // Exact-capacity allocation: the payload length is known here at
+            // the macro site, so the Vec never over- or re-allocates.
+            let mut kv: ::std::vec::Vec<(&'static str, u64)> =
+                ::std::vec::Vec::with_capacity(0usize $(+ { let _ = stringify!($k); 1 })*);
+            $(kv.push(($k, $v as u64));)*
+            $sink.record_kv($at, $cat, kv, format!($($arg)*));
         }
     };
     ($sink:expr, $at:expr, $cat:expr, $($arg:tt)*) => {
@@ -311,6 +328,47 @@ mod tests {
         assert_eq!(ev[0].field("missing"), None);
         let text = TraceSink::render(&ev);
         assert!(text.contains("len=4096"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_kv_keys_collapse_last_write_wins() {
+        let sink = TraceSink::new();
+        sink.enable(None);
+        sink.record_kv(
+            1,
+            Category::Nic,
+            vec![
+                ("node", 1),
+                ("len", 10),
+                ("node", 2),
+                ("len", 20),
+                ("dst", 3),
+            ],
+            "dup".into(),
+        );
+        let ev = sink.take();
+        // One entry per key, first-occurrence order, latest value.
+        assert_eq!(ev[0].kv, vec![("node", 2), ("len", 20), ("dst", 3)]);
+        assert_eq!(ev[0].field("node"), Some(2));
+        assert_eq!(ev[0].field("len"), Some(20));
+    }
+
+    #[test]
+    fn macro_kv_payload_allocates_exact_capacity() {
+        let sink = TraceSink::new();
+        sink.enable(None);
+        crate::trace_event!(
+            &sink,
+            1,
+            Category::Nic,
+            [("a", 1u64), ("b", 2u64), ("a", 3u64)],
+            "macro dedupe"
+        );
+        let ev = sink.take();
+        assert_eq!(ev[0].kv, vec![("a", 3), ("b", 2)]);
+        // Capacity was reserved for the macro-site payload (3 pairs), and
+        // dedupe only shrinks the length, never reallocates.
+        assert!(ev[0].kv.capacity() <= 3);
     }
 
     #[test]

@@ -656,6 +656,13 @@ impl SvmNode {
         r.state.borrow_mut()[pg as usize] = PState::ReadOnly;
         SvmStats::bump(&sh.stats.fetches);
         SvmStats::add_time(&sh.stats.fault_time, sh.vm.sim().now() - t0);
+        let metrics = sh.vm.sim().metrics();
+        metrics.counter_add(shrimp_sim::Category::Svm, "read_faults", 1);
+        metrics.observe(
+            shrimp_sim::Category::Svm,
+            "read_fault_service_ps",
+            sh.vm.sim().now() - t0,
+        );
     }
 
     async fn write_fault(&self, region: RegionId, pg: u32) {
@@ -723,6 +730,13 @@ impl SvmNode {
         sh.rw_pages.borrow_mut().insert((region.0, pg));
         r.state.borrow_mut()[pg as usize] = PState::ReadWrite;
         SvmStats::add_time(&sh.stats.fault_time, sh.vm.sim().now() - t0);
+        let metrics = sh.vm.sim().metrics();
+        metrics.counter_add(shrimp_sim::Category::Svm, "write_faults", 1);
+        metrics.observe(
+            shrimp_sim::Category::Svm,
+            "write_fault_service_ps",
+            sh.vm.sim().now() - t0,
+        );
     }
 
     async fn ensure_read(&self, region: RegionId, off: usize, len: usize) {
