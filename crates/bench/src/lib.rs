@@ -23,7 +23,9 @@ use shrimp_core::{Cluster, DesignConfig};
 use shrimp_sim::{time, Time};
 use shrimp_testkit::HarnessConfig;
 
-pub use spec::{matrix, Knobs, Observation, PerfSample, RunRecord, RunSpec, Scale, Variant};
+pub use spec::{
+    matrix, Knobs, Observation, PerfSample, RunRecord, RunSpec, Scale, Shards, Variant,
+};
 
 /// The problem scale a harness configuration selects (`Full` under
 /// `SHRIMP_FULL=1`, `Reduced` otherwise; [`Scale::Smoke`] is only reachable
@@ -108,6 +110,12 @@ pub enum App {
     DfsSockets,
     /// Volume renderer on stream sockets.
     RenderSockets,
+    /// The engine-level sharded-executor workload: mesh-coupled compute
+    /// nodes driven by `shrimp_core::run_parallel`, used by the
+    /// `"parallel"` experiment group and the `--perf` speedup gate. Not a
+    /// Table 1 application, so it is absent from [`App::all`] and never
+    /// builds a [`Cluster`].
+    ParallelNodes,
 }
 
 impl App {
@@ -136,6 +144,7 @@ impl App {
             App::OceanNx => "Ocean-NX",
             App::DfsSockets => "DFS-sockets",
             App::RenderSockets => "Render-sockets",
+            App::ParallelNodes => "Engine-parallel",
         }
     }
 
@@ -146,6 +155,7 @@ impl App {
             App::RadixVmmc => "VMMC",
             App::BarnesNx | App::OceanNx => "NX",
             App::DfsSockets | App::RenderSockets => "Sockets",
+            App::ParallelNodes => "Engine",
         }
     }
 
@@ -174,6 +184,10 @@ impl App {
                 let p = render_params();
                 format!("{0} x {0} image", p.image)
             }
+            App::ParallelNodes => {
+                let p = spec::parallel_params_at(global_scale());
+                format!("{} nodes x {} steps", p.nodes, p.steps)
+            }
         }
     }
 
@@ -189,6 +203,20 @@ impl App {
     /// programmatic entry the sweep runner's worker threads use (no
     /// process-environment reads).
     pub fn run_with(&self, nodes: usize, cfg: DesignConfig, harness: &HarnessConfig) -> RunOutcome {
+        if *self == App::ParallelNodes {
+            // The engine workload has no cluster, so none of the
+            // trace/report machinery below applies; a single shard is the
+            // reference execution and every shard count yields the same
+            // outcome anyway.
+            let out = shrimp_core::run_parallel(&spec::parallel_params_at(scale_of(harness)), 1);
+            return RunOutcome {
+                elapsed: out.elapsed,
+                checksum: out.checksum,
+                messages: out.messages,
+                notifications: 0,
+                svm: None,
+            };
+        }
         let cluster = Cluster::new(nodes, cfg);
         if harness.trace {
             cluster.sim().trace().enable(Some(harness.trace_capacity));

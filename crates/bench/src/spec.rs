@@ -17,7 +17,7 @@ use shrimp_apps::ocean::{run_ocean_nx, run_ocean_svm, OceanParams};
 use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc, RadixParams};
 use shrimp_apps::render::{run_render, RenderParams};
 use shrimp_apps::{Mechanism, RunOutcome};
-use shrimp_core::{Cluster, ClusterReport, DesignConfig, RingBulk};
+use shrimp_core::{run_parallel, Cluster, ClusterReport, DesignConfig, ParallelParams, RingBulk};
 use shrimp_faults::{FaultScenario, FifoStall, LinkFault, NodePause};
 use shrimp_sim::{time, MetricsSnapshot, Time, TraceEvent};
 use shrimp_sockets::SocketConfig;
@@ -168,6 +168,27 @@ pub fn dfs_params_at(scale: Scale) -> DfsParams {
     }
 }
 
+/// Engine-parallel workload at a scale. Always 16 nodes — the paper's
+/// cluster size — so shard counts 1/2/4 divide the node set evenly at
+/// every scale; only the step count (and the host-CPU burn that gives the
+/// threaded executor real work to parallelize) grows with the scale.
+pub fn parallel_params_at(scale: Scale) -> ParallelParams {
+    match scale {
+        Scale::Smoke => ParallelParams {
+            burn: 12_000,
+            ..ParallelParams::with_steps(192)
+        },
+        Scale::Reduced => ParallelParams {
+            burn: 12_000,
+            ..ParallelParams::with_steps(768)
+        },
+        Scale::Full => ParallelParams {
+            burn: 12_000,
+            ..ParallelParams::with_steps(3072)
+        },
+    }
+}
+
 /// Render workload at a scale.
 pub fn render_params_at(scale: Scale) -> RenderParams {
     match scale {
@@ -303,6 +324,21 @@ impl Knobs {
     }
 }
 
+/// Shard-count selection for engine-parallel runs. Irrelevant to cluster
+/// applications (the SHRIMP cluster is one coupling class — see
+/// `shrimp_sim::shard` — and always runs on a single shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Shards {
+    /// Follow the sweep-wide `--shards` setting (1 when unset). Because
+    /// the workload's outcome is shard-count invariant, an `Auto` row's
+    /// [`RunRecord`] is byte-identical at every setting.
+    #[default]
+    Auto,
+    /// Pin the run to exactly this many shards, ignoring the CLI — the
+    /// scaling rows the `--perf` speedup gate compares.
+    Fixed(usize),
+}
+
 // ---------------------------------------------------------------------------
 // RunSpec
 // ---------------------------------------------------------------------------
@@ -324,6 +360,8 @@ pub struct RunSpec {
     pub scale: Scale,
     /// Workload seed (radix data; other workloads use fixed seeds).
     pub seed: u64,
+    /// Shard-count selection (engine-parallel runs only).
+    pub shards: Shards,
 }
 
 impl RunSpec {
@@ -337,6 +375,7 @@ impl RunSpec {
             knobs: Knobs::as_built(),
             scale,
             seed: 1,
+            shards: Shards::Auto,
         }
     }
 
@@ -364,6 +403,12 @@ impl RunSpec {
         self
     }
 
+    /// Builder: shard-count selection.
+    pub fn with_shards(mut self, shards: Shards) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// The unique, deterministic identifier of this run — the key that
     /// joins sweep rows, baselines and logs.
     pub fn id(&self) -> String {
@@ -378,7 +423,19 @@ impl RunSpec {
         if self.seed != 1 {
             id.push_str(&format!("/s{}", self.seed));
         }
+        if let Shards::Fixed(k) = self.shards {
+            id.push_str(&format!("/sh{k}"));
+        }
         id
+    }
+
+    /// The shard count this run executes on: a [`Shards::Fixed`] pin wins;
+    /// otherwise the sweep-wide CLI setting (minimum 1).
+    pub fn effective_shards(&self, cli_shards: usize) -> usize {
+        match self.shards {
+            Shards::Fixed(k) => k,
+            Shards::Auto => cli_shards.max(1),
+        }
     }
 
     /// The design configuration of this run.
@@ -400,7 +457,14 @@ impl RunSpec {
     /// record — never inside it — so the deterministic artifact cannot pick
     /// up host timing.
     pub fn execute_timed(&self) -> (RunRecord, PerfSample) {
-        let (record, perf, _) = self.execute_inner(false);
+        self.execute_timed_at(1)
+    }
+
+    /// [`RunSpec::execute_timed`] under a sweep-wide `--shards` setting.
+    /// Only engine-parallel runs with [`Shards::Auto`] are affected;
+    /// everything else (and every [`RunRecord`]) is independent of it.
+    pub fn execute_timed_at(&self, cli_shards: usize) -> (RunRecord, PerfSample) {
+        let (record, perf, _) = self.execute_inner(false, cli_shards);
         (record, perf)
     }
 
@@ -411,7 +475,13 @@ impl RunSpec {
     /// [`Observation`]. The plain `execute`/`execute_timed` paths never
     /// enable either, so their artifacts stay byte-identical.
     pub fn execute_observed(&self) -> (RunRecord, PerfSample, Observation) {
-        let (record, perf, obs) = self.execute_inner(true);
+        self.execute_observed_at(1)
+    }
+
+    /// [`RunSpec::execute_observed`] under a sweep-wide `--shards` setting
+    /// (see [`RunSpec::execute_timed_at`]).
+    pub fn execute_observed_at(&self, cli_shards: usize) -> (RunRecord, PerfSample, Observation) {
+        let (record, perf, obs) = self.execute_inner(true, cli_shards);
         (
             record,
             perf,
@@ -419,7 +489,14 @@ impl RunSpec {
         )
     }
 
-    fn execute_inner(&self, observe: bool) -> (RunRecord, PerfSample, Option<Observation>) {
+    fn execute_inner(
+        &self,
+        observe: bool,
+        cli_shards: usize,
+    ) -> (RunRecord, PerfSample, Option<Observation>) {
+        if self.app == App::ParallelNodes {
+            return self.execute_parallel(observe, cli_shards);
+        }
         let start = std::time::Instant::now();
         let cluster = Cluster::new(self.nodes, self.design_config());
         if observe {
@@ -478,8 +555,53 @@ impl RunSpec {
         )
     }
 
+    /// The engine-parallel execution path: no cluster, no trace/metrics
+    /// plane (the shard workload records nothing into either, so an
+    /// observed run yields an empty [`Observation`]). The [`RunRecord`] is
+    /// built from the commutative [`shrimp_core::ParallelOutcome`] metrics
+    /// and is byte-identical at every shard count; only the
+    /// [`PerfSample`] — wall-clock and executor events — sees the
+    /// parallelism.
+    fn execute_parallel(
+        &self,
+        observe: bool,
+        cli_shards: usize,
+    ) -> (RunRecord, PerfSample, Option<Observation>) {
+        let start = std::time::Instant::now();
+        let out = run_parallel(
+            &parallel_params_at(self.scale),
+            self.effective_shards(cli_shards),
+        );
+        let record = RunRecord {
+            elapsed: out.elapsed,
+            checksum: out.checksum,
+            messages: out.messages,
+            notifications: 0,
+            interrupts: 0,
+            syscalls: 0,
+            net_packets: out.messages,
+            net_bytes: out.bytes,
+            recovery: None,
+        };
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        (
+            record,
+            PerfSample {
+                wall_ns,
+                events: out.events,
+                peak_rss_bytes: peak_rss_bytes(),
+            },
+            observe.then(Observation::default),
+        )
+    }
+
     /// Runs the spec's application on a caller-provided cluster (the thin
     /// bench wrappers use this to reuse [`RunOutcome`] directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`App::ParallelNodes`], which has no cluster; engine
+    /// runs go through [`RunSpec::execute_timed_at`].
     pub fn run_on(&self, cluster: &Cluster) -> RunOutcome {
         let scale = self.scale;
         match self.app {
@@ -504,6 +626,9 @@ impl RunSpec {
             }
             App::RenderSockets => {
                 run_render(cluster, &render_params_at(scale), self.socket_config())
+            }
+            App::ParallelNodes => {
+                panic!("Engine-parallel has no cluster; execute the spec instead of run_on")
             }
         }
     }
@@ -585,7 +710,7 @@ pub struct PerfSample {
 /// instrument. Deterministic, simulated data only (plain `Send` values),
 /// so the harness carries it across run-thread boundaries and serializes
 /// it byte-identically on every host.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Observation {
     /// The run's trace timeline in record order.
     pub events: Vec<TraceEvent>,
@@ -888,6 +1013,18 @@ pub fn matrix(scale: Scale, max_nodes: usize) -> Vec<RunSpec> {
             }),
     );
 
+    // Engine-parallel: the sharded conservative executor at the paper's 16
+    // nodes (independent of `max_nodes` — the workload is engine-level, no
+    // cluster). Fixed shard counts are the scaling rows the `--perf`
+    // speedup gate compares; the Auto row follows the sweep-wide
+    // `--shards` flag and must stay byte-identical at every setting.
+    for sh in [1usize, 2, 4] {
+        specs.push(
+            RunSpec::new("parallel", App::ParallelNodes, 16, scale).with_shards(Shards::Fixed(sh)),
+        );
+    }
+    specs.push(RunSpec::new("parallel", App::ParallelNodes, 16, scale));
+
     specs
 }
 
@@ -909,6 +1046,12 @@ mod tests {
             ..Knobs::as_built()
         });
         assert_eq!(spec.id(), "table2/radix-vmmc-default/p4/syscall");
+        let pinned = RunSpec::new("parallel", App::ParallelNodes, 16, Scale::Smoke)
+            .with_shards(Shards::Fixed(4));
+        assert_eq!(
+            pinned.id(),
+            "parallel/engine-parallel-default/p16/as-built/sh4"
+        );
     }
 
     #[test]
@@ -925,6 +1068,7 @@ mod tests {
             "fifo",
             "du-queue",
             "chaos",
+            "parallel",
         ] {
             assert!(
                 specs.iter().any(|s| s.experiment == exp),
@@ -980,5 +1124,25 @@ mod tests {
         assert_eq!(s.checksum, a.checksum, "knob changed the answer");
         assert!(s.syscalls > 0 && a.syscalls == 0);
         assert!(s.elapsed > a.elapsed, "syscalls cost nothing");
+    }
+
+    #[test]
+    fn parallel_record_is_shard_count_invariant() {
+        // The Auto row follows the CLI shard count; the record must not.
+        let auto = RunSpec::new("parallel", App::ParallelNodes, 16, Scale::Smoke);
+        let (one, perf1) = auto.execute_timed_at(1);
+        let (four, perf4) = auto.execute_timed_at(4);
+        assert_eq!(one, four, "CLI shard count leaked into the record");
+        assert!(perf1.events > 0 && perf1.events == perf4.events);
+        // A Fixed pin beats the CLI and is visible only in the id.
+        let pinned = auto.clone().with_shards(Shards::Fixed(2));
+        assert_eq!(pinned.effective_shards(4), 2);
+        assert_eq!(auto.effective_shards(4), 4);
+        let (two, _) = pinned.execute_timed_at(4);
+        assert_eq!(one, two);
+        // Observed engine runs yield an empty observation, deterministically.
+        let (rec, _, obs) = auto.execute_observed_at(2);
+        assert_eq!(rec, one);
+        assert_eq!(obs, Observation::default());
     }
 }

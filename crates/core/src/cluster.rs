@@ -234,6 +234,20 @@ impl Cluster {
         &self.inner.net
     }
 
+    /// The mesh's minimum inter-node latency — what a conservative parallel
+    /// executor could use as cross-shard lookahead if this machine were
+    /// partitioned by node.
+    ///
+    /// The cluster itself always runs as **one shard** (one coupling
+    /// class): link `Resource`s are reserved synchronously in global send
+    /// order, and a chaos run's single [`FaultPlane`] RNG stream is
+    /// consumed in that same order — zero-lookahead couplings that node
+    /// partitioning would have to respect. Workloads without that shared
+    /// state (see [`crate::parallel`]) shard freely using this bound.
+    pub fn coupling_lookahead(&self) -> Time {
+        self.inner.net.config().min_remote_latency()
+    }
+
     /// The run's fault plane (its stats report injections actually
     /// performed); `None` when the scenario is empty.
     pub fn fault_plane(&self) -> Option<&FaultPlane> {

@@ -55,6 +55,7 @@
 pub mod cluster;
 pub mod config;
 pub mod cpu;
+pub mod parallel;
 pub mod report;
 pub mod ring;
 pub mod stats;
@@ -63,6 +64,7 @@ pub mod vmmc;
 pub use cluster::{Cluster, Notification};
 pub use config::DesignConfig;
 pub use cpu::Cpu;
+pub use parallel::{run_parallel, ParallelOutcome, ParallelParams};
 pub use report::{ClusterReport, NodeReport};
 pub use ring::{connect_ring, RingBulk, RingFrame, RingReceiver, RingSender};
 pub use shrimp_faults::{FaultScenario, Reliability, ShrimpError};

@@ -39,7 +39,6 @@ mod determinism_tests {
     use crate::runner::{run_sweep, RunnerOptions};
     use crate::sweep;
     use shrimp_bench::{matrix, Scale};
-    use std::time::Duration;
 
     #[test]
     fn sweep_rows_are_identical_for_1_and_4_workers() {
@@ -55,16 +54,14 @@ mod determinism_tests {
             &specs,
             &RunnerOptions {
                 workers: 1,
-                timeout: Duration::from_secs(600),
-                observe: false,
+                ..RunnerOptions::default()
             },
         );
         let parallel = run_sweep(
             &specs,
             &RunnerOptions {
                 workers: 4,
-                timeout: Duration::from_secs(600),
-                observe: false,
+                ..RunnerOptions::default()
             },
         );
         let a = sweep::to_json("smoke", &serial);

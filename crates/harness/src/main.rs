@@ -21,6 +21,15 @@ FLAGS:
                       (default without either flag: reduced bench sizes)
   --nodes <N>         override the matrix's maximum node count
   --workers <N>       worker threads (default: available parallelism)
+  --shards <N>        shard count for engine-parallel runs without a pinned
+                      /shK id segment (default 1). Artifacts and baselines
+                      are byte-identical at every setting; only wall-clock
+                      changes
+  --require-speedup <X>
+                      fail unless the widest pinned engine-parallel row ran
+                      at >= X times the events/sec of its single-shard twin
+                      (measure with --workers 1); reported and skipped when
+                      the host has fewer hardware threads than shards
   --filter <SUBSTR>   only run specs whose id contains SUBSTR
   --experiment <GRP>  only run specs of one experiment group (e.g. chaos)
   --timeout-secs <N>  per-run wall-clock timeout (default 600)
@@ -54,6 +63,8 @@ struct Cli {
     scale: Scale,
     nodes: Option<usize>,
     workers: Option<usize>,
+    shards: usize,
+    require_speedup: Option<f64>,
     filter: Option<String>,
     experiment: Option<String>,
     timeout: Duration,
@@ -73,6 +84,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         scale: Scale::Reduced,
         nodes: None,
         workers: None,
+        shards: 1,
+        require_speedup: None,
         filter: None,
         experiment: None,
         timeout: Duration::from_secs(600),
@@ -98,6 +111,17 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--full" => cli.scale = Scale::Full,
             "--nodes" => cli.nodes = Some(parse_num(&value("--nodes")?)?),
             "--workers" => cli.workers = Some(parse_num(&value("--workers")?)?),
+            "--shards" => {
+                cli.shards = parse_num(&value("--shards")?)?;
+                if cli.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
+            "--require-speedup" => {
+                let v = value("--require-speedup")?;
+                cli.require_speedup =
+                    Some(v.parse().map_err(|_| format!("'{v}' is not a number"))?);
+            }
             "--filter" => cli.filter = Some(value("--filter")?),
             "--experiment" => cli.experiment = Some(value("--experiment")?),
             "--timeout-secs" => {
@@ -186,6 +210,7 @@ fn main() -> ExitCode {
         }),
         timeout: cli.timeout,
         observe: cli.trace_out.is_some(),
+        shards: cli.shards,
     };
     println!(
         "[shrimp-harness] {} runs at {} scale (max {} nodes) on {} workers, {}s timeout/run",
@@ -349,6 +374,24 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: reading {}: {e}", perf_baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Explicitly requested, so it gates even under --no-gate (there is no
+    // baseline involved — the comparison is within this very sweep).
+    if let Some(required) = cli.require_speedup {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        match perf::check_speedup(&results, required, host) {
+            Ok(outcome) => {
+                println!("\n{}", outcome.render());
+                gate_failed = gate_failed || !outcome.passed();
+            }
+            Err(e) => {
+                eprintln!("error: --require-speedup: {e}");
                 return ExitCode::from(2);
             }
         }

@@ -18,6 +18,8 @@
 
 use std::fmt::Write as _;
 
+use shrimp_bench::Shards;
+
 use crate::json::{escape, Json};
 use crate::runner::RunResult;
 
@@ -63,6 +65,20 @@ pub fn to_json(scale: &str, results: &[RunResult]) -> String {
         events,
         events_per_sec(events, wall_ns),
     );
+    if let Some(sp) = pinned_speedup(results) {
+        let _ = writeln!(
+            out,
+            "  \"parallel_speedup\": {{\"base_id\": \"{}\", \"wide_id\": \"{}\", \
+             \"shards\": {}, \"base_events_per_sec\": {}, \"wide_events_per_sec\": {}, \
+             \"ratio\": {:.3}}},",
+            escape(&sp.base_id),
+            escape(&sp.wide_id),
+            sp.shards,
+            sp.base,
+            sp.wide,
+            sp.ratio(),
+        );
+    }
     out.push_str("  \"rows\": [\n");
     let rows: Vec<_> = results.iter().filter_map(|r| Some((r, r.perf?))).collect();
     for (i, (r, p)) in rows.iter().enumerate() {
@@ -80,6 +96,138 @@ pub fn to_json(scale: &str, results: &[RunResult]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// The pinned engine-parallel scaling comparison: the 1-shard row against
+/// the widest `Shards::Fixed` row, by per-row events/sec.
+#[derive(Debug, Clone)]
+pub struct Speedup {
+    /// Id of the single-shard row.
+    pub base_id: String,
+    /// Id of the widest pinned row.
+    pub wide_id: String,
+    /// Shard count of the widest pinned row.
+    pub shards: usize,
+    /// Events/sec of the single-shard row.
+    pub base: u64,
+    /// Events/sec of the widest pinned row.
+    pub wide: u64,
+}
+
+impl Speedup {
+    /// Throughput of the widest row relative to the single-shard row.
+    pub fn ratio(&self) -> f64 {
+        if self.base == 0 {
+            return 0.0;
+        }
+        self.wide as f64 / self.base as f64
+    }
+}
+
+/// Extracts the [`Speedup`] comparison from completed pinned
+/// engine-parallel rows, or `None` when the sweep carried no such pair.
+/// The two rows execute the byte-identical simulation (the workload is
+/// shard-count invariant), so their events/sec ratio isolates the
+/// conservative executor's parallel efficiency — meaningful only when the
+/// sweep ran with `--workers 1`, which CI's perf job does.
+pub fn pinned_speedup(results: &[RunResult]) -> Option<Speedup> {
+    let pinned = |r: &&RunResult| -> Option<usize> {
+        match (r.spec.experiment, r.spec.shards, r.perf) {
+            ("parallel", Shards::Fixed(k), Some(_)) => Some(k),
+            _ => None,
+        }
+    };
+    let rows: Vec<(&RunResult, usize)> = results
+        .iter()
+        .filter_map(|r| pinned(&r).map(|k| (r, k)))
+        .collect();
+    let (base, _) = rows.iter().find(|&&(_, k)| k == 1)?;
+    let (wide, shards) = rows
+        .iter()
+        .filter(|&&(_, k)| k > 1)
+        .max_by_key(|&&(_, k)| k)?;
+    let eps = |r: &RunResult| {
+        let p = r.perf.expect("pinned rows were filtered on perf presence");
+        events_per_sec(p.events, p.wall_ns)
+    };
+    Some(Speedup {
+        base_id: base.spec.id(),
+        wide_id: wide.spec.id(),
+        shards: *shards,
+        base: eps(base),
+        wide: eps(wide),
+    })
+}
+
+/// Outcome of the `--require-speedup` gate.
+#[derive(Debug, Clone)]
+pub struct SpeedupOutcome {
+    /// The measured comparison.
+    pub speedup: Speedup,
+    /// Minimum acceptable ratio.
+    pub required: f64,
+    /// Hardware threads available to this process.
+    pub host_threads: usize,
+}
+
+impl SpeedupOutcome {
+    /// `true` when the host cannot run the widest row's shards in
+    /// parallel, making a wall-clock speedup physically unmeasurable; the
+    /// gate reports and passes rather than failing on machine shape.
+    pub fn skipped(&self) -> bool {
+        self.host_threads < self.speedup.shards
+    }
+
+    /// `true` when the required ratio was met (or the gate was skipped).
+    pub fn passed(&self) -> bool {
+        self.skipped() || self.speedup.ratio() >= self.required
+    }
+
+    /// Renders the speedup-gate verdict for humans.
+    pub fn render(&self) -> String {
+        let s = &self.speedup;
+        if self.skipped() {
+            return format!(
+                "parallel speedup gate SKIPPED: host has {} hardware thread(s) but \
+                 {} uses {} shards — wall-clock speedup is not measurable here \
+                 (measured {:.2}x, required \u{2265}{:.2}x)",
+                self.host_threads,
+                s.wide_id,
+                s.shards,
+                s.ratio(),
+                self.required
+            );
+        }
+        format!(
+            "parallel speedup gate {}: {} at {} events/sec vs {} at {} events/sec \
+             — {:.2}x (required \u{2265}{:.2}x)",
+            if self.passed() { "PASSED" } else { "FAILED" },
+            s.wide_id,
+            s.wide,
+            s.base_id,
+            s.base,
+            s.ratio(),
+            self.required
+        )
+    }
+}
+
+/// Gates the pinned engine-parallel speedup: `Err` when the sweep carried
+/// no completed pinned pair (the gate was requested but cannot measure).
+pub fn check_speedup(
+    results: &[RunResult],
+    required: f64,
+    host_threads: usize,
+) -> Result<SpeedupOutcome, String> {
+    let speedup = pinned_speedup(results).ok_or(
+        "no completed pinned engine-parallel rows (need parallel/…/sh1 and a wider shN \
+         in the sweep — run with --experiment parallel)",
+    )?;
+    Ok(SpeedupOutcome {
+        speedup,
+        required,
+        host_threads,
+    })
 }
 
 /// Outcome of gating fresh perf samples against a perf baseline.
@@ -258,6 +406,78 @@ mod tests {
         let fast = check(&baseline, &[result_with(2_000_000, 1_000_000_000)]).unwrap();
         assert!(fast.passed());
         assert!(fast.stale_floor());
+    }
+
+    fn parallel_result(index: usize, shards: Shards, events: u64, wall_ns: u64) -> RunResult {
+        let spec =
+            RunSpec::new("parallel", App::ParallelNodes, 16, Scale::Smoke).with_shards(shards);
+        // A synthetic record is fine here: the speedup path reads only the
+        // spec and the perf sample.
+        let record = shrimp_bench::RunRecord {
+            elapsed: 1,
+            checksum: 1,
+            messages: 0,
+            notifications: 0,
+            interrupts: 0,
+            syscalls: 0,
+            net_packets: 0,
+            net_bytes: 0,
+            recovery: None,
+        };
+        RunResult {
+            index,
+            spec,
+            status: RunStatus::Ok(record),
+            perf: Some(PerfSample {
+                wall_ns,
+                events,
+                peak_rss_bytes: 0,
+            }),
+            obs: None,
+        }
+    }
+
+    #[test]
+    fn speedup_compares_the_pinned_extremes() {
+        let results = vec![
+            parallel_result(0, Shards::Fixed(1), 1_000, 1_000_000),
+            parallel_result(1, Shards::Fixed(2), 1_000, 700_000),
+            parallel_result(2, Shards::Fixed(4), 1_000, 500_000),
+            // Auto rows and other experiments never enter the comparison.
+            parallel_result(3, Shards::Auto, 1_000, 1),
+            result_with(9_999, 1),
+        ];
+        let sp = pinned_speedup(&results).expect("pinned pair present");
+        assert_eq!(sp.shards, 4);
+        assert!(sp.base_id.ends_with("/sh1") && sp.wide_id.ends_with("/sh4"));
+        assert!((sp.ratio() - 2.0).abs() < 0.01, "ratio {}", sp.ratio());
+
+        let ok = check_speedup(&results, 1.5, 4).unwrap();
+        assert!(ok.passed() && !ok.skipped());
+        assert!(ok.render().contains("PASSED"));
+        let fail = check_speedup(&results, 2.5, 4).unwrap();
+        assert!(!fail.passed());
+        assert!(fail.render().contains("FAILED"));
+        // One hardware thread cannot exhibit a 4-shard wall-clock speedup:
+        // the gate reports and passes instead of failing on machine shape.
+        let skip = check_speedup(&results, 2.5, 1).unwrap();
+        assert!(skip.skipped() && skip.passed());
+        assert!(skip.render().contains("SKIPPED"));
+
+        // The perf document records the comparison.
+        let text = to_json("smoke", &results);
+        let doc = json::parse(&text).expect("valid JSON");
+        let block = doc.get("parallel_speedup").expect("speedup block");
+        assert_eq!(block.get("shards").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn speedup_needs_both_pinned_rows() {
+        let only_base = vec![parallel_result(0, Shards::Fixed(1), 1_000, 1_000)];
+        assert!(pinned_speedup(&only_base).is_none());
+        assert!(check_speedup(&only_base, 1.5, 4).is_err());
+        let text = to_json("smoke", &only_base);
+        assert!(!text.contains("parallel_speedup"));
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub struct RunnerOptions {
     /// simulator's trace sink and metrics registry disabled, keeping
     /// `sweep.json` byte-identical to the committed baselines.
     pub observe: bool,
+    /// Sweep-wide shard count for engine-parallel runs whose spec says
+    /// [`Shards::Auto`](shrimp_bench::Shards::Auto). Pinned rows ignore it,
+    /// cluster runs are unaffected, and every [`RunRecord`] is
+    /// byte-identical at any setting — only wall-clock can change.
+    pub shards: usize,
 }
 
 impl Default for RunnerOptions {
@@ -91,6 +96,7 @@ impl Default for RunnerOptions {
                 .unwrap_or(4),
             timeout: Duration::from_secs(600),
             observe: false,
+            shards: 1,
         }
     }
 }
@@ -133,10 +139,12 @@ where
             let deques = Arc::clone(&deques);
             let timeout = opts.timeout;
             let observe = opts.observe;
+            let shards = opts.shards;
             scope.spawn(move || {
                 while let Some(index) = next_index(&deques, w) {
                     let spec = specs[index].clone();
-                    let (status, perf, obs) = execute_isolated(spec.clone(), timeout, observe);
+                    let (status, perf, obs) =
+                        execute_isolated(spec.clone(), timeout, observe, shards);
                     let result = RunResult {
                         index,
                         spec,
@@ -177,6 +185,7 @@ fn execute_isolated(
     spec: RunSpec,
     timeout: Duration,
     observe: bool,
+    shards: usize,
 ) -> (RunStatus, Option<PerfSample>, Option<Observation>) {
     let (tx, rx) = mpsc::channel();
     let id = spec.id();
@@ -186,10 +195,10 @@ fn execute_isolated(
             install_panic_location_hook();
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 if observe {
-                    let (record, perf, obs) = spec.execute_observed();
+                    let (record, perf, obs) = spec.execute_observed_at(shards);
                     (record, perf, Some(obs))
                 } else {
-                    let (record, perf) = spec.execute_timed();
+                    let (record, perf) = spec.execute_timed_at(shards);
                     (record, perf, None)
                 }
             }));
@@ -268,8 +277,7 @@ mod tests {
             &specs,
             &RunnerOptions {
                 workers: 3,
-                timeout: Duration::from_secs(600),
-                observe: false,
+                ..RunnerOptions::default()
             },
         );
         assert_eq!(results.len(), 5);
@@ -292,8 +300,7 @@ mod tests {
             &specs,
             &RunnerOptions {
                 workers: 2,
-                timeout: Duration::from_secs(600),
-                observe: false,
+                ..RunnerOptions::default()
             },
         );
         assert_eq!(results.len(), 3);
@@ -317,7 +324,7 @@ mod tests {
             &RunnerOptions {
                 workers: 1,
                 timeout: Duration::from_millis(1),
-                observe: false,
+                ..RunnerOptions::default()
             },
         );
         assert_eq!(results[0].status.label(), "timeout");

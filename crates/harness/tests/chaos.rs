@@ -32,8 +32,7 @@ fn chaos_sweep_is_worker_count_invariant_with_zero_aborts() {
     let specs = chaos_specs();
     let opts = |workers| RunnerOptions {
         workers,
-        timeout: std::time::Duration::from_secs(600),
-        observe: false,
+        ..RunnerOptions::default()
     };
     let serial = run_sweep(&specs, &opts(1));
     let racing = run_sweep(&specs, &opts(4));

@@ -1,0 +1,72 @@
+//! Shard-count byte-identity: the sweep artifact is the same file no
+//! matter how many shards the engine-parallel rows execute on, and the
+//! `--shards` flag leaves every cluster run — chaos rows included —
+//! untouched down to the committed baseline bytes.
+//!
+//! This is the artifact-level face of the conservative executor's
+//! determinism guarantee: `Shards::Auto` rows follow the sweep-wide
+//! setting, yet their `RunRecord` metrics are invariant, so
+//! `results/sweep.json` and the committed smoke baselines cannot drift
+//! with the host's parallelism.
+
+use std::path::PathBuf;
+
+use shrimp_bench::{matrix, Scale};
+use shrimp_harness::runner::{run_sweep, RunStatus, RunnerOptions};
+use shrimp_harness::sweep;
+
+fn sweep_bytes(specs: &[shrimp_bench::RunSpec], shards: usize) -> String {
+    let results = run_sweep(
+        specs,
+        &RunnerOptions {
+            workers: 4,
+            shards,
+            ..RunnerOptions::default()
+        },
+    );
+    for r in &results {
+        assert!(
+            matches!(r.status, RunStatus::Ok(_)),
+            "{} failed at {shards} shard(s): {}",
+            r.spec.id(),
+            r.status.label()
+        );
+    }
+    sweep::to_json("smoke", &results)
+}
+
+/// The full smoke sweep, three times: `--shards 1`, `--shards 2` and
+/// `--shards 4` must produce byte-identical artifacts.
+#[test]
+fn smoke_sweep_is_byte_identical_across_shard_counts() {
+    let specs = matrix(Scale::Smoke, 4);
+    assert!(
+        specs.iter().any(|s| s.experiment == "parallel"),
+        "smoke matrix lost its engine-parallel rows"
+    );
+    let one = sweep_bytes(&specs, 1);
+    let two = sweep_bytes(&specs, 2);
+    let four = sweep_bytes(&specs, 4);
+    assert_eq!(one, two, "--shards 2 changed the sweep artifact");
+    assert_eq!(one, four, "--shards 4 changed the sweep artifact");
+}
+
+/// Chaos under parallel: the nine chaos smoke rows executed with
+/// `--shards 4` reproduce the committed chaos baseline byte for byte.
+/// Cluster runs are one coupling class and always execute single-shard
+/// (see `shrimp_sim::shard`), so the flag must be a no-op for them even
+/// with the fault plane active.
+#[test]
+fn chaos_rows_under_shards_4_match_the_committed_baseline() {
+    let mut specs = matrix(Scale::Smoke, 4);
+    specs.retain(|s| s.experiment == "chaos");
+    assert_eq!(specs.len(), 9, "smoke chaos group changed size");
+    let fresh = sweep_bytes(&specs, 4);
+    let committed =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/baselines/chaos-smoke.json");
+    let baseline = std::fs::read_to_string(committed).expect("committed chaos-smoke baseline");
+    assert_eq!(
+        fresh, baseline,
+        "--shards 4 (or a regression) changed the chaos sweep artifact"
+    );
+}

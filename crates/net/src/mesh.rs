@@ -87,6 +87,27 @@ impl MeshConfig {
         self.width * self.height
     }
 
+    /// Minimum latency any packet pays between two *distinct* nodes: the
+    /// injection and ejection transceiver crossings plus one router hop.
+    /// This is the cross-shard **lookahead** of the conservative parallel
+    /// executor (`shrimp_sim::shard`) — no inter-node interaction can take
+    /// effect sooner, so it bounds the synchronization window.
+    pub fn min_remote_latency(&self) -> Time {
+        2 * self.transceiver_latency + self.hop_latency
+    }
+
+    /// Uncongested end-to-end latency for a `payload_bytes` packet crossing
+    /// `hops` router-to-router links: transceiver crossings at both ends,
+    /// per-hop routing delay (every channel including inject/eject pays one),
+    /// and one wire serialization of payload + header. Contention can only
+    /// add to this.
+    pub fn point_latency(&self, hops: usize, payload_bytes: usize) -> Time {
+        let wire_bytes = (payload_bytes + self.header_bytes) as u64;
+        2 * self.transceiver_latency
+            + (hops as Time + 1) * self.hop_latency
+            + time::transfer(wire_bytes, self.link_bytes_per_sec)
+    }
+
     /// Grid coordinates of a node.
     pub fn coords(&self, node: NodeId) -> (usize, usize) {
         (node.0 % self.width, node.0 / self.width)
@@ -527,6 +548,28 @@ mod tests {
         for w in arrivals.windows(2) {
             assert!(w[1] >= w[0] + ser, "ejection channel cycle-shared");
         }
+    }
+
+    #[test]
+    fn min_remote_latency_lower_bounds_every_send() {
+        let (sim, nw) = net(16);
+        let lookahead = nw.config().min_remote_latency();
+        assert_eq!(lookahead, time::ns(240)); // 2 x 100 ns transceiver + 40 ns hop
+        let t = nw.send(NodeId(0), NodeId(1), 0, 1);
+        sim.run();
+        assert!(
+            t >= lookahead,
+            "send arrived {t} before the lookahead bound"
+        );
+    }
+
+    #[test]
+    fn point_latency_matches_uncontended_send() {
+        let (sim, nw) = net(16);
+        // 0 -> 15 is 6 hops on the 4x4 dimension-order route.
+        let t = nw.send(NodeId(0), NodeId(15), 64, 1);
+        sim.run();
+        assert_eq!(t, nw.config().point_latency(6, 64));
     }
 
     #[test]

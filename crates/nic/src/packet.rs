@@ -75,6 +75,27 @@ pub struct Packet {
 }
 
 impl Packet {
+    /// A sealed deliberate-update data packet with default header bits and
+    /// physical destination 0 — the common case for engine-level drivers
+    /// that form packets directly rather than through a NIC engine (e.g.
+    /// the sharded parallel workload in `shrimp-core`).
+    pub fn data(src: NodeId, dst: NodeId, data: Vec<u8>, sent_at: Time) -> Self {
+        Packet {
+            src,
+            dst,
+            dst_page: 0,
+            offset: 0,
+            data,
+            interrupt: false,
+            notify: false,
+            kind: PacketKind::DeliberateUpdate,
+            seq: 0,
+            checksum: 0,
+            sent_at,
+        }
+        .seal()
+    }
+
     /// Payload length in bytes.
     pub fn len(&self) -> usize {
         self.data.len()

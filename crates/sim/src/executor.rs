@@ -191,6 +191,11 @@ impl ReadyQueue {
         self.assert_owner();
         unsafe { (*self.woken.get()).pop_front() }
     }
+
+    fn is_empty(&self) -> bool {
+        self.assert_owner();
+        unsafe { (*self.woken.get()).is_empty() }
+    }
 }
 
 struct TaskWaker {
@@ -557,6 +562,21 @@ impl Sim {
             "simulation deadlocked at t={t} ps with {live} blocked process(es)"
         );
         t
+    }
+
+    /// Earliest pending timer deadline, or `None` when no timer is
+    /// scheduled. Woken-but-unpolled processes are *not* timers; see
+    /// [`Sim::has_runnable`]. The sharded conservative-parallel runner
+    /// ([`crate::shard`]) reads this after each window to compute the next
+    /// global safe horizon.
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.inner.timers.borrow_mut().next_deadline()
+    }
+
+    /// `true` when at least one woken process awaits the next executor
+    /// iteration (it would run at the *current* time, before any timer).
+    pub fn has_runnable(&self) -> bool {
+        !self.inner.ready.is_empty()
     }
 
     /// Runs until simulated time would exceed `limit`; events at exactly

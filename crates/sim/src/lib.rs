@@ -43,6 +43,7 @@ pub mod executor;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod sync;
 pub mod time;
 pub mod trace;
@@ -52,6 +53,7 @@ pub use executor::{Sim, TaskHandle};
 pub use metrics::{MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use queue::{unbounded, Queue, QueueReceiver, QueueSender};
 pub use rng::SimRng;
+pub use shard::{run_sharded, Builder, ShardConfig, ShardCtx, ShardOutcome, ShardSender};
 pub use sync::{Event, Gate, Resource, Semaphore};
 pub use time::Time;
 pub use trace::{Category, TraceEvent, TraceSink};
