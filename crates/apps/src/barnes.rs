@@ -595,7 +595,9 @@ mod tests {
             (2, Mechanism::AutomaticUpdate),
             (4, Mechanism::DeliberateUpdate),
         ] {
-            let cluster = Cluster::new(nodes, DesignConfig::default());
+            let cluster = Cluster::builder(nodes)
+                .config(DesignConfig::default())
+                .build();
             checksums.push(run_barnes_nx(&cluster, &params, mech).checksum);
         }
         assert!(
@@ -608,11 +610,11 @@ mod tests {
     fn svm_matches_nx_bit_exactly() {
         let params = BarnesParams::small();
         let nx = {
-            let cluster = Cluster::new(2, DesignConfig::default());
+            let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
             run_barnes_nx(&cluster, &params, Mechanism::DeliberateUpdate)
         };
         for protocol in [Protocol::Hlrc, Protocol::Aurc] {
-            let cluster = Cluster::new(2, DesignConfig::default());
+            let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
             let out = run_barnes_svm(&cluster, protocol, &params);
             assert_eq!(out.checksum, nx.checksum, "SVM {protocol} diverged");
             assert!(out.notifications > 0, "SVM Barnes must use notifications");
@@ -622,7 +624,7 @@ mod tests {
     #[test]
     fn bodies_move() {
         let params = BarnesParams::small();
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let out = run_barnes_nx(&cluster, &params, Mechanism::DeliberateUpdate);
         let initial = positions_checksum(&generate_bodies(&params));
         assert_ne!(out.checksum, initial, "gravity did nothing");

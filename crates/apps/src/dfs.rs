@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn blocks_verified_end_to_end() {
-        let cluster = Cluster::new(4, DesignConfig::default());
+        let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
         let out = run_dfs(&cluster, &DfsParams::small(), SocketConfig::default());
         assert!(out.elapsed > 0);
         assert!(out.messages > 0);
@@ -218,11 +218,11 @@ mod tests {
         let mut big_cache = DfsParams::small();
         big_cache.cache_blocks = 1000;
         let small = {
-            let cluster = Cluster::new(4, DesignConfig::default());
+            let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
             run_dfs(&cluster, &DfsParams::small(), SocketConfig::default())
         };
         let big = {
-            let cluster = Cluster::new(4, DesignConfig::default());
+            let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
             run_dfs(&cluster, &big_cache, SocketConfig::default())
         };
         assert!(
@@ -235,13 +235,13 @@ mod tests {
     #[test]
     fn forced_automatic_update_still_correct() {
         // §4.5.1 runs DFS forced onto AU bulk transfers; data must survive.
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let cfg = SocketConfig {
             bulk: RingBulk::Automatic,
             ..SocketConfig::default()
         };
         let reference = {
-            let c2 = Cluster::new(2, DesignConfig::default());
+            let c2 = Cluster::builder(2).config(DesignConfig::default()).build();
             run_dfs(&c2, &DfsParams::small(), SocketConfig::default())
         };
         let out = run_dfs(&cluster, &DfsParams::small(), cfg);

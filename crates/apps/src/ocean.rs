@@ -348,11 +348,11 @@ mod tests {
     fn nx_du_and_au_identical_grids() {
         let params = OceanParams::small();
         let du = {
-            let cluster = Cluster::new(4, DesignConfig::default());
+            let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
             run_ocean_nx(&cluster, &params, Mechanism::DeliberateUpdate)
         };
         let au = {
-            let cluster = Cluster::new(4, DesignConfig::default());
+            let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
             run_ocean_nx(&cluster, &params, Mechanism::AutomaticUpdate)
         };
         assert_eq!(du.checksum, au.checksum, "transport changed the physics");
@@ -363,11 +363,11 @@ mod tests {
     fn nx_partition_count_does_not_change_result() {
         let params = OceanParams::small();
         let two = {
-            let cluster = Cluster::new(2, DesignConfig::default());
+            let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
             run_ocean_nx(&cluster, &params, Mechanism::DeliberateUpdate)
         };
         let four = {
-            let cluster = Cluster::new(4, DesignConfig::default());
+            let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
             run_ocean_nx(&cluster, &params, Mechanism::DeliberateUpdate)
         };
         assert_eq!(two.checksum, four.checksum, "partitioning changed result");
@@ -377,11 +377,11 @@ mod tests {
     fn svm_matches_nx_bit_exactly() {
         let params = OceanParams::small();
         let nx = {
-            let cluster = Cluster::new(2, DesignConfig::default());
+            let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
             run_ocean_nx(&cluster, &params, Mechanism::DeliberateUpdate)
         };
         for protocol in [Protocol::Hlrc, Protocol::Aurc] {
-            let cluster = Cluster::new(2, DesignConfig::default());
+            let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
             let svm = run_ocean_svm(&cluster, protocol, &params);
             assert_eq!(svm.checksum, nx.checksum, "SVM {protocol} diverged from NX");
         }

@@ -682,7 +682,7 @@ mod tests {
 
     #[test]
     fn vmmc_au_sorts_on_four_nodes() {
-        let cluster = Cluster::new(4, DesignConfig::default());
+        let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
         let out = run_radix_vmmc(&cluster, &RadixParams::small(), Mechanism::AutomaticUpdate);
         assert!(out.elapsed > 0);
         assert_eq!(out.notifications, 0, "VMMC radix polls, never notifies");
@@ -692,11 +692,11 @@ mod tests {
     fn vmmc_du_sorts_and_matches_au_checksum() {
         let params = RadixParams::small();
         let au = {
-            let cluster = Cluster::new(4, DesignConfig::default());
+            let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
             run_radix_vmmc(&cluster, &params, Mechanism::AutomaticUpdate)
         };
         let du = {
-            let cluster = Cluster::new(4, DesignConfig::default());
+            let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
             run_radix_vmmc(&cluster, &params, Mechanism::DeliberateUpdate)
         };
         assert_eq!(au.checksum, du.checksum, "AU and DU sorted different data");
@@ -706,11 +706,11 @@ mod tests {
     fn svm_sorts_under_all_protocols_and_matches_vmmc() {
         let params = RadixParams::small();
         let reference = {
-            let cluster = Cluster::new(2, DesignConfig::default());
+            let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
             run_radix_vmmc(&cluster, &params, Mechanism::DeliberateUpdate)
         };
         for protocol in [Protocol::Hlrc, Protocol::HlrcAu, Protocol::Aurc] {
-            let cluster = Cluster::new(2, DesignConfig::default());
+            let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
             let out = run_radix_svm(&cluster, protocol, &params);
             assert_eq!(
                 out.checksum, reference.checksum,
@@ -722,7 +722,7 @@ mod tests {
 
     #[test]
     fn single_node_runs_give_sequential_baseline() {
-        let cluster = Cluster::new(1, DesignConfig::default());
+        let cluster = Cluster::builder(1).config(DesignConfig::default()).build();
         let out = run_radix_vmmc(&cluster, &RadixParams::small(), Mechanism::DeliberateUpdate);
         assert_eq!(out.messages, 0, "sequential run must not communicate");
         assert!(out.elapsed > 0);

@@ -270,7 +270,9 @@ mod tests {
         let params = RenderParams::small();
         let reference = digest(&render_reference(&params));
         for nodes in [2, 4] {
-            let cluster = Cluster::new(nodes, DesignConfig::default());
+            let cluster = Cluster::builder(nodes)
+                .config(DesignConfig::default())
+                .build();
             let out = run_render(&cluster, &params, SocketConfig::default());
             assert_eq!(out.checksum, reference, "image differs on {nodes} nodes");
             assert_eq!(out.notifications, 0, "render polls, never notifies");
@@ -280,7 +282,7 @@ mod tests {
     #[test]
     fn load_balancing_spreads_tiles() {
         let params = RenderParams::small();
-        let cluster = Cluster::new(4, DesignConfig::default());
+        let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
         let out = run_render(&cluster, &params, SocketConfig::default());
         assert!(out.messages > 0);
         // 16 tiles over 3 workers: everyone got at least one (dynamic
@@ -294,7 +296,7 @@ mod tests {
         let mut params = RenderParams::small();
         params.fail_worker = Some(2);
         let reference = digest(&render_reference(&params));
-        let cluster = Cluster::new(4, DesignConfig::default());
+        let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
         let out = run_render(&cluster, &params, SocketConfig::default());
         assert_eq!(out.checksum, reference, "image wrong after worker crash");
     }

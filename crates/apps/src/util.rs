@@ -202,7 +202,7 @@ mod tests {
 
     #[test]
     fn vmmc_barrier_synchronizes() {
-        let cluster = Cluster::new(4, DesignConfig::default());
+        let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
         let barriers = vmmc_barrier_group(&cluster);
         let mut handles = Vec::new();
         for (i, b) in barriers.into_iter().enumerate() {
@@ -230,7 +230,7 @@ mod tests {
 
     #[test]
     fn barrier_uses_no_notifications() {
-        let cluster = Cluster::new(3, DesignConfig::default());
+        let cluster = Cluster::builder(3).config(DesignConfig::default()).build();
         let barriers = vmmc_barrier_group(&cluster);
         let handles = barriers
             .into_iter()

@@ -31,7 +31,7 @@ fn main() {
             let mut params = dfs_params();
             params.clients = params.clients.min(nodes);
             let out = run_dfs(
-                &Cluster::new(nodes, cfg),
+                &Cluster::builder(nodes).config(cfg).build(),
                 &params,
                 SocketConfig {
                     bulk: RingBulk::Automatic,
@@ -54,12 +54,12 @@ fn main() {
             let mut cfg = DesignConfig::default();
             cfg.nic.eisa_bytes_per_sec = mbps * 1_000_000;
             let du = run_radix_vmmc(
-                &Cluster::new(nodes, cfg.clone()),
+                &Cluster::builder(nodes).config(cfg.clone()).build(),
                 &radix_params(),
                 Mechanism::DeliberateUpdate,
             );
             let au = run_radix_vmmc(
-                &Cluster::new(nodes, cfg),
+                &Cluster::builder(nodes).config(cfg).build(),
                 &radix_params(),
                 Mechanism::AutomaticUpdate,
             );
@@ -87,7 +87,9 @@ fn main() {
     {
         let mut rows = Vec::new();
         let base = run_radix_vmmc(
-            &Cluster::new(nodes, DesignConfig::default()),
+            &Cluster::builder(nodes)
+                .config(DesignConfig::default())
+                .build(),
             &radix_params(),
             Mechanism::DeliberateUpdate,
         );
@@ -98,7 +100,7 @@ fn main() {
                 ..DesignConfig::default()
             };
             let out = run_radix_vmmc(
-                &Cluster::new(nodes, cfg),
+                &Cluster::builder(nodes).config(cfg).build(),
                 &radix_params(),
                 Mechanism::DeliberateUpdate,
             );
@@ -131,7 +133,7 @@ fn main() {
                 ..DesignConfig::default()
             };
             let out = run_radix_vmmc(
-                &Cluster::new(nodes, cfg),
+                &Cluster::builder(nodes).config(cfg).build(),
                 &radix_params(),
                 Mechanism::DeliberateUpdate,
             );

@@ -32,12 +32,12 @@ fn main() {
     // Radix-VMMC (AU): sparse scattered writes — combining ~no effect.
     {
         let on = run_radix_vmmc(
-            &Cluster::new(nodes, cfg_combining(true)),
+            &Cluster::builder(nodes).config(cfg_combining(true)).build(),
             &radix_params(),
             Mechanism::AutomaticUpdate,
         );
         let off = run_radix_vmmc(
-            &Cluster::new(nodes, cfg_combining(false)),
+            &Cluster::builder(nodes).config(cfg_combining(false)).build(),
             &radix_params(),
             Mechanism::AutomaticUpdate,
         );
@@ -54,12 +54,12 @@ fn main() {
     // AURC SVM application: lazy protocol, sparse writes — ~no effect.
     {
         let on = run_radix_svm(
-            &Cluster::new(nodes, cfg_combining(true)),
+            &Cluster::builder(nodes).config(cfg_combining(true)).build(),
             Protocol::Aurc,
             &radix_params(),
         );
         let off = run_radix_svm(
-            &Cluster::new(nodes, cfg_combining(false)),
+            &Cluster::builder(nodes).config(cfg_combining(false)).build(),
             Protocol::Aurc,
             &radix_params(),
         );
@@ -82,11 +82,15 @@ fn main() {
             ..SocketConfig::default()
         };
         let on = run_dfs(
-            &Cluster::new(nodes, cfg_combining(true)),
+            &Cluster::builder(nodes).config(cfg_combining(true)).build(),
             &params,
             au_cfg.clone(),
         );
-        let off = run_dfs(&Cluster::new(nodes, cfg_combining(false)), &params, au_cfg);
+        let off = run_dfs(
+            &Cluster::builder(nodes).config(cfg_combining(false)).build(),
+            &params,
+            au_cfg,
+        );
         assert_eq!(on.checksum, off.checksum);
         rows.push(vec![
             "DFS-sockets (forced AU)".into(),

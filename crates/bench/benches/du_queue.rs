@@ -32,7 +32,7 @@ fn main() {
             "Barnes-SVM (HLRC)",
             Box::new(move |cfg| {
                 run_barnes_svm(
-                    &Cluster::new(nodes, cfg),
+                    &Cluster::builder(nodes).config(cfg).build(),
                     Protocol::Hlrc,
                     &barnes_svm_params(),
                 )
@@ -42,7 +42,7 @@ fn main() {
             "Ocean-SVM (HLRC)",
             Box::new(move |cfg| {
                 run_ocean_svm(
-                    &Cluster::new(nodes, cfg),
+                    &Cluster::builder(nodes).config(cfg).build(),
                     Protocol::Hlrc,
                     &ocean_svm_params(),
                 )
@@ -51,7 +51,11 @@ fn main() {
         (
             "Radix-SVM (HLRC)",
             Box::new(move |cfg| {
-                run_radix_svm(&Cluster::new(nodes, cfg), Protocol::Hlrc, &radix_params())
+                run_radix_svm(
+                    &Cluster::builder(nodes).config(cfg).build(),
+                    Protocol::Hlrc,
+                    &radix_params(),
+                )
             }),
         ),
     ];

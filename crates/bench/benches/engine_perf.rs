@@ -45,7 +45,7 @@ fn queue_10k_messages() -> Option<u32> {
 }
 
 fn vmmc_1k_page_sends() -> u64 {
-    let cluster = Cluster::new(2, DesignConfig::default());
+    let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
     let a = cluster.vmmc(0);
     let bb = cluster.vmmc(1);
     let recv = bb.space().alloc(1);

@@ -37,7 +37,7 @@ fn main() {
             "Radix-VMMC (AU)",
             Box::new(move |cfg| {
                 run_radix_vmmc(
-                    &Cluster::new(nodes, cfg),
+                    &Cluster::builder(nodes).config(cfg).build(),
                     &radix_params(),
                     Mechanism::AutomaticUpdate,
                 )
@@ -46,14 +46,18 @@ fn main() {
         (
             "Radix-SVM (AURC)",
             Box::new(move |cfg| {
-                run_radix_svm(&Cluster::new(nodes, cfg), Protocol::Aurc, &radix_params())
+                run_radix_svm(
+                    &Cluster::builder(nodes).config(cfg).build(),
+                    Protocol::Aurc,
+                    &radix_params(),
+                )
             }),
         ),
         (
             "Ocean-SVM (AURC)",
             Box::new(move |cfg| {
                 run_ocean_svm(
-                    &Cluster::new(nodes, cfg),
+                    &Cluster::builder(nodes).config(cfg).build(),
                     Protocol::Aurc,
                     &ocean_svm_params(),
                 )
@@ -65,7 +69,7 @@ fn main() {
                 let mut params = dfs_params();
                 params.clients = params.clients.min(nodes);
                 run_dfs(
-                    &Cluster::new(nodes, cfg),
+                    &Cluster::builder(nodes).config(cfg).build(),
                     &params,
                     SocketConfig {
                         bulk: RingBulk::Automatic,

@@ -24,21 +24,27 @@ fn main() {
         (
             "Barnes-SVM",
             Box::new(move |p| {
-                let c = Cluster::new(nodes, DesignConfig::default());
+                let c = Cluster::builder(nodes)
+                    .config(DesignConfig::default())
+                    .build();
                 run_barnes_svm(&c, p, &barnes_svm_params())
             }),
         ),
         (
             "Ocean-SVM",
             Box::new(move |p| {
-                let c = Cluster::new(nodes, DesignConfig::default());
+                let c = Cluster::builder(nodes)
+                    .config(DesignConfig::default())
+                    .build();
                 run_ocean_svm(&c, p, &ocean_svm_params())
             }),
         ),
         (
             "Radix-SVM",
             Box::new(move |p| {
-                let c = Cluster::new(nodes, DesignConfig::default());
+                let c = Cluster::builder(nodes)
+                    .config(DesignConfig::default())
+                    .build();
                 run_radix_svm(&c, p, &radix_params())
             }),
         ),

@@ -17,7 +17,7 @@ fn page_round(b: usize) -> usize {
 /// One-way DU latency for a message of `bytes`: sender writes, receiver
 /// polls the trailing word.
 fn du_latency(bytes: usize) -> Time {
-    let cluster = Cluster::new(2, DesignConfig::default());
+    let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
     let a = cluster.vmmc(0);
     let b: Vmmc = cluster.vmmc(1);
     let recv = b.space().alloc(page_round(bytes + 8) / PAGE_SIZE);
@@ -55,7 +55,7 @@ fn du_latency(bytes: usize) -> Time {
 fn au_latency(bytes: usize, combining: bool) -> Time {
     let mut cfg = DesignConfig::default();
     cfg.nic.combining = combining;
-    let cluster = Cluster::new(2, cfg);
+    let cluster = Cluster::builder(2).config(cfg).build();
     let a = cluster.vmmc(0);
     let b = cluster.vmmc(1);
     let pages = page_round(bytes + 8) / PAGE_SIZE;
@@ -89,7 +89,7 @@ fn send_overhead(syscall: bool) -> Time {
         syscall_send: syscall,
         ..DesignConfig::default()
     };
-    let cluster = Cluster::new(2, cfg);
+    let cluster = Cluster::builder(2).config(cfg).build();
     let a = cluster.vmmc(0);
     let b = cluster.vmmc(1);
     let recv = b.space().alloc(1);

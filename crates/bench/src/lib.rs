@@ -116,6 +116,13 @@ pub enum App {
     /// Table 1 application, so it is absent from [`App::all`] and never
     /// builds a [`Cluster`].
     ParallelNodes,
+    /// The distributed-cluster workload: the full SHRIMP stack (VMMC
+    /// exports/imports, DMA, notifications) on the shard engine via
+    /// `shrimp_core::run_distributed`, used by the `"cluster"` experiment
+    /// group and the cluster leg of the `--perf` speedup gate. Not a
+    /// Table 1 application, so it is absent from [`App::all`]; it builds
+    /// its own sharded cluster per run.
+    ClusterNodes,
 }
 
 impl App {
@@ -145,6 +152,7 @@ impl App {
             App::DfsSockets => "DFS-sockets",
             App::RenderSockets => "Render-sockets",
             App::ParallelNodes => "Engine-parallel",
+            App::ClusterNodes => "Cluster-distributed",
         }
     }
 
@@ -156,6 +164,7 @@ impl App {
             App::BarnesNx | App::OceanNx => "NX",
             App::DfsSockets | App::RenderSockets => "Sockets",
             App::ParallelNodes => "Engine",
+            App::ClusterNodes => "VMMC",
         }
     }
 
@@ -188,6 +197,10 @@ impl App {
                 let p = spec::parallel_params_at(global_scale());
                 format!("{} nodes x {} steps", p.nodes, p.steps)
             }
+            App::ClusterNodes => {
+                let p = spec::distributed_params_at(global_scale());
+                format!("{} nodes x {} rounds", p.nodes, p.steps)
+            }
         }
     }
 
@@ -217,7 +230,23 @@ impl App {
                 svm: None,
             };
         }
-        let cluster = Cluster::new(nodes, cfg);
+        if *self == App::ClusterNodes {
+            // The sharded cluster builds its own machine(s); one shard is
+            // the reference execution and every count agrees with it.
+            let params = spec::distributed_params_at(scale_of(harness)).scaled_to(nodes);
+            let out = shrimp_core::run_distributed(&params, cfg, shrimp_core::Shards::Fixed(1));
+            return RunOutcome {
+                elapsed: out.elapsed,
+                checksum: out
+                    .node_results
+                    .iter()
+                    .fold(0u64, |acc, &r| acc.wrapping_add(r)),
+                messages: out.messages,
+                notifications: out.notifications,
+                svm: None,
+            };
+        }
+        let cluster = Cluster::builder(nodes).config(cfg).build();
         if harness.trace {
             cluster.sim().trace().enable(Some(harness.trace_capacity));
         }
@@ -310,7 +339,7 @@ mod tests {
         for app in App::all() {
             let nodes = app.min_nodes().max(2);
             let spec = RunSpec::new("test", app, nodes, Scale::Smoke);
-            let cluster = Cluster::new(nodes, spec.design_config());
+            let cluster = Cluster::builder(nodes).config(spec.design_config()).build();
             let out = spec.run_on(&cluster);
             assert!(out.elapsed > 0, "{} produced no time", app.name());
         }

@@ -17,7 +17,10 @@ use shrimp_apps::ocean::{run_ocean_nx, run_ocean_svm, OceanParams};
 use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc, RadixParams};
 use shrimp_apps::render::{run_render, RenderParams};
 use shrimp_apps::{Mechanism, RunOutcome};
-use shrimp_core::{run_parallel, Cluster, ClusterReport, DesignConfig, ParallelParams, RingBulk};
+use shrimp_core::{
+    run_distributed, run_parallel, Cluster, ClusterReport, DesignConfig, DistributedParams,
+    ParallelParams, RingBulk,
+};
 use shrimp_faults::{FaultScenario, FifoStall, LinkFault, NodePause};
 use shrimp_sim::{time, MetricsSnapshot, Time, TraceEvent};
 use shrimp_sockets::SocketConfig;
@@ -189,6 +192,19 @@ pub fn parallel_params_at(scale: Scale) -> ParallelParams {
     }
 }
 
+/// Distributed-cluster workload at a scale: the full SHRIMP stack (VMMC
+/// exports/imports, DMA sends, notifications) driven through the shard
+/// engine by `shrimp_core::run_distributed`. Per-node work is constant —
+/// the workload is *proportional* — so the 64- and 256-node rows scale
+/// total work linearly and give the threaded executor real work per shard.
+pub fn distributed_params_at(scale: Scale) -> DistributedParams {
+    match scale {
+        Scale::Smoke => DistributedParams::with_steps(24),
+        Scale::Reduced => DistributedParams::with_steps(96),
+        Scale::Full => DistributedParams::with_steps(384),
+    }
+}
+
 /// Render workload at a scale.
 pub fn render_params_at(scale: Scale) -> RenderParams {
     match scale {
@@ -324,20 +340,15 @@ impl Knobs {
     }
 }
 
-/// Shard-count selection for engine-parallel runs. Irrelevant to cluster
-/// applications (the SHRIMP cluster is one coupling class — see
-/// `shrimp_sim::shard` — and always runs on a single shard).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Shards {
-    /// Follow the sweep-wide `--shards` setting (1 when unset). Because
-    /// the workload's outcome is shard-count invariant, an `Auto` row's
-    /// [`RunRecord`] is byte-identical at every setting.
-    #[default]
-    Auto,
-    /// Pin the run to exactly this many shards, ignoring the CLI — the
-    /// scaling rows the `--perf` speedup gate compares.
-    Fixed(usize),
-}
+/// Shard-count selection for shard-engine runs (the engine-parallel and
+/// distributed-cluster groups): `Auto` follows the sweep-wide `--shards`
+/// setting, `Fixed(k)` pins the row. One shared spelling across the whole
+/// workspace — this is `shrimp_sim::shard::Shards`, re-exported through
+/// `shrimp_core`. Because both workloads are shard-count invariant, an
+/// `Auto` row's [`RunRecord`] is byte-identical at every setting; `Fixed`
+/// rows are the scaling pairs the `--perf` speedup gate compares. Chaos
+/// and classic single-`Sim` rows ignore the selection entirely.
+pub use shrimp_core::Shards;
 
 // ---------------------------------------------------------------------------
 // RunSpec
@@ -432,10 +443,7 @@ impl RunSpec {
     /// The shard count this run executes on: a [`Shards::Fixed`] pin wins;
     /// otherwise the sweep-wide CLI setting (minimum 1).
     pub fn effective_shards(&self, cli_shards: usize) -> usize {
-        match self.shards {
-            Shards::Fixed(k) => k,
-            Shards::Auto => cli_shards.max(1),
-        }
+        self.shards.resolve(cli_shards)
     }
 
     /// The design configuration of this run.
@@ -497,8 +505,13 @@ impl RunSpec {
         if self.app == App::ParallelNodes {
             return self.execute_parallel(observe, cli_shards);
         }
+        if self.app == App::ClusterNodes {
+            return self.execute_cluster(observe, cli_shards);
+        }
         let start = std::time::Instant::now();
-        let cluster = Cluster::new(self.nodes, self.design_config());
+        let cluster = Cluster::builder(self.nodes)
+            .config(self.design_config())
+            .build();
         if observe {
             // Per-packet network events push a smoke row past the sink's
             // default 64 K bound; a 1 M cap keeps whole smoke timelines.
@@ -550,8 +563,55 @@ impl RunSpec {
                 wall_ns,
                 events,
                 peak_rss_bytes: peak_rss_bytes(),
+                shards: 1,
             },
             observation,
+        )
+    }
+
+    /// The distributed-cluster execution path: the full SHRIMP stack on
+    /// the shard engine via [`shrimp_core::run_distributed`]. The
+    /// [`RunRecord`] comes from the shard-count-invariant
+    /// [`LaunchOutcome`](shrimp_core::LaunchOutcome) — byte-identical at
+    /// every shard count — while the [`PerfSample`] (wall-clock, executor
+    /// events, effective shards) sees the parallelism. Like the
+    /// engine-parallel path, an observed run yields an empty
+    /// [`Observation`]: per-shard trace interleavings are a host-layout
+    /// detail the deterministic artifacts must not depend on.
+    fn execute_cluster(
+        &self,
+        observe: bool,
+        cli_shards: usize,
+    ) -> (RunRecord, PerfSample, Option<Observation>) {
+        let start = std::time::Instant::now();
+        let params = distributed_params_at(self.scale).scaled_to(self.nodes);
+        let shards = self.effective_shards(cli_shards);
+        let out = run_distributed(&params, self.design_config(), Shards::Fixed(shards));
+        let checksum = out
+            .node_results
+            .iter()
+            .fold(0u64, |acc, &r| acc.wrapping_add(r));
+        let record = RunRecord {
+            elapsed: out.elapsed,
+            checksum,
+            messages: out.messages,
+            notifications: out.notifications,
+            interrupts: out.interrupts,
+            syscalls: out.syscalls,
+            net_packets: out.net_packets,
+            net_bytes: out.net_bytes,
+            recovery: None,
+        };
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        (
+            record,
+            PerfSample {
+                wall_ns,
+                events: out.events,
+                peak_rss_bytes: peak_rss_bytes(),
+                shards: out.shards,
+            },
+            observe.then(Observation::default),
         )
     }
 
@@ -590,6 +650,7 @@ impl RunSpec {
                 wall_ns,
                 events: out.events,
                 peak_rss_bytes: peak_rss_bytes(),
+                shards: self.effective_shards(cli_shards),
             },
             observe.then(Observation::default),
         )
@@ -629,6 +690,9 @@ impl RunSpec {
             }
             App::ParallelNodes => {
                 panic!("Engine-parallel has no cluster; execute the spec instead of run_on")
+            }
+            App::ClusterNodes => {
+                panic!("Cluster-distributed builds its own sharded cluster; execute the spec instead of run_on")
             }
         }
     }
@@ -703,6 +767,10 @@ pub struct PerfSample {
     /// completed. Process-wide and monotone across a sweep, so it bounds —
     /// rather than attributes — per-run memory; `0` where unavailable.
     pub peak_rss_bytes: u64,
+    /// Effective shard count the run executed on (1 for every classic
+    /// single-`Sim` row). Host-execution metadata, so it lives here and in
+    /// `perf.json`, never in the [`RunRecord`].
+    pub shards: usize,
 }
 
 /// Everything the observability plane captured during one observed run:
@@ -1025,6 +1093,24 @@ pub fn matrix(scale: Scale, max_nodes: usize) -> Vec<RunSpec> {
     }
     specs.push(RunSpec::new("parallel", App::ParallelNodes, 16, scale));
 
+    // Distributed cluster: the full SHRIMP stack (VMMC/NIC/notifications)
+    // on the shard engine, independent of `max_nodes` like the parallel
+    // group (the workload is proportional, so row cost is bounded by the
+    // scale's step count). The 16-node Auto row follows the sweep-wide
+    // `--shards` flag and must stay byte-identical at every setting; the
+    // pinned 64-node pair is the cluster leg of the `--perf` speedup gate;
+    // the 256-node row exercises the machine at Paragon scale (too heavy
+    // for the smoke gate).
+    specs.push(RunSpec::new("cluster", App::ClusterNodes, 16, scale));
+    for sh in [1usize, 4] {
+        specs.push(
+            RunSpec::new("cluster", App::ClusterNodes, 64, scale).with_shards(Shards::Fixed(sh)),
+        );
+    }
+    if scale != Scale::Smoke {
+        specs.push(RunSpec::new("cluster", App::ClusterNodes, 256, scale));
+    }
+
     specs
 }
 
@@ -1052,6 +1138,12 @@ mod tests {
             pinned.id(),
             "parallel/engine-parallel-default/p16/as-built/sh4"
         );
+        let cluster = RunSpec::new("cluster", App::ClusterNodes, 64, Scale::Smoke)
+            .with_shards(Shards::Fixed(4));
+        assert_eq!(
+            cluster.id(),
+            "cluster/cluster-distributed-default/p64/as-built/sh4"
+        );
     }
 
     #[test]
@@ -1069,6 +1161,7 @@ mod tests {
             "du-queue",
             "chaos",
             "parallel",
+            "cluster",
         ] {
             assert!(
                 specs.iter().any(|s| s.experiment == exp),
@@ -1144,5 +1237,23 @@ mod tests {
         let (rec, _, obs) = auto.execute_observed_at(2);
         assert_eq!(rec, one);
         assert_eq!(obs, Observation::default());
+    }
+
+    #[test]
+    fn cluster_record_is_shard_count_invariant() {
+        // The 16-node Auto row: the CLI shard count reaches the perf
+        // sample but never the record.
+        let auto = RunSpec::new("cluster", App::ClusterNodes, 16, Scale::Smoke);
+        let (one, perf1) = auto.execute_timed_at(1);
+        let (four, perf4) = auto.execute_timed_at(4);
+        assert_eq!(one, four, "CLI shard count leaked into the record");
+        assert_eq!((perf1.shards, perf4.shards), (1, 4));
+        assert!(one.messages > 0 && one.notifications > 0 && one.interrupts > 0);
+        // A Fixed pin beats the CLI.
+        let pinned = auto.clone().with_shards(Shards::Fixed(2));
+        assert_eq!(pinned.effective_shards(4), 2);
+        let (two, perf2) = pinned.execute_timed_at(4);
+        assert_eq!(one, two);
+        assert_eq!(perf2.shards, 2);
     }
 }

@@ -21,7 +21,7 @@
 //! use shrimp_core::{Cluster, DesignConfig};
 //! use shrimp_bsp::{create, BspConfig};
 //!
-//! let cluster = Cluster::new(2, DesignConfig::default());
+//! let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
 //! let procs = create(&cluster, 4096, BspConfig::default());
 //! let mut handles = Vec::new();
 //! for bsp in procs {
@@ -270,7 +270,7 @@ mod tests {
         Fut: std::future::Future<Output = T> + 'static,
         T: 'static,
     {
-        let cluster = Cluster::new(n, DesignConfig::default());
+        let cluster = Cluster::builder(n).config(DesignConfig::default()).build();
         let procs = create(&cluster, region, BspConfig::default());
         let handles = procs
             .into_iter()

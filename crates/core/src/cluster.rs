@@ -1,22 +1,54 @@
 //! Cluster assembly: nodes (memory, bus, CPU, NIC), the backplane, the
-//! global export directory, and per-node system software (interrupt
-//! dispatch and notification delivery).
+//! export directory, and per-node system software (interrupt dispatch and
+//! notification delivery).
+//!
+//! Construction goes through the typed [`ClusterBuilder`]
+//! (`Cluster::builder(n)`): [`ClusterBuilder::build`] produces the classic
+//! single-`Sim` machine — every node on one timeline, the contended mesh
+//! with link-level `Resource` booking — while [`ClusterBuilder::launch`]
+//! partitions the nodes across shards of the conservative-parallel engine
+//! (`shrimp_sim::shard`): each node's memory, bus, NIC, CPU, and system
+//! software are constructed on its owning shard's `Sim`, and the mesh is
+//! the **only** cross-shard channel (decoupled fixed-latency transport,
+//! lookahead = [`MeshConfig::min_remote_latency`]). The single-`Sim` path
+//! doubles as the differential oracle: `launch` at one shard degenerates
+//! to it exactly, and its outcome is byte-identical at any shard count.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
 use std::rc::Rc;
+use std::sync::Arc;
 
-use shrimp_faults::FaultPlane;
+use shrimp_faults::{FaultPlane, FaultScenario, Reliability};
 use shrimp_mem::{AddressSpace, MemBus, NodeMem, PAGE_SIZE};
-use shrimp_net::{MeshConfig, Network, NodeId};
-use shrimp_nic::{IptEntry, Nic, ShrimpNetwork};
+use shrimp_net::{Flit, MeshConfig, Network, NodeId};
+use shrimp_nic::{IptEntry, Nic, Packet, ShrimpNetwork};
 use shrimp_sim::executor::{join_all, TaskHandle};
+use shrimp_sim::shard::{
+    run_sharded_phased, PhasedBuilder, ShardConfig, ShardCtx, ShardPlan, Shards,
+};
 use shrimp_sim::{Queue, Sim, Time};
 
 use crate::config::DesignConfig;
 use crate::cpu::Cpu;
+use crate::parallel::shard_of;
 use crate::stats::NodeStats;
 use crate::vmmc::{ExportId, Vmmc};
+
+/// The cross-shard message type of a sharded cluster: a mesh packet in
+/// flight between two shards' backplane views.
+pub type ClusterFlit = Flit<Packet>;
+
+/// A per-node application program for [`ClusterBuilder::launch`]: called
+/// once per node *on the node's owning shard thread* with that node's VMMC
+/// handle; the returned future runs on the shard's `Sim` and its output is
+/// the node's result (collected into [`LaunchOutcome::node_results`]).
+///
+/// The closure crosses threads (hence `Send + Sync`); the future it builds
+/// never does.
+pub type NodeProgram = Arc<dyn Fn(Vmmc) -> Pin<Box<dyn Future<Output = u64>>> + Send + Sync>;
 
 /// A user-level notification delivered for an exported buffer (§2.2).
 #[derive(Debug, Clone)]
@@ -54,7 +86,17 @@ pub(crate) struct ClusterInner {
     pub(crate) sim: Sim,
     pub(crate) cfg: DesignConfig,
     pub(crate) net: ShrimpNetwork,
+    /// The nodes this `Cluster` *owns*: all of them on the classic path,
+    /// the contiguous slice `[node_base, node_base + nodes.len())` on one
+    /// shard of a sharded launch.
     pub(crate) nodes: Vec<Node>,
+    /// Global id of `nodes[0]`.
+    pub(crate) node_base: usize,
+    /// Nodes in the whole machine (across all shards).
+    pub(crate) total_nodes: usize,
+    /// Export directory — owned-node exports only; on a sharded machine
+    /// the directory is deliberately shard-local (ids never cross shards;
+    /// remote imports go through [`Vmmc::import_remote`]).
     pub(crate) exports: RefCell<Vec<Rc<ExportInfo>>>,
     pub(crate) fault_plane: Option<FaultPlane>,
 }
@@ -70,24 +112,120 @@ pub struct Cluster {
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
-            .field("nodes", &self.inner.nodes.len())
+            .field("nodes", &self.inner.total_nodes)
+            .field("owned", &self.inner.nodes.len())
             .finish()
     }
 }
 
-impl Cluster {
-    /// Builds an `n`-node machine with the given design configuration and
-    /// starts all hardware engines and system-software processes.
-    pub fn new(n: usize, cfg: DesignConfig) -> Self {
-        let sim = Sim::new();
-        Self::with_sim(sim, n, cfg)
+/// Typed construction of a [`Cluster`]: node count, design configuration,
+/// mesh geometry, fault plane, reliability, shard count, and observation.
+///
+/// ```
+/// use shrimp_core::{Cluster, DesignConfig};
+///
+/// let cluster = Cluster::builder(4)
+///     .config(DesignConfig::as_built())
+///     .build();
+/// assert_eq!(cluster.num_nodes(), 4);
+/// ```
+#[derive(Clone)]
+pub struct ClusterBuilder {
+    nodes: usize,
+    cfg: DesignConfig,
+    shards: Shards,
+    metrics: bool,
+    trace_capacity: Option<Option<usize>>,
+}
+
+impl ClusterBuilder {
+    fn new(nodes: usize) -> Self {
+        assert!(nodes >= 1, "cluster needs at least one node");
+        ClusterBuilder {
+            nodes,
+            cfg: DesignConfig::as_built(),
+            shards: Shards::Auto,
+            metrics: false,
+            trace_capacity: None,
+        }
     }
 
-    /// Like [`Cluster::new`] but on a caller-provided simulator (so several
-    /// machines can share one timeline, or the caller controls the run loop).
-    pub fn with_sim(sim: Sim, n: usize, cfg: DesignConfig) -> Self {
-        assert!(n >= 1, "cluster needs at least one node");
-        let mut cfg = cfg;
+    /// Replaces the whole design configuration (defaults to
+    /// [`DesignConfig::as_built`]).
+    pub fn config(mut self, cfg: DesignConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Overrides the mesh geometry (defaults to the smallest mesh that
+    /// holds the node count, [`MeshConfig::for_nodes`]).
+    pub fn mesh(mut self, mesh: MeshConfig) -> Self {
+        self.cfg.mesh = Some(mesh);
+        self
+    }
+
+    /// Sets the fault-injection scenario. Chaos scenarios share one RNG
+    /// stream across the machine (zero lookahead), so they are only
+    /// runnable on the classic single-`Sim` path.
+    pub fn faults(mut self, faults: FaultScenario) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Sets the reliable-delivery policy.
+    pub fn reliability(mut self, reliability: Reliability) -> Self {
+        self.cfg.reliability = reliability;
+        self
+    }
+
+    /// Shard count for [`ClusterBuilder::launch`] ([`Shards::Auto`] means
+    /// one shard standalone; the harness resolves it to its `--shards`
+    /// flag). Ignored by [`ClusterBuilder::build`], which is always
+    /// single-`Sim`.
+    pub fn shards(mut self, shards: Shards) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Enables the deterministic metrics registry on the machine's
+    /// simulator(s).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Enables trace capture with the given capacity (`None` = unbounded).
+    pub fn trace_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Effective shard count of a [`ClusterBuilder::launch`]: the
+    /// [`Shards`] setting resolved standalone and clamped to the node
+    /// count.
+    pub fn effective_shards(&self) -> usize {
+        self.shards.resolve(1).min(self.nodes)
+    }
+
+    /// Builds the classic single-`Sim` machine on a fresh simulator and
+    /// starts all hardware engines and system-software processes.
+    pub fn build(self) -> Cluster {
+        let sim = Sim::new();
+        self.build_on(sim)
+    }
+
+    /// Like [`ClusterBuilder::build`] but on a caller-provided simulator
+    /// (so several machines can share one timeline, or the caller controls
+    /// the run loop).
+    pub fn build_on(self, sim: Sim) -> Cluster {
+        let n = self.nodes;
+        if self.metrics {
+            sim.metrics().enable();
+        }
+        if let Some(capacity) = self.trace_capacity {
+            sim.trace().enable(capacity);
+        }
+        let mut cfg = self.cfg;
         // The Table 4 experiment is a firmware change: interrupts fire on
         // every message arrival whether or not the receiver enabled them.
         if cfg.interrupt_per_message {
@@ -102,49 +240,15 @@ impl Cluster {
             net.install_fault_plane(plane.clone());
             plane
         });
-        let mut nodes = Vec::with_capacity(n);
-        for i in 0..n {
-            let mem = NodeMem::new();
-            let bus = MemBus::shrimp_default();
-            let nic = Nic::new(
-                sim.clone(),
-                NodeId(i),
-                cfg.nic.clone(),
-                mem.clone(),
-                bus.clone(),
-                net.clone(),
-            );
-            if let Some(plane) = &fault_plane {
-                nic.install_fault_plane(plane.clone());
-            }
-            nic.start();
-            let cpu = Cpu::new(sim.clone());
-            let stall_cpu = cpu.clone();
-            nic.set_cpu_stall_hook(move |d| stall_cpu.steal(d));
-            // A scheduled CPU pause (SMI-style outage) is stolen time: the
-            // node's application and handlers make no progress through it.
-            if let Some((at, dur)) = fault_plane.as_ref().and_then(|p| p.pause_of(i)) {
-                let paused = cpu.clone();
-                sim.schedule(at, move || paused.steal(dur));
-            }
-            nodes.push(Node {
-                space: AddressSpace::new(mem.clone()),
-                mem,
-                bus,
-                nic,
-                cpu,
-                stats: Rc::new(NodeStats::new()),
-                page_dir: RefCell::new(HashMap::new()),
-                notifications_blocked: Cell::new(false),
-                pending_notifications: RefCell::new(Vec::new()),
-            });
-        }
+        let nodes = assemble(&sim, &cfg, &net, fault_plane.as_ref(), 0..n);
         let cluster = Cluster {
             inner: Rc::new(ClusterInner {
                 sim,
                 cfg,
                 net,
                 nodes,
+                node_base: 0,
+                total_nodes: n,
                 exports: RefCell::new(Vec::new()),
                 fault_plane,
             }),
@@ -155,12 +259,275 @@ impl Cluster {
         cluster
     }
 
+    /// Runs `program` on every node of the machine under the
+    /// conservative-parallel shard engine and returns the merged outcome.
+    ///
+    /// Nodes are partitioned contiguously across [`ClusterBuilder::shards`]
+    /// shards (`shard_of`); each shard constructs its nodes on its own
+    /// `Sim` and the mesh runs the decoupled fixed-latency transport with
+    /// the mesh's minimum remote latency as cross-shard lookahead. At one
+    /// effective shard this degenerates to the single-`Sim` executor — the
+    /// differential oracle — and the outcome is byte-identical at any
+    /// shard count.
+    ///
+    /// Shutdown is shard-safe by construction: each shard closes its NIC
+    /// ingress and notification queues only at the engine's global drain
+    /// barrier, when no other shard can still have packets in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a fault scenario is active (chaos couples all nodes
+    /// through one RNG stream; use [`ClusterBuilder::build`]) or when the
+    /// application processes deadlock.
+    pub fn launch(self, program: NodeProgram) -> LaunchOutcome {
+        assert!(
+            !self.cfg.faults.is_active(),
+            "fault scenarios couple all nodes through one RNG stream; \
+             run them on the single-Sim path (ClusterBuilder::build)"
+        );
+        let n = self.nodes;
+        let shards = self.effective_shards();
+        let mesh = self
+            .cfg
+            .mesh
+            .clone()
+            .unwrap_or_else(|| MeshConfig::for_nodes(n));
+        let shard_cfg = ShardConfig::new(shards, mesh.min_remote_latency());
+        let builders: Vec<PhasedBuilder<ClusterFlit, ShardTally>> = (0..shards)
+            .map(|_| {
+                let builder = self.clone();
+                let program = program.clone();
+                let b: PhasedBuilder<ClusterFlit, ShardTally> =
+                    Box::new(move |ctx| builder.build_shard_plan(ctx, program));
+                b
+            })
+            .collect();
+        let out = run_sharded_phased(&shard_cfg, builders);
+        let mut node_results = vec![0u64; n];
+        let mut finished_nodes = 0usize;
+        for tally in &out.results {
+            for &(node, result) in &tally.node_results {
+                node_results[node] = result;
+                finished_nodes += 1;
+            }
+        }
+        assert_eq!(finished_nodes, n, "a node's program never completed");
+        let sum = |f: fn(&ShardTally) -> u64| out.results.iter().map(f).sum::<u64>();
+        LaunchOutcome {
+            elapsed: out.results.iter().map(|t| t.finished).max().unwrap_or(0),
+            node_results,
+            messages: sum(|t| t.messages),
+            notifications: sum(|t| t.notifications),
+            interrupts: sum(|t| t.interrupts),
+            syscalls: sum(|t| t.syscalls),
+            net_packets: sum(|t| t.net_packets),
+            net_bytes: sum(|t| t.net_bytes),
+            events: out.events,
+            windows: out.windows,
+            shards,
+        }
+    }
+
+    /// Constructs this shard's slice of the machine on `ctx`'s `Sim`,
+    /// spawns the owned nodes' programs, and returns the shard's
+    /// shutdown/harvest plan.
+    fn build_shard_plan(
+        &self,
+        ctx: &ShardCtx<ClusterFlit>,
+        program: NodeProgram,
+    ) -> ShardPlan<ShardTally> {
+        let n = self.nodes;
+        let (shard, shards) = (ctx.shard(), ctx.shards());
+        let shard_map: Vec<usize> = (0..n).map(|i| shard_of(i, n, shards)).collect();
+        let node_base = shard_map
+            .iter()
+            .position(|&s| s == shard)
+            .expect("every shard owns at least one node");
+        let owned = shard_map.iter().filter(|&&s| s == shard).count();
+        let sim = ctx.sim().clone();
+        if self.metrics {
+            sim.metrics().enable();
+        }
+        if let Some(capacity) = self.trace_capacity {
+            sim.trace().enable(capacity);
+        }
+        let mut cfg = self.cfg.clone();
+        if cfg.interrupt_per_message {
+            cfg.nic.force_arrival_interrupts = true;
+        }
+        let mesh = cfg.mesh.clone().unwrap_or_else(|| MeshConfig::for_nodes(n));
+        let net: ShrimpNetwork = Network::sharded(sim.clone(), mesh, n, shard_map, ctx.sender());
+        {
+            let net = net.clone();
+            ctx.on_message(move |arrival, flit| net.deliver_remote(arrival, flit));
+        }
+        let nodes = assemble(&sim, &cfg, &net, None, node_base..node_base + owned);
+        let cluster = Cluster {
+            inner: Rc::new(ClusterInner {
+                sim: sim.clone(),
+                cfg,
+                net,
+                nodes,
+                node_base,
+                total_nodes: n,
+                exports: RefCell::new(Vec::new()),
+                fault_plane: None,
+            }),
+        };
+        #[allow(clippy::type_complexity)]
+        let finished: Rc<RefCell<Vec<(usize, Time, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for node in node_base..node_base + owned {
+            cluster.spawn_dispatcher(node);
+            let fut = program(cluster.vmmc(node));
+            let record = Rc::clone(&finished);
+            let at = sim.clone();
+            sim.spawn(async move {
+                let result = fut.await;
+                record.borrow_mut().push((node, at.now(), result));
+            });
+        }
+        let to_shutdown = cluster.clone();
+        ShardPlan {
+            shutdown: Box::new(move || to_shutdown.shutdown()),
+            harvest: Box::new(move || {
+                let mut done = finished.borrow_mut();
+                assert_eq!(
+                    done.len(),
+                    owned,
+                    "application processes deadlocked; check for missing sends/receives"
+                );
+                done.sort_unstable_by_key(|&(node, ..)| node);
+                ShardTally {
+                    finished: done.iter().map(|&(_, t, _)| t).max().unwrap_or(0),
+                    node_results: done.iter().map(|&(node, _, r)| (node, r)).collect(),
+                    messages: cluster.total(|s| s.messages_sent.get()),
+                    notifications: cluster.total(|s| s.notifications.get()),
+                    interrupts: cluster.total(|s| s.interrupts_taken.get()),
+                    syscalls: cluster.total(|s| s.syscalls.get()),
+                    net_packets: cluster.network().stats().packets(),
+                    net_bytes: cluster.network().stats().bytes(),
+                }
+            }),
+        }
+    }
+}
+
+/// One shard's harvest of a [`ClusterBuilder::launch`].
+struct ShardTally {
+    finished: Time,
+    node_results: Vec<(usize, u64)>,
+    messages: u64,
+    notifications: u64,
+    interrupts: u64,
+    syscalls: u64,
+    net_packets: u64,
+    net_bytes: u64,
+}
+
+/// The merged, shard-count-invariant outcome of a
+/// [`ClusterBuilder::launch`]: everything but `events`, `windows`, and
+/// `shards` is a pure function of the simulated program.
+#[derive(Debug, Clone)]
+pub struct LaunchOutcome {
+    /// Latest per-node program completion time (simulated).
+    pub elapsed: Time,
+    /// Each node's program result, indexed by node.
+    pub node_results: Vec<u64>,
+    /// Messages sent (VMMC sends, all nodes).
+    pub messages: u64,
+    /// User-level notifications delivered.
+    pub notifications: u64,
+    /// Interrupts taken.
+    pub interrupts: u64,
+    /// Kernel traps performed.
+    pub syscalls: u64,
+    /// Mesh packets (recorded at the sending shard; loopback excluded).
+    pub net_packets: u64,
+    /// Mesh wire bytes including headers.
+    pub net_bytes: u64,
+    /// Executor events across shards (host-dependent layout detail — never
+    /// part of deterministic artifacts).
+    pub events: u64,
+    /// Synchronization windows (0 on the one-shard degenerate path).
+    pub windows: u64,
+    /// Effective shard count the launch ran with.
+    pub shards: usize,
+}
+
+/// Constructs and starts the nodes `range` (global ids) against `net`.
+fn assemble(
+    sim: &Sim,
+    cfg: &DesignConfig,
+    net: &ShrimpNetwork,
+    fault_plane: Option<&FaultPlane>,
+    range: std::ops::Range<usize>,
+) -> Vec<Node> {
+    let mut nodes = Vec::with_capacity(range.len());
+    for i in range {
+        let mem = NodeMem::new();
+        let bus = MemBus::shrimp_default();
+        let nic = Nic::new(
+            sim.clone(),
+            NodeId(i),
+            cfg.nic.clone(),
+            mem.clone(),
+            bus.clone(),
+            net.clone(),
+        );
+        if let Some(plane) = fault_plane {
+            nic.install_fault_plane(plane.clone());
+        }
+        nic.start();
+        let cpu = Cpu::new(sim.clone());
+        let stall_cpu = cpu.clone();
+        nic.set_cpu_stall_hook(move |d| stall_cpu.steal(d));
+        // A scheduled CPU pause (SMI-style outage) is stolen time: the
+        // node's application and handlers make no progress through it.
+        if let Some((at, dur)) = fault_plane.and_then(|p| p.pause_of(i)) {
+            let paused = cpu.clone();
+            sim.schedule(at, move || paused.steal(dur));
+        }
+        nodes.push(Node {
+            space: AddressSpace::new(mem.clone()),
+            mem,
+            bus,
+            nic,
+            cpu,
+            stats: Rc::new(NodeStats::new()),
+            page_dir: RefCell::new(HashMap::new()),
+            notifications_blocked: Cell::new(false),
+            pending_notifications: RefCell::new(Vec::new()),
+        });
+    }
+    nodes
+}
+
+impl Cluster {
+    /// Starts a typed [`ClusterBuilder`] for an `n`-node machine.
+    pub fn builder(n: usize) -> ClusterBuilder {
+        ClusterBuilder::new(n)
+    }
+
+    /// Builds an `n`-node machine with the given design configuration and
+    /// starts all hardware engines and system-software processes.
+    #[deprecated(note = "use `Cluster::builder(n).config(cfg).build()`")]
+    pub fn new(n: usize, cfg: DesignConfig) -> Self {
+        Self::builder(n).config(cfg).build()
+    }
+
+    /// Like [`Cluster::new`] but on a caller-provided simulator (so several
+    /// machines can share one timeline, or the caller controls the run loop).
+    #[deprecated(note = "use `Cluster::builder(n).config(cfg).build_on(sim)`")]
+    pub fn with_sim(sim: Sim, n: usize, cfg: DesignConfig) -> Self {
+        Self::builder(n).config(cfg).build_on(sim)
+    }
+
     /// The per-node interrupt dispatch process: takes NIC interrupts,
     /// charges the kernel handler, and delivers user-level notifications
     /// when requested and enabled (§4.4).
     fn spawn_dispatcher(&self, node: usize) {
         let cluster = self.clone();
-        let interrupts = self.inner.nodes[node].nic.interrupts();
+        let interrupts = self.node(node).nic.interrupts();
         let intr_delay = self.inner.cfg.faults.interrupt_delay();
         self.inner.sim.spawn(async move {
             loop {
@@ -172,7 +539,7 @@ impl Cluster {
                 if intr_delay > 0 {
                     cluster.inner.sim.sleep(intr_delay).await;
                 }
-                let n = &cluster.inner.nodes[node];
+                let n = cluster.node(node);
                 NodeStats::bump(&n.stats.interrupts_taken);
                 let svc_t0 = cluster.inner.sim.now();
                 n.cpu.run_handler(cluster.inner.cfg.interrupt_cost).await;
@@ -214,12 +581,19 @@ impl Cluster {
         });
     }
 
-    /// Number of nodes.
+    /// Number of nodes in the whole machine (across all shards of a
+    /// sharded launch).
     pub fn num_nodes(&self) -> usize {
-        self.inner.nodes.len()
+        self.inner.total_nodes
     }
 
-    /// The simulator driving this machine.
+    /// Global ids of the nodes this `Cluster` owns: everything on the
+    /// classic path, one contiguous slice per shard of a sharded launch.
+    pub fn owned_nodes(&self) -> std::ops::Range<usize> {
+        self.inner.node_base..self.inner.node_base + self.inner.nodes.len()
+    }
+
+    /// The simulator driving this machine (this shard's, when sharded).
     pub fn sim(&self) -> &Sim {
         &self.inner.sim
     }
@@ -229,21 +603,22 @@ impl Cluster {
         &self.inner.cfg
     }
 
-    /// The backplane.
+    /// The backplane (this shard's view, when sharded).
     pub fn network(&self) -> &ShrimpNetwork {
         &self.inner.net
     }
 
-    /// The mesh's minimum inter-node latency — what a conservative parallel
-    /// executor could use as cross-shard lookahead if this machine were
-    /// partitioned by node.
+    /// The mesh's minimum inter-node latency — the cross-shard lookahead a
+    /// sharded launch synchronizes with.
     ///
-    /// The cluster itself always runs as **one shard** (one coupling
-    /// class): link `Resource`s are reserved synchronously in global send
-    /// order, and a chaos run's single [`FaultPlane`] RNG stream is
-    /// consumed in that same order — zero-lookahead couplings that node
-    /// partitioning would have to respect. Workloads without that shared
-    /// state (see [`crate::parallel`]) shard freely using this bound.
+    /// Couplings tighter than the mesh pin a machine to **one shard**: the
+    /// contended transport's link `Resource`s are reserved synchronously in
+    /// global send order, and a chaos run's single [`FaultPlane`] RNG
+    /// stream is consumed in that same order. [`ClusterBuilder::launch`]
+    /// therefore rejects fault scenarios, and the classic
+    /// [`ClusterBuilder::build`] machine always runs single-`Sim`; the
+    /// decoupled transport of a sharded launch has no shared fabric state,
+    /// so only the mesh latency bounds its windows.
     pub fn coupling_lookahead(&self) -> Time {
         self.inner.net.config().min_remote_latency()
     }
@@ -256,31 +631,36 @@ impl Cluster {
 
     /// The VMMC library handle for `node`'s application process.
     pub fn vmmc(&self, node: usize) -> Vmmc {
-        assert!(node < self.num_nodes(), "no such node {node}");
+        let _ = self.index(node);
         Vmmc::new(self.clone(), node)
     }
 
     /// A node's NIC (experiment drivers read its counters).
     pub fn nic(&self, node: usize) -> &Nic {
-        &self.inner.nodes[node].nic
+        &self.node(node).nic
     }
 
     /// A node's CPU.
     pub fn cpu(&self, node: usize) -> &Cpu {
-        &self.inner.nodes[node].cpu
+        &self.node(node).cpu
     }
 
     /// A node's software statistics.
     pub fn stats(&self, node: usize) -> Rc<NodeStats> {
-        self.inner.nodes[node].stats.clone()
+        self.node(node).stats.clone()
     }
 
-    /// Sum of a counter over all nodes.
+    /// Sum of a counter over the owned nodes.
     pub fn total<F: Fn(&NodeStats) -> u64>(&self, f: F) -> u64 {
         self.inner.nodes.iter().map(|n| f(&n.stats)).sum()
     }
 
-    /// Closes NIC queues so hardware/system processes terminate once idle.
+    /// Closes NIC queues so hardware/system processes terminate once idle,
+    /// and closes the owned exports' notification queues.
+    ///
+    /// On a sharded launch each shard's shutdown runs at the engine's
+    /// global drain barrier — after every shard is exhausted — so no
+    /// packet can still be in flight toward a queue being closed here.
     pub fn shutdown(&self) {
         for n in &self.inner.nodes {
             n.nic.shutdown();
@@ -315,8 +695,19 @@ impl Cluster {
 
     // ----- internal accessors used by the Vmmc library -------------------
 
+    /// Index of a *global* node id within the owned slice.
+    fn index(&self, node: usize) -> usize {
+        assert!(
+            node >= self.inner.node_base && node < self.inner.node_base + self.inner.nodes.len(),
+            "node {node} is not owned by this cluster (owns {:?} of {} nodes)",
+            self.owned_nodes(),
+            self.inner.total_nodes,
+        );
+        node - self.inner.node_base
+    }
+
     pub(crate) fn node(&self, i: usize) -> &Node {
-        &self.inner.nodes[i]
+        &self.inner.nodes[self.index(i)]
     }
 
     pub(crate) fn register_export(
@@ -327,7 +718,7 @@ impl Cluster {
     ) -> ExportId {
         let id = self.inner.exports.borrow().len() as u32;
         {
-            let mut dir = self.inner.nodes[node].page_dir.borrow_mut();
+            let mut dir = self.node(node).page_dir.borrow_mut();
             for (idx, &p) in phys_pages.iter().enumerate() {
                 dir.insert(p, (id, idx));
             }
@@ -342,7 +733,7 @@ impl Cluster {
         // IPT: accept packets for every page of the buffer.
         let info = self.inner.exports.borrow()[id as usize].clone();
         for &p in &info.phys_pages {
-            self.inner.nodes[node].nic.ipt_set(
+            self.node(node).nic.ipt_set(
                 p,
                 IptEntry {
                     accept: true,
@@ -362,14 +753,11 @@ impl Cluster {
     /// blocking/unblocking, with queueing of multiple notifications).
     pub(crate) async fn flush_pending_notifications(&self, node: usize) {
         loop {
-            let next = self.inner.nodes[node]
-                .pending_notifications
-                .borrow_mut()
-                .pop();
+            let next = self.node(node).pending_notifications.borrow_mut().pop();
             let Some((export_id, notification)) = next else {
                 break;
             };
-            let n = &self.inner.nodes[node];
+            let n = self.node(node);
             n.cpu.run_handler(self.inner.cfg.notification_cost).await;
             NodeStats::bump(&n.stats.notifications);
             let export = self.inner.exports.borrow()[export_id as usize].clone();

@@ -1,0 +1,332 @@
+//! The distributed cluster workload: the full SHRIMP software stack —
+//! VMMC exports/imports, deliberate-update DMA, arrival interrupts, and
+//! user-level notifications — driven through
+//! [`ClusterBuilder::launch`](crate::ClusterBuilder::launch) so the same
+//! program runs on one `Sim` or on many shards with bit-identical results.
+//!
+//! # Shape
+//!
+//! Every node exports one receive buffer with a fixed slot per peer,
+//! enables notifications on it, and imports every peer's buffer. Because
+//! each node's memory map is built by the identical allocation sequence on
+//! a fresh `NodeMem`, a node computes its peers' physical pages from its
+//! *own* — no bootstrap traffic — and imports them with
+//! [`Vmmc::import_remote`](crate::Vmmc::import_remote). The work loop is
+//! `steps` rounds of deterministic compute plus one deliberate-update send
+//! to a seeded peer; a closing round sends one *notifying* message to every
+//! peer, and each node returns a checksum of its receive buffer once all
+//! `nodes - 1` closing notifications arrived (per-pair FIFO ordering makes
+//! the notification the happens-after witness for that peer's data).
+//!
+//! # Invariance
+//!
+//! Each node's timeline is a pure function of its own deterministic
+//! program and the totally-ordered `(arrival, source)` delivery sequence of
+//! the decoupled mesh transport, so every [`LaunchOutcome`] field that
+//! feeds a `RunRecord` is identical at every shard count — asserted here
+//! and, at the artifact-byte level, by the harness shard-identity tests.
+//!
+//! The workload is *proportional*: per-node work is constant, so total
+//! work scales linearly with the node count — the shape the 64- and
+//! 256-node speedup rows in `EXPERIMENTS.md` rely on.
+
+use std::sync::Arc;
+
+use shrimp_mem::PAGE_SIZE;
+use shrimp_net::NodeId;
+use shrimp_sim::rng::splitmix64;
+use shrimp_sim::shard::Shards;
+use shrimp_sim::{time, Time};
+
+use crate::cluster::{Cluster, LaunchOutcome, NodeProgram};
+use crate::config::DesignConfig;
+use crate::parallel::choice;
+use crate::vmmc::Vmmc;
+
+/// Workload shape for one distributed cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributedParams {
+    /// Simulated nodes (one full SHRIMP node each).
+    pub nodes: usize,
+    /// Compute/send rounds per node (excluding the closing notify round).
+    pub steps: u32,
+    /// Bytes per message; also the per-peer slot size in the receive
+    /// buffer.
+    pub payload: usize,
+    /// Simulated compute time per round (before jitter).
+    pub compute: Time,
+    /// Workload seed; every derived choice is a pure function of it.
+    pub seed: u64,
+}
+
+impl DistributedParams {
+    /// The default 16-node shape at a given round count.
+    pub fn with_steps(steps: u32) -> Self {
+        DistributedParams {
+            nodes: 16,
+            steps,
+            payload: 256,
+            compute: time::us(2),
+            seed: 1,
+        }
+    }
+
+    /// The same per-node work on a different node count (proportional
+    /// scaling: total work grows linearly with `nodes`).
+    pub fn scaled_to(self, nodes: usize) -> Self {
+        DistributedParams { nodes, ..self }
+    }
+}
+
+/// Runs the workload on a sharded cluster and returns the merged,
+/// shard-count-invariant outcome.
+///
+/// # Panics
+///
+/// Panics when `params.nodes == 0`, `params.payload == 0`, or the design
+/// configuration carries an active fault scenario (chaos is single-`Sim`
+/// only — see [`ClusterBuilder::launch`](crate::ClusterBuilder::launch)).
+pub fn run_distributed(
+    params: &DistributedParams,
+    cfg: DesignConfig,
+    shards: Shards,
+) -> LaunchOutcome {
+    assert!(params.nodes >= 1, "workload needs at least one node");
+    assert!(params.payload >= 1, "workload needs a non-empty payload");
+    Cluster::builder(params.nodes)
+        .config(cfg)
+        .shards(shards)
+        .launch(node_program(*params))
+}
+
+/// The per-node program of the workload, reusable under a caller-built
+/// [`ClusterBuilder`](crate::ClusterBuilder).
+pub fn node_program(p: DistributedParams) -> NodeProgram {
+    Arc::new(move |vmmc: Vmmc| Box::pin(run_node(vmmc, p)))
+}
+
+async fn run_node(vmmc: Vmmc, p: DistributedParams) -> u64 {
+    let me = vmmc.node_id().0;
+    let n = p.nodes;
+    let slot = p.payload;
+    let len = n * slot;
+    let npages = len.div_ceil(PAGE_SIZE);
+
+    // The receive buffer is every node's FIRST allocation, so its physical
+    // pages are the same deterministic sequence on every fresh node — the
+    // fact import_remote relies on below.
+    let recv = vmmc.space().alloc(npages);
+    let export = vmmc.export(recv, len);
+    let inbox = vmmc.enable_notifications(export);
+    let peer_pages: Vec<u64> = (0..npages as u64)
+        .map(|i| vmmc.space().phys_page(recv.page() + i))
+        .collect();
+    let stage = vmmc.space().alloc(slot.div_ceil(PAGE_SIZE).max(1));
+
+    let proxies: Vec<_> = (0..n)
+        .map(|peer| (peer != me).then(|| vmmc.import_remote(NodeId(peer), &peer_pages, len)))
+        .collect();
+
+    for step in 0..p.steps {
+        let jitter = choice(p.seed, me, step, 0x6a69) % 1024;
+        vmmc.compute(p.compute + jitter).await;
+        if n == 1 {
+            continue;
+        }
+        let pick = choice(p.seed, me, step, 0x7065) as usize;
+        let dst = (me + 1 + pick % (n - 1)) % n;
+        let bytes: Vec<u8> = (0..slot)
+            .map(|i| (choice(p.seed, me, step, i as u64) & 0xff) as u8)
+            .collect();
+        vmmc.space().write_raw(stage, &bytes);
+        let proxy = proxies[dst].as_ref().expect("never send to self");
+        vmmc.send(stage, proxy, me * slot, slot).await;
+    }
+
+    if n > 1 {
+        // Closing round: one notifying send per peer. It follows every
+        // data send on the same (src, dst) pair, so its notification
+        // witnesses that all of this node's data has landed there.
+        let fin: Vec<u8> = (0..slot)
+            .map(|i| (choice(p.seed, me, p.steps, i as u64) & 0xff) as u8)
+            .collect();
+        vmmc.space().write_raw(stage, &fin);
+        for proxy in proxies.iter().flatten() {
+            vmmc.send_notify(stage, proxy, me * slot, slot).await;
+        }
+        let mut checked_in = 0;
+        while checked_in < n - 1 {
+            inbox
+                .recv()
+                .await
+                .expect("notification queue closed before all peers checked in");
+            checked_in += 1;
+        }
+    }
+
+    // Checksum the receive buffer (node-local reads of a now-final buffer;
+    // the scan is charged as a local copy).
+    let mut buf = vec![0u8; len];
+    vmmc.space().read(recv, &mut buf);
+    vmmc.local_copy(len).await;
+    let mut st = p.seed ^ ((me as u64) << 32) ^ 0x5348_524d_5044_4953;
+    let mut h = 0u64;
+    for &b in &buf {
+        st ^= u64::from(b);
+        h = h.wrapping_add(splitmix64(&mut st));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn small() -> DistributedParams {
+        DistributedParams {
+            nodes: 8,
+            steps: 4,
+            payload: 64,
+            compute: time::us(1),
+            seed: 7,
+        }
+    }
+
+    fn fields(o: &LaunchOutcome) -> (Time, Vec<u64>, u64, u64, u64, u64, u64, u64) {
+        (
+            o.elapsed,
+            o.node_results.clone(),
+            o.messages,
+            o.notifications,
+            o.interrupts,
+            o.syscalls,
+            o.net_packets,
+            o.net_bytes,
+        )
+    }
+
+    #[test]
+    fn outcome_is_invariant_across_shard_counts() {
+        let p = small();
+        let base = run_distributed(&p, DesignConfig::as_built(), Shards::Fixed(1));
+        assert_eq!(base.shards, 1);
+        assert_eq!(base.windows, 0, "one shard must run windowless");
+        let n = p.nodes as u64;
+        assert_eq!(base.messages, n * u64::from(p.steps) + n * (n - 1));
+        assert_eq!(base.notifications, n * (n - 1));
+        for shards in [2, 4, 8] {
+            let out = run_distributed(&p, DesignConfig::as_built(), Shards::Fixed(shards));
+            assert_eq!(out.shards, shards);
+            assert!(out.windows > 0, "{shards} shards ran without windows");
+            assert_eq!(
+                fields(&out),
+                fields(&base),
+                "outcome diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_distributed(&small(), DesignConfig::as_built(), Shards::Fixed(2));
+        let b = run_distributed(
+            &DistributedParams { seed: 8, ..small() },
+            DesignConfig::as_built(),
+            Shards::Fixed(2),
+        );
+        assert_ne!(a.node_results, b.node_results);
+    }
+
+    #[test]
+    fn single_node_runs_computation_only() {
+        let p = DistributedParams {
+            nodes: 1,
+            ..small()
+        };
+        let out = run_distributed(&p, DesignConfig::as_built(), Shards::Auto);
+        assert_eq!(out.messages, 0);
+        assert_eq!(out.notifications, 0);
+        assert_eq!(out.node_results.len(), 1);
+    }
+
+    /// Shutdown regression: a node whose program finishes immediately must
+    /// keep its NIC and notification queues open until the engine's global
+    /// drain barrier, so traffic arriving from *other shards* long after
+    /// its completion is still delivered and counted.
+    #[test]
+    fn late_cross_shard_traffic_drains_before_queues_close() {
+        let n = 4usize;
+        let program: NodeProgram = Arc::new(move |vmmc: Vmmc| {
+            Box::pin(async move {
+                let me = vmmc.node_id().0;
+                let recv = vmmc.space().alloc(1);
+                let export = vmmc.export(recv, PAGE_SIZE);
+                vmmc.enable_notifications(export);
+                let pages = vec![vmmc.space().phys_page(recv.page())];
+                if me == 0 {
+                    return 1; // finishes at t=0; arrivals come much later
+                }
+                vmmc.compute(time::us(50)).await;
+                let proxy = vmmc.import_remote(NodeId(0), &pages, PAGE_SIZE);
+                let stage = vmmc.space().alloc(1);
+                vmmc.space().write_raw(stage, &[me as u8; 32]);
+                vmmc.send_notify(stage, &proxy, me * 32, 32).await;
+                2
+            })
+        });
+        let mut outcomes = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let out = Cluster::builder(n)
+                .shards(Shards::Fixed(shards))
+                .launch(program.clone());
+            assert_eq!(
+                out.notifications,
+                (n - 1) as u64,
+                "late arrivals were dropped at {shards} shards"
+            );
+            outcomes.push(fields(&out));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
+    }
+
+    /// The builder rejects sharded launches of chaos scenarios instead of
+    /// silently decohering their shared RNG stream.
+    #[test]
+    #[should_panic(expected = "fault scenarios")]
+    fn launch_rejects_fault_scenarios() {
+        let mut cfg = DesignConfig::as_built();
+        cfg.faults = shrimp_faults::FaultScenario {
+            drop_pct: 3,
+            ..Default::default()
+        };
+        let _ = run_distributed(&small(), cfg, Shards::Fixed(2));
+    }
+
+    /// The classic path still exists and agrees with itself: build() and
+    /// run_until_complete drive the same program single-Sim.
+    #[test]
+    fn classic_build_path_still_runs_programs() {
+        let cluster = Cluster::builder(2).build();
+        let a = cluster.vmmc(0);
+        let b = cluster.vmmc(1);
+        let recv = b.space().alloc(1);
+        let export = b.export(recv, PAGE_SIZE);
+        let proxy = a.import(export);
+        let src = a.space().alloc(1);
+        a.space().write_raw(src, &[7u8; 16]);
+        let got = Rc::new(Cell::new(false));
+        let g2 = Rc::clone(&got);
+        let h = cluster.sim().spawn(async move {
+            a.send(src, &proxy, 0, 16).await;
+            g2.set(true);
+        });
+        cluster.run_until_complete(vec![h]);
+        assert!(got.get());
+        let mut out = [0u8; 16];
+        b.space().read(recv, &mut out);
+        assert_eq!(out, [7u8; 16]);
+    }
+}

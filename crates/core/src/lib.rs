@@ -28,7 +28,7 @@
 //! ```
 //! use shrimp_core::{Cluster, DesignConfig};
 //!
-//! let cluster = Cluster::new(2, DesignConfig::default());
+//! let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
 //! let a = cluster.vmmc(0);
 //! let b = cluster.vmmc(1);
 //!
@@ -55,18 +55,21 @@
 pub mod cluster;
 pub mod config;
 pub mod cpu;
+pub mod distributed;
 pub mod parallel;
 pub mod report;
 pub mod ring;
 pub mod stats;
 pub mod vmmc;
 
-pub use cluster::{Cluster, Notification};
+pub use cluster::{Cluster, ClusterBuilder, ClusterFlit, LaunchOutcome, NodeProgram, Notification};
 pub use config::DesignConfig;
 pub use cpu::Cpu;
-pub use parallel::{run_parallel, ParallelOutcome, ParallelParams};
+pub use distributed::{node_program, run_distributed, DistributedParams};
+pub use parallel::{run_parallel, shard_of, ParallelOutcome, ParallelParams};
 pub use report::{ClusterReport, NodeReport};
 pub use ring::{connect_ring, RingBulk, RingFrame, RingReceiver, RingSender};
 pub use shrimp_faults::{FaultScenario, Reliability, ShrimpError};
+pub use shrimp_sim::shard::Shards;
 pub use stats::NodeStats;
 pub use vmmc::{ExportId, ImportBuilder, ProxyBuffer, SendTicket, UpdatePolicy, Vmmc};

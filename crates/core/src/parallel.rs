@@ -18,11 +18,13 @@
 //! shard count*, which the shard-identity and chaos-under-parallel tests
 //! assert at the artifact-byte level.
 //!
-//! The full SHRIMP *cluster* model is deliberately not driven through this
-//! path: its nodes share the fabric's link reservations and the fault
-//! plane's RNG stream with zero lookahead, forming a single coupling class
-//! (see the module docs of `shrimp_sim::shard`). This workload models the
-//! decoupled regime the paper's mesh timing actually permits.
+//! This driver exchanges bare [`Packet`]s; the full SHRIMP *cluster* model
+//! (NIC, VMMC, notifications) rides the same engine through
+//! [`ClusterBuilder::launch`](crate::ClusterBuilder::launch) and the
+//! decoupled mesh transport — see [`crate::distributed`] for its workload.
+//! Only fault scenarios remain pinned to the single-`Sim` path: chaos
+//! couples all nodes through one RNG stream with zero lookahead (see the
+//! module docs of `shrimp_sim::shard`).
 
 use shrimp_net::{MeshConfig, NodeId};
 use shrimp_nic::packet::Packet;
@@ -96,8 +98,9 @@ pub fn shard_of(node: usize, nodes: usize, shards: usize) -> usize {
 }
 
 /// One round of SplitMix64 keyed by node and step — the deterministic
-/// per-(node, step) choice stream.
-fn choice(seed: u64, node: usize, step: u32, salt: u64) -> u64 {
+/// per-(node, step) choice stream (shared with the distributed cluster
+/// workload).
+pub(crate) fn choice(seed: u64, node: usize, step: u32, salt: u64) -> u64 {
     let mut st = seed
         ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ (step as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)

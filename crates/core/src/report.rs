@@ -189,7 +189,7 @@ mod tests {
 
     #[test]
     fn report_reflects_activity() {
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let a = cluster.vmmc(0);
         let b = cluster.vmmc(1);
         let recv = b.space().alloc(1);
@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn idle_cluster_reports_zeros() {
-        let cluster = Cluster::new(1, DesignConfig::default());
+        let cluster = Cluster::builder(1).config(DesignConfig::default()).build();
         let (elapsed, _) = cluster.run_until_complete::<()>(vec![]);
         let report = ClusterReport::capture(&cluster, elapsed);
         assert_eq!(report.net_packets, 0);

@@ -347,7 +347,7 @@ mod tests {
     use crate::{Cluster, DesignConfig};
 
     fn pair(bulk: RingBulk, capacity: usize) -> (Cluster, RingSender, RingReceiver) {
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let a = cluster.vmmc(0);
         let b = cluster.vmmc(1);
         let (tx, rx) = connect_ring(&a, &b, capacity, bulk);

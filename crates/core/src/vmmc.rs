@@ -77,7 +77,7 @@ pub enum UpdatePolicy {
 ///
 /// ```no_run
 /// # use shrimp_core::{Cluster, DesignConfig, UpdatePolicy};
-/// # let cluster = Cluster::new(2, DesignConfig::default());
+/// # let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
 /// # let (a, b) = (cluster.vmmc(0), cluster.vmmc(1));
 /// # let recv = b.space().alloc(1);
 /// # let export = b.export(recv, shrimp_mem::PAGE_SIZE);
@@ -330,6 +330,47 @@ impl Vmmc {
     /// policy. Shorthand for `self.importer(export).finish()`.
     pub fn import(&self, export: ExportId) -> ProxyBuffer {
         self.importer(export).finish()
+    }
+
+    /// Imports a receive buffer on a node owned by *another shard* of a
+    /// sharded launch, where the export directory is not reachable: the
+    /// importer supplies the owner's physical pages and length out of band
+    /// (in SHRIMP terms, the export handle travelled over a bootstrap
+    /// channel). Deliberate-update only.
+    ///
+    /// Programs written for
+    /// [`ClusterBuilder::launch`](crate::ClusterBuilder::launch)
+    /// can compute remote physical pages
+    /// without communicating because every node's memory map is built
+    /// identically: the same allocation sequence yields the same pages.
+    pub fn import_remote(&self, dst_node: NodeId, phys_pages: &[u64], len: usize) -> ProxyBuffer {
+        assert!(!phys_pages.is_empty(), "import of an empty page set");
+        assert!(
+            len > 0 && len.div_ceil(PAGE_SIZE) == phys_pages.len(),
+            "length {len} does not match {} pages",
+            phys_pages.len()
+        );
+        let node = self.cluster.node(self.node);
+        let proxy_base = node.nic.alloc_proxy_range(phys_pages.len());
+        for (i, &dst_page) in phys_pages.iter().enumerate() {
+            node.nic.opt_set(
+                proxy_base + i as u64,
+                OptEntry {
+                    dst_node,
+                    dst_page,
+                    au_enable: false,
+                    combine: false,
+                    interrupt: false,
+                },
+            );
+        }
+        ProxyBuffer {
+            // No shard-local directory entry backs a remote import.
+            export: ExportId(u32::MAX),
+            dst_node: dst_node.0,
+            proxy_base,
+            len,
+        }
     }
 
     /// Starts a configurable import of an exported buffer (§2.3): the
@@ -826,7 +867,7 @@ mod tests {
     use shrimp_sim::time;
 
     fn two_nodes() -> (Cluster, Vmmc, Vmmc) {
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let a = cluster.vmmc(0);
         let b = cluster.vmmc(1);
         (cluster, a, b)
@@ -989,7 +1030,7 @@ mod tests {
         let run = |syscall: bool| -> (Time, u64) {
             let mut cfg = DesignConfig::default();
             cfg.syscall_send = syscall;
-            let cluster = Cluster::new(2, cfg);
+            let cluster = Cluster::builder(2).config(cfg).build();
             let a = cluster.vmmc(0);
             let b = cluster.vmmc(1);
             let recv = b.space().alloc(1);
@@ -1020,7 +1061,7 @@ mod tests {
         let run = |forced: bool| -> (Time, u64, u64) {
             let mut cfg = DesignConfig::default();
             cfg.interrupt_per_message = forced;
-            let cluster = Cluster::new(2, cfg);
+            let cluster = Cluster::builder(2).config(cfg).build();
             let a = cluster.vmmc(0);
             let b = cluster.vmmc(1);
             let recv = b.space().alloc(1);
@@ -1172,7 +1213,7 @@ mod tests {
         cfg.reliability = crate::Reliability::on();
         cfg.faults.seed = 5;
         cfg.faults.drop_pct = 30;
-        let cluster = Cluster::new(2, cfg);
+        let cluster = Cluster::builder(2).config(cfg).build();
         let a = cluster.vmmc(0);
         let b = cluster.vmmc(1);
         let recv = b.space().alloc(1);
@@ -1213,7 +1254,7 @@ mod tests {
         cfg.reliability = crate::Reliability::on();
         cfg.faults.seed = 9;
         cfg.faults.duplicate_pct = 50;
-        let cluster = Cluster::new(2, cfg);
+        let cluster = Cluster::builder(2).config(cfg).build();
         let a = cluster.vmmc(0);
         let b = cluster.vmmc(1);
         let recv = b.space().alloc(1);
@@ -1251,7 +1292,7 @@ mod tests {
             down_us: 0,
         });
         let max_retries = cfg.reliability.max_retries;
-        let cluster = Cluster::new(2, cfg);
+        let cluster = Cluster::builder(2).config(cfg).build();
         let a = cluster.vmmc(0);
         let b = cluster.vmmc(1);
         let recv = b.space().alloc(1);
@@ -1281,7 +1322,7 @@ mod tests {
     fn fault_free_reliable_send_needs_no_retransmission() {
         let mut cfg = DesignConfig::default();
         cfg.reliability = crate::Reliability::on();
-        let cluster = Cluster::new(2, cfg);
+        let cluster = Cluster::builder(2).config(cfg).build();
         let a = cluster.vmmc(0);
         let b = cluster.vmmc(1);
         let recv = b.space().alloc(1);

@@ -34,7 +34,7 @@ props! {
             },
             ..DesignConfig::default()
         };
-        let cluster = Cluster::new(2, cfg);
+        let cluster = Cluster::builder(2).config(cfg).build();
         let a = cluster.vmmc(0);
         let b = cluster.vmmc(1);
         let recv = b.space().alloc(1);

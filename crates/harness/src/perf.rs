@@ -23,8 +23,11 @@ use shrimp_bench::Shards;
 use crate::json::{escape, Json};
 use crate::runner::RunResult;
 
-/// Schema tag written into every perf document.
-pub const SCHEMA: &str = "shrimp-perf-v1";
+/// Schema tag written into every perf document. v2 adds the effective
+/// `shards` count to every row and generalizes the single
+/// `parallel_speedup` block into a `speedups` array with one entry per
+/// shard-engine experiment group (`parallel`, `cluster`).
+pub const SCHEMA: &str = "shrimp-perf-v2";
 
 /// Relative band around the baseline's aggregate `events_per_sec`.
 /// Only drops below the band fail; see the module docs for the rationale.
@@ -65,19 +68,26 @@ pub fn to_json(scale: &str, results: &[RunResult]) -> String {
         events,
         events_per_sec(events, wall_ns),
     );
-    if let Some(sp) = pinned_speedup(results) {
-        let _ = writeln!(
-            out,
-            "  \"parallel_speedup\": {{\"base_id\": \"{}\", \"wide_id\": \"{}\", \
-             \"shards\": {}, \"base_events_per_sec\": {}, \"wide_events_per_sec\": {}, \
-             \"ratio\": {:.3}}},",
-            escape(&sp.base_id),
-            escape(&sp.wide_id),
-            sp.shards,
-            sp.base,
-            sp.wide,
-            sp.ratio(),
-        );
+    let speedups = pinned_speedups(results);
+    if !speedups.is_empty() {
+        out.push_str("  \"speedups\": [\n");
+        for (i, sp) in speedups.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"experiment\": \"{}\", \"base_id\": \"{}\", \"wide_id\": \"{}\", \
+                 \"shards\": {}, \"base_events_per_sec\": {}, \"wide_events_per_sec\": {}, \
+                 \"ratio\": {:.3}}}",
+                escape(&sp.experiment),
+                escape(&sp.base_id),
+                escape(&sp.wide_id),
+                sp.shards,
+                sp.base,
+                sp.wide,
+                sp.ratio(),
+            );
+            out.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
     }
     out.push_str("  \"rows\": [\n");
     let rows: Vec<_> = results.iter().filter_map(|r| Some((r, r.perf?))).collect();
@@ -85,12 +95,13 @@ pub fn to_json(scale: &str, results: &[RunResult]) -> String {
         let _ = write!(
             out,
             "    {{\"id\": \"{}\", \"wall_ns\": {}, \"events\": {}, \
-             \"events_per_sec\": {}, \"peak_rss_bytes\": {}}}",
+             \"events_per_sec\": {}, \"peak_rss_bytes\": {}, \"shards\": {}}}",
             escape(&r.spec.id()),
             p.wall_ns,
             p.events,
             events_per_sec(p.events, p.wall_ns),
             p.peak_rss_bytes,
+            p.shards,
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -98,10 +109,13 @@ pub fn to_json(scale: &str, results: &[RunResult]) -> String {
     out
 }
 
-/// The pinned engine-parallel scaling comparison: the 1-shard row against
-/// the widest `Shards::Fixed` row, by per-row events/sec.
+/// A pinned shard-engine scaling comparison within one experiment group:
+/// the 1-shard row against the widest `Shards::Fixed` row, by per-row
+/// events/sec.
 #[derive(Debug, Clone)]
 pub struct Speedup {
+    /// Experiment group the pair belongs to (`parallel`, `cluster`).
+    pub experiment: String,
     /// Id of the single-shard row.
     pub base_id: String,
     /// Id of the widest pinned row.
@@ -124,107 +138,138 @@ impl Speedup {
     }
 }
 
-/// Extracts the [`Speedup`] comparison from completed pinned
-/// engine-parallel rows, or `None` when the sweep carried no such pair.
-/// The two rows execute the byte-identical simulation (the workload is
-/// shard-count invariant), so their events/sec ratio isolates the
-/// conservative executor's parallel efficiency — meaningful only when the
-/// sweep ran with `--workers 1`, which CI's perf job does.
-pub fn pinned_speedup(results: &[RunResult]) -> Option<Speedup> {
-    let pinned = |r: &&RunResult| -> Option<usize> {
-        match (r.spec.experiment, r.spec.shards, r.perf) {
-            ("parallel", Shards::Fixed(k), Some(_)) => Some(k),
-            _ => None,
-        }
-    };
-    let rows: Vec<(&RunResult, usize)> = results
+/// The experiment groups whose matrices carry pinned `Shards::Fixed`
+/// scaling pairs, in the order their speedups are reported.
+const SHARD_ENGINE_EXPERIMENTS: [&str; 2] = ["parallel", "cluster"];
+
+/// Extracts every [`Speedup`] comparison from completed pinned
+/// shard-engine rows — one per experiment group (`parallel`, `cluster`)
+/// that carried both a `Fixed(1)` row and a wider `Fixed(k)` row. In each pair the two rows execute the
+/// byte-identical simulation (the workloads are shard-count invariant),
+/// so their events/sec ratio isolates the conservative executor's
+/// parallel efficiency — meaningful only when the sweep ran with
+/// `--workers 1`, which CI's perf job does.
+pub fn pinned_speedups(results: &[RunResult]) -> Vec<Speedup> {
+    SHARD_ENGINE_EXPERIMENTS
         .iter()
-        .filter_map(|r| pinned(&r).map(|k| (r, k)))
-        .collect();
-    let (base, _) = rows.iter().find(|&&(_, k)| k == 1)?;
-    let (wide, shards) = rows
-        .iter()
-        .filter(|&&(_, k)| k > 1)
-        .max_by_key(|&&(_, k)| k)?;
-    let eps = |r: &RunResult| {
-        let p = r.perf.expect("pinned rows were filtered on perf presence");
-        events_per_sec(p.events, p.wall_ns)
-    };
-    Some(Speedup {
-        base_id: base.spec.id(),
-        wide_id: wide.spec.id(),
-        shards: *shards,
-        base: eps(base),
-        wide: eps(wide),
-    })
+        .filter_map(|&experiment| {
+            let rows: Vec<(&RunResult, usize)> = results
+                .iter()
+                .filter_map(|r| match (r.spec.experiment, r.spec.shards, r.perf) {
+                    (e, Shards::Fixed(k), Some(_)) if e == experiment => Some((r, k)),
+                    _ => None,
+                })
+                .collect();
+            let (base, _) = rows.iter().find(|&&(_, k)| k == 1)?;
+            let (wide, shards) = rows
+                .iter()
+                .filter(|&&(_, k)| k > 1)
+                .max_by_key(|&&(_, k)| k)?;
+            let eps = |r: &RunResult| {
+                let p = r.perf.expect("pinned rows were filtered on perf presence");
+                events_per_sec(p.events, p.wall_ns)
+            };
+            Some(Speedup {
+                experiment: experiment.to_string(),
+                base_id: base.spec.id(),
+                wide_id: wide.spec.id(),
+                shards: *shards,
+                base: eps(base),
+                wide: eps(wide),
+            })
+        })
+        .collect()
 }
 
-/// Outcome of the `--require-speedup` gate.
+/// Outcome of the `--require-speedup` gate across every measured pair.
 #[derive(Debug, Clone)]
 pub struct SpeedupOutcome {
-    /// The measured comparison.
-    pub speedup: Speedup,
-    /// Minimum acceptable ratio.
+    /// The measured comparisons, one per shard-engine experiment group
+    /// present in the sweep.
+    pub speedups: Vec<Speedup>,
+    /// Minimum acceptable ratio, applied to each pair.
     pub required: f64,
     /// Hardware threads available to this process.
     pub host_threads: usize,
 }
 
 impl SpeedupOutcome {
-    /// `true` when the host cannot run the widest row's shards in
-    /// parallel, making a wall-clock speedup physically unmeasurable; the
-    /// gate reports and passes rather than failing on machine shape.
+    /// `true` when the host cannot run this pair's shards in parallel,
+    /// making a wall-clock speedup physically unmeasurable; the gate
+    /// reports and passes that pair rather than failing on machine shape.
+    fn pair_skipped(&self, s: &Speedup) -> bool {
+        self.host_threads < s.shards
+    }
+
+    /// `true` when every measured pair was skipped for host shape.
     pub fn skipped(&self) -> bool {
-        self.host_threads < self.speedup.shards
+        self.speedups.iter().all(|s| self.pair_skipped(s))
     }
 
-    /// `true` when the required ratio was met (or the gate was skipped).
+    /// `true` when every non-skipped pair met the required ratio.
     pub fn passed(&self) -> bool {
-        self.skipped() || self.speedup.ratio() >= self.required
+        self.speedups
+            .iter()
+            .all(|s| self.pair_skipped(s) || s.ratio() >= self.required)
     }
 
-    /// Renders the speedup-gate verdict for humans.
+    /// Renders the per-pair speedup-gate verdicts for humans.
     pub fn render(&self) -> String {
-        let s = &self.speedup;
-        if self.skipped() {
-            return format!(
-                "parallel speedup gate SKIPPED: host has {} hardware thread(s) but \
-                 {} uses {} shards — wall-clock speedup is not measurable here \
-                 (measured {:.2}x, required \u{2265}{:.2}x)",
-                self.host_threads,
+        let mut lines = Vec::with_capacity(self.speedups.len());
+        for s in &self.speedups {
+            if self.pair_skipped(s) {
+                lines.push(format!(
+                    "{} speedup gate SKIPPED: host has {} hardware thread(s) but \
+                     {} uses {} shards — wall-clock speedup is not measurable here \
+                     (measured {:.2}x, required \u{2265}{:.2}x)",
+                    s.experiment,
+                    self.host_threads,
+                    s.wide_id,
+                    s.shards,
+                    s.ratio(),
+                    self.required
+                ));
+                continue;
+            }
+            lines.push(format!(
+                "{} speedup gate {}: {} at {} events/sec vs {} at {} events/sec \
+                 — {:.2}x (required \u{2265}{:.2}x)",
+                s.experiment,
+                if s.ratio() >= self.required {
+                    "PASSED"
+                } else {
+                    "FAILED"
+                },
                 s.wide_id,
-                s.shards,
+                s.wide,
+                s.base_id,
+                s.base,
                 s.ratio(),
                 self.required
-            );
+            ));
         }
-        format!(
-            "parallel speedup gate {}: {} at {} events/sec vs {} at {} events/sec \
-             — {:.2}x (required \u{2265}{:.2}x)",
-            if self.passed() { "PASSED" } else { "FAILED" },
-            s.wide_id,
-            s.wide,
-            s.base_id,
-            s.base,
-            s.ratio(),
-            self.required
-        )
+        lines.join("\n")
     }
 }
 
-/// Gates the pinned engine-parallel speedup: `Err` when the sweep carried
-/// no completed pinned pair (the gate was requested but cannot measure).
+/// Gates every pinned shard-engine speedup pair the sweep carried: `Err`
+/// when it carried none (the gate was requested but cannot measure).
 pub fn check_speedup(
     results: &[RunResult],
     required: f64,
     host_threads: usize,
 ) -> Result<SpeedupOutcome, String> {
-    let speedup = pinned_speedup(results).ok_or(
-        "no completed pinned engine-parallel rows (need parallel/…/sh1 and a wider shN \
-         in the sweep — run with --experiment parallel)",
-    )?;
+    let speedups = pinned_speedups(results);
+    if speedups.is_empty() {
+        return Err(
+            "no completed pinned shard-engine rows (need a Fixed(1) and a wider Fixed(N) \
+             row in the parallel or cluster group — run with --experiment parallel or \
+             --experiment cluster)"
+                .to_string(),
+        );
+    }
     Ok(SpeedupOutcome {
-        speedup,
+        speedups,
         required,
         host_threads,
     })
@@ -341,6 +386,7 @@ mod tests {
                 wall_ns,
                 events,
                 peak_rss_bytes: 1 << 20,
+                shards: 1,
             }),
             obs: None,
         }
@@ -360,9 +406,11 @@ mod tests {
             "events",
             "events_per_sec",
             "peak_rss_bytes",
+            "shards",
         ] {
             assert!(rows[0].get(field).is_some(), "row missing {field}");
         }
+        assert_eq!(rows[0].get("shards").unwrap().as_u64(), Some(1));
         // 2000 events in 1ms = 2M events/sec, in the row and the totals.
         assert_eq!(
             rows[0].get("events_per_sec").unwrap().as_u64(),
@@ -408,9 +456,15 @@ mod tests {
         assert!(fast.stale_floor());
     }
 
-    fn parallel_result(index: usize, shards: Shards, events: u64, wall_ns: u64) -> RunResult {
-        let spec =
-            RunSpec::new("parallel", App::ParallelNodes, 16, Scale::Smoke).with_shards(shards);
+    fn pinned_result(
+        experiment: &'static str,
+        app: App,
+        index: usize,
+        shards: Shards,
+        events: u64,
+        wall_ns: u64,
+    ) -> RunResult {
+        let spec = RunSpec::new(experiment, app, 16, Scale::Smoke).with_shards(shards);
         // A synthetic record is fine here: the speedup path reads only the
         // spec and the perf sample.
         let record = shrimp_bench::RunRecord {
@@ -432,9 +486,28 @@ mod tests {
                 wall_ns,
                 events,
                 peak_rss_bytes: 0,
+                shards: match shards {
+                    Shards::Fixed(k) => k,
+                    Shards::Auto => 1,
+                },
             }),
             obs: None,
         }
+    }
+
+    fn parallel_result(index: usize, shards: Shards, events: u64, wall_ns: u64) -> RunResult {
+        pinned_result(
+            "parallel",
+            App::ParallelNodes,
+            index,
+            shards,
+            events,
+            wall_ns,
+        )
+    }
+
+    fn cluster_result(index: usize, shards: Shards, events: u64, wall_ns: u64) -> RunResult {
+        pinned_result("cluster", App::ClusterNodes, index, shards, events, wall_ns)
     }
 
     #[test]
@@ -447,7 +520,10 @@ mod tests {
             parallel_result(3, Shards::Auto, 1_000, 1),
             result_with(9_999, 1),
         ];
-        let sp = pinned_speedup(&results).expect("pinned pair present");
+        let speedups = pinned_speedups(&results);
+        assert_eq!(speedups.len(), 1, "only the parallel group has a pair");
+        let sp = &speedups[0];
+        assert_eq!(sp.experiment, "parallel");
         assert_eq!(sp.shards, 4);
         assert!(sp.base_id.ends_with("/sh1") && sp.wide_id.ends_with("/sh4"));
         assert!((sp.ratio() - 2.0).abs() < 0.01, "ratio {}", sp.ratio());
@@ -467,17 +543,53 @@ mod tests {
         // The perf document records the comparison.
         let text = to_json("smoke", &results);
         let doc = json::parse(&text).expect("valid JSON");
-        let block = doc.get("parallel_speedup").expect("speedup block");
-        assert_eq!(block.get("shards").unwrap().as_u64(), Some(4));
+        let block = doc.get("speedups").expect("speedups array");
+        let arr = block.as_arr().expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("experiment").unwrap().as_str(), Some("parallel"));
+        assert_eq!(arr[0].get("shards").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn speedup_gates_every_shard_engine_group() {
+        // parallel scales 2.0x, cluster only 1.2x: the weakest pair fails
+        // the gate, so a cluster regression cannot hide behind parallel.
+        let results = vec![
+            parallel_result(0, Shards::Fixed(1), 1_000, 1_000_000),
+            parallel_result(1, Shards::Fixed(4), 1_000, 500_000),
+            cluster_result(2, Shards::Fixed(1), 1_200, 1_000_000),
+            cluster_result(3, Shards::Fixed(4), 1_200, 833_000),
+        ];
+        let speedups = pinned_speedups(&results);
+        assert_eq!(speedups.len(), 2);
+        assert_eq!(speedups[0].experiment, "parallel");
+        assert_eq!(speedups[1].experiment, "cluster");
+
+        let ok = check_speedup(&results, 1.1, 4).unwrap();
+        assert!(ok.passed());
+        let fail = check_speedup(&results, 1.5, 4).unwrap();
+        assert!(!fail.passed(), "the 1.2x cluster pair must fail a 1.5x bar");
+        let render = fail.render();
+        assert!(render.contains("parallel speedup gate PASSED"), "{render}");
+        assert!(render.contains("cluster speedup gate FAILED"), "{render}");
+        // A 2-thread host skips both 4-shard pairs and passes.
+        let skip = check_speedup(&results, 1.5, 2).unwrap();
+        assert!(skip.skipped() && skip.passed());
+
+        let text = to_json("smoke", &results);
+        let doc = json::parse(&text).expect("valid JSON");
+        let arr = doc.get("speedups").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].get("experiment").unwrap().as_str(), Some("cluster"));
     }
 
     #[test]
     fn speedup_needs_both_pinned_rows() {
         let only_base = vec![parallel_result(0, Shards::Fixed(1), 1_000, 1_000)];
-        assert!(pinned_speedup(&only_base).is_none());
+        assert!(pinned_speedups(&only_base).is_empty());
         assert!(check_speedup(&only_base, 1.5, 4).is_err());
         let text = to_json("smoke", &only_base);
-        assert!(!text.contains("parallel_speedup"));
+        assert!(!text.contains("speedups"));
     }
 
     #[test]

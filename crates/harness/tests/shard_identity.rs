@@ -1,13 +1,16 @@
 //! Shard-count byte-identity: the sweep artifact is the same file no
-//! matter how many shards the engine-parallel rows execute on, and the
-//! `--shards` flag leaves every cluster run — chaos rows included —
-//! untouched down to the committed baseline bytes.
+//! matter how many shards the shard-engine rows execute on, and the
+//! `--shards` flag leaves every classic cluster run — chaos rows
+//! included — untouched down to the committed baseline bytes.
 //!
 //! This is the artifact-level face of the conservative executor's
 //! determinism guarantee: `Shards::Auto` rows follow the sweep-wide
 //! setting, yet their `RunRecord` metrics are invariant, so
 //! `results/sweep.json` and the committed smoke baselines cannot drift
-//! with the host's parallelism.
+//! with the host's parallelism. Two row families exercise the engine:
+//! the synthetic `parallel` group and the `cluster` group, whose nodes
+//! run the full SHRIMP stack (VMMC, NIC, notifications) sharded across
+//! `Sim`s with the mesh as the only cross-shard channel.
 
 use std::path::PathBuf;
 
@@ -35,8 +38,17 @@ fn sweep_bytes(specs: &[shrimp_bench::RunSpec], shards: usize) -> String {
     sweep::to_json("smoke", &results)
 }
 
+fn committed(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/baselines")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed baseline {}: {e}", path.display()))
+}
+
 /// The full smoke sweep, three times: `--shards 1`, `--shards 2` and
-/// `--shards 4` must produce byte-identical artifacts.
+/// `--shards 4` must produce byte-identical artifacts, and that one
+/// artifact must match the committed smoke baseline byte for byte.
 #[test]
 fn smoke_sweep_is_byte_identical_across_shard_counts() {
     let specs = matrix(Scale::Smoke, 4);
@@ -44,17 +56,57 @@ fn smoke_sweep_is_byte_identical_across_shard_counts() {
         specs.iter().any(|s| s.experiment == "parallel"),
         "smoke matrix lost its engine-parallel rows"
     );
+    assert!(
+        specs.iter().any(|s| s.experiment == "cluster"),
+        "smoke matrix lost its distributed-cluster rows"
+    );
     let one = sweep_bytes(&specs, 1);
     let two = sweep_bytes(&specs, 2);
     let four = sweep_bytes(&specs, 4);
     assert_eq!(one, two, "--shards 2 changed the sweep artifact");
     assert_eq!(one, four, "--shards 4 changed the sweep artifact");
+    assert_eq!(
+        one,
+        committed("smoke.json"),
+        "the sweep artifact drifted from the committed smoke baseline"
+    );
+}
+
+/// The sharded-cluster differential oracle at the artifact level: the
+/// cluster rows alone — full SHRIMP nodes partitioned across shards,
+/// including the pinned 64-node pair — produce the same bytes whether
+/// the `Shards::Auto` row runs on one `Sim` (the single-`Sim` oracle
+/// path: one shard, no windows) or windowed across 2 or 4 shards.
+#[test]
+fn cluster_rows_are_byte_identical_across_shard_counts() {
+    let mut specs = matrix(Scale::Smoke, 4);
+    specs.retain(|s| s.experiment == "cluster");
+    assert!(
+        specs.iter().any(|s| s.nodes == 16),
+        "cluster group lost its 16-node oracle row"
+    );
+    assert!(
+        specs.iter().any(|s| s.nodes == 64),
+        "cluster group lost its 64-node rows"
+    );
+    let oracle = sweep_bytes(&specs, 1);
+    assert_eq!(
+        oracle,
+        sweep_bytes(&specs, 2),
+        "--shards 2 changed the cluster rows"
+    );
+    assert_eq!(
+        oracle,
+        sweep_bytes(&specs, 4),
+        "--shards 4 changed the cluster rows"
+    );
 }
 
 /// Chaos under parallel: the nine chaos smoke rows executed with
 /// `--shards 4` reproduce the committed chaos baseline byte for byte.
-/// Cluster runs are one coupling class and always execute single-shard
-/// (see `shrimp_sim::shard`), so the flag must be a no-op for them even
+/// Fault scenarios couple all nodes through one RNG stream, so chaos
+/// rows always execute on the single-`Sim` contended path (see
+/// `ClusterBuilder::launch`) and the flag must be a no-op for them even
 /// with the fault plane active.
 #[test]
 fn chaos_rows_under_shards_4_match_the_committed_baseline() {
@@ -62,11 +114,9 @@ fn chaos_rows_under_shards_4_match_the_committed_baseline() {
     specs.retain(|s| s.experiment == "chaos");
     assert_eq!(specs.len(), 9, "smoke chaos group changed size");
     let fresh = sweep_bytes(&specs, 4);
-    let committed =
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/baselines/chaos-smoke.json");
-    let baseline = std::fs::read_to_string(committed).expect("committed chaos-smoke baseline");
     assert_eq!(
-        fresh, baseline,
+        fresh,
+        committed("chaos-smoke.json"),
         "--shards 4 (or a regression) changed the chaos sweep artifact"
     );
 }

@@ -22,5 +22,5 @@
 pub mod mesh;
 pub mod stats;
 
-pub use mesh::{Faultable, MeshConfig, Network, NodeId};
+pub use mesh::{Faultable, Flit, MeshConfig, Network, NodeId};
 pub use stats::NetStats;

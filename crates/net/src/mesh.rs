@@ -1,10 +1,12 @@
 //! The 2-D mesh, dimension-order routing, and packet timing.
 
-use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use shrimp_faults::{FaultPlane, PacketFate};
+use shrimp_sim::shard::ShardSender;
 use shrimp_sim::sync::Resource;
 use shrimp_sim::{time, Queue, Sim, Time};
 
@@ -114,6 +116,70 @@ impl MeshConfig {
     }
 }
 
+/// A packet in flight between two shards of a sharded backplane: the
+/// cross-shard message type of the cluster's conservative-parallel runs.
+#[derive(Debug)]
+pub struct Flit<P> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node (owned by the destination shard).
+    pub dst: NodeId,
+    /// The packet payload.
+    pub pkt: P,
+}
+
+/// One queued decoupled delivery; ordered by `(arrival, src)`, which the
+/// per-pair no-overtake clamp makes unique per destination.
+struct HeapEntry<P> {
+    arrival: Time,
+    src: usize,
+    pkt: P,
+}
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.arrival, self.src) == (other.arrival, other.src)
+    }
+}
+impl<P> Eq for HeapEntry<P> {}
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arrival, self.src).cmp(&(other.arrival, other.src))
+    }
+}
+
+/// State of the **decoupled** transport used by sharded runs.
+///
+/// The contended model books shared `Resource`s (links, inject/eject
+/// channels) — zero-lookahead state that cannot be split across shards. The
+/// decoupled model drops contention entirely: every packet pays its
+/// uncongested [`MeshConfig::point_latency`], with a per-`(src, dst)` pair
+/// no-overtake clamp standing in for FIFO channel order. Deliveries into a
+/// node's ingress queue are reordered through a per-destination min-heap
+/// keyed `(arrival, src)` and drained once per simulated instant, so the
+/// delivery order is the total order over `(arrival, src)` — a pure
+/// function of the simulated program, never of the shard layout. That is
+/// what keeps a sharded cluster byte-identical at any `--shards`.
+struct Decoupled<P> {
+    /// This backplane's shard.
+    shard: usize,
+    /// Owning shard of every node (the node → shard map).
+    shard_map: Vec<usize>,
+    /// Cross-shard channel to the peer backplanes.
+    sender: ShardSender<Flit<P>>,
+    /// Last granted arrival per (src, dst) pair, for the no-overtake clamp.
+    last_arrival: RefCell<HashMap<(usize, usize), Time>>,
+    /// Per-destination reorder heaps (only owned destinations are used).
+    heaps: RefCell<Vec<BinaryHeap<Reverse<HeapEntry<P>>>>>,
+    /// Instant for which a drain of the node's heap is already scheduled.
+    drain_at: Vec<Cell<Time>>,
+}
+
 struct Channels {
     // Directed router-to-router links.
     links: HashMap<(usize, usize), Resource>,
@@ -136,6 +202,9 @@ struct NetworkInner<P> {
     // Reused by every fault-free `send` so routing allocates nothing per
     // packet in steady state.
     route_scratch: RefCell<Vec<usize>>,
+    // `Some` on a sharded backplane: the decoupled fixed-latency transport
+    // replaces the contended one wholesale.
+    decoupled: Option<Decoupled<P>>,
 }
 
 /// The routing backplane, generic over the packet payload type `P` (the NIC
@@ -188,6 +257,59 @@ impl<P: 'static> Network<P> {
                 stats: NetStats::new(),
                 faults: RefCell::new(None),
                 route_scratch: RefCell::new(Vec::new()),
+                decoupled: None,
+            }),
+        }
+    }
+
+    /// Creates one shard's view of a sharded backplane running the
+    /// **decoupled** transport (see `Decoupled`): all `n_nodes` node ids
+    /// are addressable, but only nodes whose `shard_map` entry equals the
+    /// sender's shard have their ingress consumed here; packets to any
+    /// other node cross shards through `sender` at their arrival time.
+    ///
+    /// The shard's delivery handler must forward inbound flits to
+    /// [`Network::deliver_remote`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh cannot hold `n_nodes` or the map length differs.
+    pub fn sharded(
+        sim: Sim,
+        cfg: MeshConfig,
+        n_nodes: usize,
+        shard_map: Vec<usize>,
+        sender: ShardSender<Flit<P>>,
+    ) -> Self {
+        assert!(
+            n_nodes <= cfg.capacity(),
+            "{n_nodes} nodes exceed mesh capacity {}",
+            cfg.capacity()
+        );
+        assert_eq!(shard_map.len(), n_nodes, "one owning shard per node");
+        let decoupled = Decoupled {
+            shard: sender.shard(),
+            shard_map,
+            sender,
+            last_arrival: RefCell::new(HashMap::new()),
+            heaps: RefCell::new((0..n_nodes).map(|_| BinaryHeap::new()).collect()),
+            drain_at: (0..n_nodes).map(|_| Cell::new(0)).collect(),
+        };
+        Network {
+            inner: Rc::new(NetworkInner {
+                sim,
+                cfg,
+                channels: RefCell::new(Channels {
+                    links: HashMap::new(),
+                    inject: Vec::new(),
+                    eject: Vec::new(),
+                    loopback: Vec::new(),
+                }),
+                ingress: (0..n_nodes).map(|_| Queue::new()).collect(),
+                stats: NetStats::new(),
+                faults: RefCell::new(None),
+                route_scratch: RefCell::new(Vec::new()),
+                decoupled: Some(decoupled),
             }),
         }
     }
@@ -195,7 +317,17 @@ impl<P: 'static> Network<P> {
     /// Installs a fault plane: subsequent [`Network::send`] calls consult it
     /// for per-packet fates and failed links. Without one (the default) the
     /// send path is exactly the fault-free fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded backplane: the fault plane's single RNG stream
+    /// is zero-lookahead shared state, so chaos scenarios run one-shard
+    /// (the builder enforces this).
     pub fn install_fault_plane(&self, plane: FaultPlane) {
+        assert!(
+            self.inner.decoupled.is_none(),
+            "fault planes require the contended single-shard transport"
+        );
         *self.inner.faults.borrow_mut() = Some(plane);
     }
 
@@ -262,6 +394,9 @@ impl<P: 'static> Network<P> {
     where
         P: Clone + Faultable,
     {
+        if self.inner.decoupled.is_some() {
+            return self.send_decoupled(src, dst, payload_bytes, packet);
+        }
         let sim = &self.inner.sim;
         let cfg = &self.inner.cfg;
         let wire_bytes = (payload_bytes + cfg.header_bytes) as u64;
@@ -374,6 +509,134 @@ impl<P: 'static> Network<P> {
             }
         }
         arrival
+    }
+
+    /// The decoupled send path (see `Decoupled`): uncongested point
+    /// latency plus the per-pair no-overtake clamp, then either a local
+    /// insert into the destination's reorder heap at arrival time or a
+    /// cross-shard flit through the [`ShardSender`].
+    fn send_decoupled(&self, src: NodeId, dst: NodeId, payload_bytes: usize, packet: P) -> Time {
+        let sim = &self.inner.sim;
+        let cfg = &self.inner.cfg;
+        let d = self.inner.decoupled.as_ref().expect("decoupled transport");
+        let wire_bytes = (payload_bytes + cfg.header_bytes) as u64;
+        let serialization = time::transfer(wire_bytes, cfg.link_bytes_per_sec);
+        let (sx, sy) = cfg.coords(src);
+        let (dx, dy) = cfg.coords(dst);
+        let hops = sx.abs_diff(dx) + sy.abs_diff(dy);
+        let ideal = if src == dst {
+            // Loopback: transceiver out and back, never touching the mesh.
+            sim.now() + 2 * cfg.transceiver_latency + serialization
+        } else {
+            sim.now() + cfg.point_latency(hops, payload_bytes)
+        };
+        // No-overtake: a later packet on the same (src, dst) pair arrives at
+        // least one serialization time behind its predecessor, mirroring the
+        // contended model's FIFO channels — and making `(arrival, src)`
+        // unique per destination, which the reorder heap's total order
+        // requires.
+        let arrival = {
+            let mut last = d.last_arrival.borrow_mut();
+            let slot = last.entry((src.0, dst.0)).or_insert(0);
+            let granted = ideal.max(*slot + serialization);
+            *slot = granted;
+            granted
+        };
+        if src != dst {
+            self.inner.stats.record_packet(wire_bytes, hops as u64, 0);
+            let metrics = sim.metrics();
+            metrics.counter_add(shrimp_sim::Category::Net, "packets", 1);
+            metrics.counter_add(shrimp_sim::Category::Net, "wire_bytes", wire_bytes);
+            metrics.counter_add(
+                shrimp_sim::Category::Net,
+                "link_busy_ps",
+                serialization * (hops as u64 + 2),
+            );
+            shrimp_sim::trace_event!(
+                sim.trace(),
+                sim.now(),
+                shrimp_sim::Category::Net,
+                [
+                    ("node", src.0),
+                    ("dst", dst.0),
+                    ("bytes", wire_bytes),
+                    ("hops", hops),
+                ],
+                "{src} -> {dst}: {wire_bytes} B over {hops} hops (decoupled)"
+            );
+        }
+        if d.shard_map[dst.0] == d.shard {
+            // Deliveries are *events at the arrival instant*: the insert
+            // runs at `arrival`, so its executor seq — like the seqs of the
+            // cross-shard dispatches merged at the window boundary — is
+            // assigned before the instant executes, and the drain scheduled
+            // *during* the instant runs after every same-instant insert.
+            let net = self.clone();
+            sim.schedule(arrival, move || {
+                net.insert_decoupled(arrival, src, dst, packet);
+            });
+        } else {
+            d.sender.send(
+                d.shard_map[dst.0],
+                arrival,
+                Flit {
+                    src,
+                    dst,
+                    pkt: packet,
+                },
+            );
+        }
+        arrival
+    }
+
+    /// Hands a cross-shard flit to this (sharded) backplane; wire the
+    /// shard's `on_message` handler to this. Must be called at the flit's
+    /// arrival instant — which the shard engine's dispatch guarantees.
+    pub fn deliver_remote(&self, arrival: Time, flit: Flit<P>) {
+        debug_assert_eq!(
+            self.inner.sim.now(),
+            arrival,
+            "remote flit delivered off its arrival instant"
+        );
+        self.insert_decoupled(arrival, flit.src, flit.dst, flit.pkt);
+    }
+
+    /// Queues one decoupled delivery and schedules the destination's drain
+    /// for this instant (once per node per instant).
+    fn insert_decoupled(&self, arrival: Time, src: NodeId, dst: NodeId, packet: P) {
+        let d = self.inner.decoupled.as_ref().expect("decoupled transport");
+        debug_assert_eq!(d.shard_map[dst.0], d.shard, "insert for an unowned node");
+        d.heaps.borrow_mut()[dst.0].push(Reverse(HeapEntry {
+            arrival,
+            src: src.0,
+            pkt: packet,
+        }));
+        if d.drain_at[dst.0].get() != arrival {
+            d.drain_at[dst.0].set(arrival);
+            let net = self.clone();
+            self.inner
+                .sim
+                .schedule(arrival, move || net.drain_decoupled(dst));
+        }
+    }
+
+    /// Delivers every queued packet whose arrival is now due into the
+    /// node's ingress queue, in `(arrival, src)` order.
+    fn drain_decoupled(&self, dst: NodeId) {
+        let d = self.inner.decoupled.as_ref().expect("decoupled transport");
+        let now = self.inner.sim.now();
+        let mut due = Vec::new();
+        {
+            let mut heaps = d.heaps.borrow_mut();
+            let heap = &mut heaps[dst.0];
+            while heap.peek().is_some_and(|e| e.0.arrival <= now) {
+                due.push(heap.pop().expect("peeked entry").0.pkt);
+            }
+        }
+        let ingress = self.inner.ingress[dst.0].clone();
+        for pkt in due {
+            ingress.send(pkt);
+        }
     }
 
     /// A route from `src` to `dst` that avoids links failed *now*: the

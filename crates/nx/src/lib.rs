@@ -399,7 +399,7 @@ mod tests {
         Fut: std::future::Future<Output = T> + 'static,
         T: 'static,
     {
-        let cluster = Cluster::new(n, DesignConfig::default());
+        let cluster = Cluster::builder(n).config(DesignConfig::default()).build();
         let endpoints = create(&cluster, cfg);
         let handles: Vec<TaskHandle<T>> = endpoints
             .into_iter()

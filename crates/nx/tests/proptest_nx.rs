@@ -20,7 +20,7 @@ props! {
         script in vec_of(zip(u32_in(0..5), usize_in(0..2000)), 1..15),
         automatic in any_bool(),
     ) {
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let cfg = NxConfig {
             ring_bytes: 16 * 1024,
             bulk: if automatic { Bulk::Automatic } else { Bulk::Deliberate },
@@ -55,7 +55,7 @@ props! {
     /// gdsum over arbitrary values equals the plain sum on every rank.
     fn gdsum_is_a_correct_allreduce(values in vec_of(f64_in(-1e6..1e6), 2..6)) {
         let n = values.len();
-        let cluster = Cluster::new(n, DesignConfig::default());
+        let cluster = Cluster::builder(n).config(DesignConfig::default()).build();
         let endpoints = shrimp_nx::create(&cluster, NxConfig::default());
         let expected: f64 = values.iter().sum();
         let mut handles = Vec::new();

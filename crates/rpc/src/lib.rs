@@ -25,7 +25,7 @@
 //! use shrimp_core::{Cluster, DesignConfig};
 //! use shrimp_rpc::RpcSystem;
 //!
-//! let cluster = Cluster::new(2, DesignConfig::default());
+//! let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
 //! let rpc = RpcSystem::new(&cluster);
 //! // Node 1 serves procedure 7: add one to each byte.
 //! let server = rpc.serve(1);
@@ -300,7 +300,7 @@ mod tests {
     use shrimp_sim::Time;
 
     fn setup() -> (Cluster, RpcSystem) {
-        let cluster = Cluster::new(3, DesignConfig::default());
+        let cluster = Cluster::builder(3).config(DesignConfig::default()).build();
         let rpc = RpcSystem::new(&cluster);
         (cluster, rpc)
     }

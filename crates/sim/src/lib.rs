@@ -53,7 +53,10 @@ pub use executor::{Sim, TaskHandle};
 pub use metrics::{MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use queue::{unbounded, Queue, QueueReceiver, QueueSender};
 pub use rng::SimRng;
-pub use shard::{run_sharded, Builder, ShardConfig, ShardCtx, ShardOutcome, ShardSender};
+pub use shard::{
+    run_sharded, run_sharded_phased, Builder, PhasedBuilder, ShardConfig, ShardCtx, ShardOutcome,
+    ShardPlan, ShardSender, Shards,
+};
 pub use sync::{Event, Gate, Resource, Semaphore};
 pub use time::Time;
 pub use trace::{Category, TraceEvent, TraceSink};

@@ -352,6 +352,32 @@ impl<M: 'static> ShardSender<M> {
 // Run configuration and outcome
 // ---------------------------------------------------------------------------
 
+/// Shard-count selection, shared by the engine, the bench matrix, and the
+/// harness CLI so there is exactly one spelling of "how many shards".
+///
+/// `Auto` follows the surrounding context (the harness `--shards` flag, or
+/// one shard when standalone); `Fixed` pins a count regardless of context —
+/// the bench matrix uses it for the pinned speedup-comparison rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Shards {
+    /// Follow the context's shard count.
+    #[default]
+    Auto,
+    /// Exactly this many shards, independent of context.
+    Fixed(usize),
+}
+
+impl Shards {
+    /// Resolves to a concrete shard count: `Fixed` wins, `Auto` takes the
+    /// context's count; both are clamped to at least one shard.
+    pub fn resolve(self, auto: usize) -> usize {
+        match self {
+            Shards::Auto => auto.max(1),
+            Shards::Fixed(k) => k.max(1),
+        }
+    }
+}
+
 /// How the shards execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
@@ -437,6 +463,28 @@ pub struct ShardOutcome<R> {
 /// returns the harvest closure invoked after the run completes.
 pub type Builder<M, R> = Box<dyn FnOnce(&ShardCtx<M>) -> Box<dyn FnOnce() -> R> + Send>;
 
+/// The end-of-run closures a [`PhasedBuilder`] returns.
+///
+/// Models that need an explicit teardown between "the program is done" and
+/// "the simulation is quiescent" — the SHRIMP cluster closes NIC ingress
+/// and notification queues so receiver loops exit — cannot express it with
+/// [`Builder`] alone: on one `Sim` the classic shape is `run → shutdown →
+/// run`, and under windows the shutdown must happen at a *global* barrier,
+/// otherwise one shard would close its queues while another could still
+/// send to it.
+pub struct ShardPlan<R> {
+    /// Runs on the shard's thread at the global drain boundary: the first
+    /// barrier at which every shard is exhausted (no timers, nothing in
+    /// flight). Close queues and stop engines here.
+    pub shutdown: Box<dyn FnOnce()>,
+    /// Runs after final quiescence (everything `shutdown` woke has drained);
+    /// its return value is the shard's result.
+    pub harvest: Box<dyn FnOnce() -> R>,
+}
+
+/// A shard builder with an explicit shutdown phase; see [`ShardPlan`].
+pub type PhasedBuilder<M, R> = Box<dyn FnOnce(&ShardCtx<M>) -> ShardPlan<R> + Send>;
+
 // ---------------------------------------------------------------------------
 // The coordinator
 // ---------------------------------------------------------------------------
@@ -450,6 +498,7 @@ struct Reply {
 
 enum Cmd {
     Window { horizon: Time },
+    Drain,
     Finish,
 }
 
@@ -477,20 +526,55 @@ where
     M: Send + 'static,
     R: Send + 'static,
 {
+    run_sharded_phased(
+        cfg,
+        builders
+            .into_iter()
+            .map(|b| {
+                let phased: PhasedBuilder<M, R> = Box::new(move |ctx| ShardPlan {
+                    shutdown: Box::new(|| {}),
+                    harvest: b(ctx),
+                });
+                phased
+            })
+            .collect(),
+    )
+}
+
+/// [`run_sharded`] with an explicit shutdown phase: runs windows until the
+/// whole simulation is exhausted, executes every shard's
+/// [`ShardPlan::shutdown`] at that global barrier, resumes windows until
+/// whatever shutdown woke has drained, then harvests. With a no-op
+/// shutdown this is exactly [`run_sharded`]; at one shard it degenerates
+/// to the classic `build → run → shutdown → run → harvest` shape.
+///
+/// # Panics
+///
+/// Same contract as [`run_sharded`].
+pub fn run_sharded_phased<M, R>(
+    cfg: &ShardConfig,
+    builders: Vec<PhasedBuilder<M, R>>,
+) -> ShardOutcome<R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+{
     assert!(cfg.shards >= 1, "a sharded run needs at least one shard");
     assert!(cfg.lookahead >= 1, "lookahead must be positive");
     assert_eq!(builders.len(), cfg.shards, "one builder per shard");
 
     // Degenerate case: one shard is exactly today's executor — build, run,
-    // harvest, no windows. (Kept off under observation so window-protocol
-    // properties can be probed at any width.)
+    // shut down, drain, harvest; no windows. (Kept off under observation so
+    // window-protocol properties can be probed at any width.)
     if cfg.shards == 1 && !cfg.observe_windows {
         let fabric = Arc::new(Fabric::new(1));
         let ctx = ShardCtx {
             core: ShardCore::new(0, 1, cfg.lookahead, fabric),
         };
-        let harvest = builders.into_iter().next().unwrap()(&ctx);
+        let ShardPlan { shutdown, harvest } = builders.into_iter().next().unwrap()(&ctx);
         let elapsed = ctx.core.sim.run();
+        shutdown();
+        ctx.core.sim.run();
         return ShardOutcome {
             results: vec![harvest()],
             elapsed,
@@ -526,7 +610,7 @@ fn shard_window<M: 'static>(core: &Rc<ShardCore<M>>, horizon: Time, observe: boo
     }
 }
 
-fn run_threaded<M, R>(cfg: &ShardConfig, builders: Vec<Builder<M, R>>) -> ShardOutcome<R>
+fn run_threaded<M, R>(cfg: &ShardConfig, builders: Vec<PhasedBuilder<M, R>>) -> ShardOutcome<R>
 where
     M: Send + 'static,
     R: Send + 'static,
@@ -572,7 +656,8 @@ where
                     let ctx = ShardCtx {
                         core: Rc::clone(&core),
                     };
-                    let harvest = builder(&ctx);
+                    let ShardPlan { shutdown, harvest } = builder(&ctx);
+                    let mut shutdown = Some(shutdown);
                     // Initial report: spawned processes are runnable at t = 0.
                     let _ = reply_tx.send((
                         shard,
@@ -587,6 +672,19 @@ where
                             Cmd::Window { horizon } => {
                                 let reply = shard_window(&core, horizon, observe);
                                 let _ = reply_tx.send((shard, Some(reply)));
+                            }
+                            Cmd::Drain => {
+                                if let Some(f) = shutdown.take() {
+                                    f();
+                                }
+                                let _ = reply_tx.send((
+                                    shard,
+                                    Some(Reply {
+                                        pending: core.pending(),
+                                        sent_min: core.sent_min.take(),
+                                        window: None,
+                                    }),
+                                ));
                             }
                             Cmd::Finish => {
                                 let _ = final_tx.send((
@@ -638,19 +736,34 @@ where
         }
         let mut windows = 0u64;
         let mut log = observe.then(Vec::new);
-        while let Some(horizon) = next_horizon(&pending, &sent, lookahead) {
-            for tx in &cmd_txs {
-                let _ = tx.send(Cmd::Window { horizon });
+        let mut drained = false;
+        loop {
+            while let Some(horizon) = next_horizon(&pending, &sent, lookahead) {
+                for tx in &cmd_txs {
+                    let _ = tx.send(Cmd::Window { horizon });
+                }
+                let Some(per_shard) = collect(&mut pending, &mut sent) else {
+                    return;
+                };
+                windows += 1;
+                if let Some(log) = log.as_mut() {
+                    log.push(WindowRecord {
+                        horizon,
+                        shards: per_shard.into_iter().map(|(_, w)| w).collect(),
+                    });
+                }
             }
-            let Some(per_shard) = collect(&mut pending, &mut sent) else {
+            if drained {
+                break;
+            }
+            // Global drain boundary: everything is exhausted, so no shard
+            // can still send to a queue another shard is about to close.
+            drained = true;
+            for tx in &cmd_txs {
+                let _ = tx.send(Cmd::Drain);
+            }
+            if collect(&mut pending, &mut sent).is_none() {
                 return;
-            };
-            windows += 1;
-            if let Some(log) = log.as_mut() {
-                log.push(WindowRecord {
-                    horizon,
-                    shards: per_shard.into_iter().map(|(_, w)| w).collect(),
-                });
             }
         }
         for tx in &cmd_txs {
@@ -683,7 +796,7 @@ where
 /// The serial oracle: identical protocol, every shard on this thread,
 /// windows replayed in shard order.
 #[cfg(any(test, feature = "serial-shards"))]
-fn run_serial<M, R>(cfg: &ShardConfig, builders: Vec<Builder<M, R>>) -> ShardOutcome<R>
+fn run_serial<M, R>(cfg: &ShardConfig, builders: Vec<PhasedBuilder<M, R>>) -> ShardOutcome<R>
 where
     M: Send + 'static,
     R: Send + 'static,
@@ -691,35 +804,50 @@ where
     let n = cfg.shards;
     let fabric = Arc::new(Fabric::new(n));
     let mut cores = Vec::with_capacity(n);
+    let mut shutdowns = Vec::with_capacity(n);
     let mut harvests = Vec::with_capacity(n);
     for (shard, builder) in builders.into_iter().enumerate() {
         let core = ShardCore::new(shard, n, cfg.lookahead, Arc::clone(&fabric));
         let ctx = ShardCtx {
             core: Rc::clone(&core),
         };
-        harvests.push(builder(&ctx));
+        let ShardPlan { shutdown, harvest } = builder(&ctx);
+        shutdowns.push(shutdown);
+        harvests.push(harvest);
         cores.push(core);
     }
     let mut pending: Vec<Option<Time>> = cores.iter().map(|c| c.pending()).collect();
     let mut sent: Vec<Option<Time>> = vec![None; n];
     let mut windows = 0u64;
     let mut log = cfg.observe_windows.then(Vec::new);
-    while let Some(horizon) = next_horizon(&pending, &sent, cfg.lookahead) {
-        let mut per_shard = Vec::new();
-        for (shard, core) in cores.iter().enumerate() {
-            let reply = shard_window(core, horizon, cfg.observe_windows);
-            pending[shard] = reply.pending;
-            sent[shard] = reply.sent_min;
-            if let Some(w) = reply.window {
-                per_shard.push(w);
+    let mut drained = false;
+    loop {
+        while let Some(horizon) = next_horizon(&pending, &sent, cfg.lookahead) {
+            let mut per_shard = Vec::new();
+            for (shard, core) in cores.iter().enumerate() {
+                let reply = shard_window(core, horizon, cfg.observe_windows);
+                pending[shard] = reply.pending;
+                sent[shard] = reply.sent_min;
+                if let Some(w) = reply.window {
+                    per_shard.push(w);
+                }
+            }
+            windows += 1;
+            if let Some(log) = log.as_mut() {
+                log.push(WindowRecord {
+                    horizon,
+                    shards: per_shard,
+                });
             }
         }
-        windows += 1;
-        if let Some(log) = log.as_mut() {
-            log.push(WindowRecord {
-                horizon,
-                shards: per_shard,
-            });
+        if drained {
+            break;
+        }
+        drained = true;
+        for (shard, shutdown) in shutdowns.drain(..).enumerate() {
+            shutdown();
+            pending[shard] = cores[shard].pending();
+            sent[shard] = cores[shard].sent_min.take();
         }
     }
     let elapsed = cores.iter().map(|c| c.sim.now()).max().unwrap_or(0);
@@ -846,6 +974,89 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Like `ring_builders`, but the receiver loops never break on their
+    /// own: only the shutdown closure closing the mailbox lets them exit,
+    /// so completion depends on the drain barrier firing exactly once,
+    /// globally, after exhaustion.
+    fn phased_ring_builders(n: usize, lookahead: Time, steps: u32) -> Vec<PhasedBuilder<u32, u64>> {
+        (0..n)
+            .map(|shard| {
+                let b: PhasedBuilder<u32, u64> = Box::new(move |ctx: &ShardCtx<u32>| {
+                    let mailbox: Queue<u32> = Queue::new();
+                    let inbox = mailbox.clone();
+                    ctx.on_message(move |_at, hop| inbox.send(hop));
+                    let tx = ctx.sender();
+                    let sim = ctx.sim().clone();
+                    let seen = Rc::new(Cell::new(0u64));
+                    let seen2 = Rc::clone(&seen);
+                    if shard == 0 {
+                        tx.send(1 % n, lookahead, 0);
+                    }
+                    let to_close = mailbox.clone();
+                    ctx.sim().spawn(async move {
+                        while let Some(hop) = mailbox.recv().await {
+                            seen2.set(seen2.get() + 1);
+                            if hop + 1 < steps {
+                                let next = (tx.shard() + 1) % n;
+                                tx.send(next, sim.now() + lookahead, hop + 1);
+                            }
+                        }
+                    });
+                    ShardPlan {
+                        shutdown: Box::new(move || to_close.close()),
+                        harvest: Box::new(move || seen.get()),
+                    }
+                });
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn phased_shutdown_drains_open_receivers_at_every_width() {
+        let steps = 32;
+        let mut elapsed = Vec::new();
+        for n in [1usize, 2, 4] {
+            let out = run_sharded_phased(
+                &ShardConfig::new(n, ns(5)),
+                phased_ring_builders(n, ns(5), steps),
+            );
+            assert_eq!(
+                out.results.iter().sum::<u64>(),
+                steps as u64,
+                "{n} shards dropped hops"
+            );
+            elapsed.push(out.elapsed);
+        }
+        assert!(
+            elapsed.windows(2).all(|w| w[0] == w[1]),
+            "elapsed varied by shard count: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn phased_threaded_and_serial_agree_exactly() {
+        let mk = |mode| {
+            let mut cfg = ShardConfig::new(4, ns(3));
+            cfg.mode = mode;
+            run_sharded_phased(&cfg, phased_ring_builders(4, ns(3), 48))
+        };
+        let threaded = mk(ExecMode::Threaded);
+        let serial = mk(ExecMode::Serial);
+        assert_eq!(threaded.results, serial.results);
+        assert_eq!(threaded.elapsed, serial.elapsed);
+        assert_eq!(threaded.events, serial.events);
+        assert_eq!(threaded.windows, serial.windows);
+    }
+
+    #[test]
+    fn shards_resolve_fixed_wins_auto_follows() {
+        assert_eq!(Shards::Auto.resolve(4), 4);
+        assert_eq!(Shards::Auto.resolve(0), 1);
+        assert_eq!(Shards::Fixed(2).resolve(8), 2);
+        assert_eq!(Shards::default(), Shards::Auto);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! use shrimp_core::{Cluster, DesignConfig};
 //! use shrimp_sockets::SocketNet;
 //!
-//! let cluster = Cluster::new(2, DesignConfig::default());
+//! let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
 //! let net = SocketNet::new(&cluster);
 //! let listener = net.listen(1, 80); // node 1 listens on port 80
 //! let client = net.connect_endpoints(0, 1, 80);
@@ -356,7 +356,7 @@ mod tests {
     use shrimp_sim::Time;
 
     fn setup(cfg: SocketConfig) -> (Cluster, Socket, Socket) {
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let net = SocketNet::with_config(&cluster, cfg);
         let listener = net.listen(1, 7000);
         let client = net.connect_endpoints(0, 1, 7000);
@@ -476,7 +476,7 @@ mod tests {
 
     #[test]
     fn several_connections_one_listener() {
-        let cluster = Cluster::new(4, DesignConfig::default());
+        let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
         let net = SocketNet::new(&cluster);
         let listener = net.listen(0, 9000);
         let clients: Vec<Socket> = (1..4).map(|i| net.connect_endpoints(i, 0, 9000)).collect();
@@ -510,7 +510,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "connection refused")]
     fn connect_to_unbound_port_panics() {
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let net = SocketNet::new(&cluster);
         let _ = net.connect_endpoints(0, 1, 1234);
     }

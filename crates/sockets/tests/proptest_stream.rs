@@ -13,7 +13,7 @@ use shrimp_testkit::prop::*;
 use shrimp_testkit::{prop_assert, prop_assert_eq, props};
 
 fn setup(bulk: RingBulk) -> (Cluster, Socket, Socket) {
-    let cluster = Cluster::new(2, DesignConfig::default());
+    let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
     let net = SocketNet::with_config(
         &cluster,
         SocketConfig {

@@ -29,7 +29,7 @@
 //! use shrimp_core::{Cluster, DesignConfig};
 //! use shrimp_svm::{Protocol, Svm, SvmConfig};
 //!
-//! let cluster = Cluster::new(2, DesignConfig::default());
+//! let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
 //! let svm = Svm::create(&cluster, SvmConfig::new(Protocol::Aurc));
 //! let region = svm.create_region(8192, |page| page % 2);
 //! let a = svm.node(0);

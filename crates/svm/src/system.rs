@@ -1102,7 +1102,7 @@ mod tests {
         Fut: std::future::Future<Output = T> + 'static,
         T: 'static,
     {
-        let cluster = Cluster::new(n, DesignConfig::default());
+        let cluster = Cluster::builder(n).config(DesignConfig::default()).build();
         let svm = Svm::create(&cluster, SvmConfig::new(protocol));
         let region = svm.create_region(region_bytes, |p| p % n);
         let handles: Vec<TaskHandle<T>> = (0..n)
@@ -1218,7 +1218,7 @@ mod tests {
     #[test]
     fn aurc_uses_fences_and_no_diffs() {
         let (_t, _out) = {
-            let cluster = Cluster::new(2, DesignConfig::default());
+            let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
             let svm = Svm::create(&cluster, SvmConfig::new(Protocol::Aurc));
             let region = svm.create_region(8192, |_| 1); // all pages homed on 1
             let node0 = svm.node(0);
@@ -1245,7 +1245,7 @@ mod tests {
     fn aurc_write_faults_register_mappings_with_notifications() {
         // The MapPage control request is a notified message per faulted
         // page per interval — the traffic behind Table 3's Radix-SVM row.
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let svm = Svm::create(&cluster, SvmConfig::new(Protocol::Aurc));
         let region = svm.create_region(4 * 4096, |_| 1); // all homed on 1
         let node0 = svm.node(0);
@@ -1278,7 +1278,7 @@ mod tests {
     #[test]
     fn stats_partition_wall_time() {
         // The Figure 4 categories must never exceed a node's elapsed time.
-        let cluster = Cluster::new(4, DesignConfig::default());
+        let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
         let svm = Svm::create(&cluster, SvmConfig::new(Protocol::Hlrc));
         let region = svm.create_region(8 * 4096, |p| p % 4);
         let mut handles = Vec::new();
@@ -1309,7 +1309,7 @@ mod tests {
 
     #[test]
     fn hlrc_sends_diffs_and_no_fences() {
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let svm = Svm::create(&cluster, SvmConfig::new(Protocol::Hlrc));
         let region = svm.create_region(4096, |_| 1);
         let node0 = svm.node(0);
@@ -1332,7 +1332,7 @@ mod tests {
 
     #[test]
     fn init_write_and_home_read_backdoors() {
-        let cluster = Cluster::new(4, DesignConfig::default());
+        let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
         let svm = Svm::create(&cluster, SvmConfig::new(Protocol::Hlrc));
         let region = svm.create_region(4 * 4096, |p| p % 4);
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();

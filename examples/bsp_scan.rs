@@ -10,7 +10,7 @@ use shrimp::vmmc::{Cluster, DesignConfig};
 
 fn main() {
     let n = 8;
-    let cluster = Cluster::new(n, DesignConfig::default());
+    let cluster = Cluster::builder(n).config(DesignConfig::default()).build();
     let procs = create(&cluster, 4096, BspConfig::default());
 
     let mut handles = Vec::new();

@@ -9,7 +9,7 @@ use shrimp::sim::time;
 use shrimp::vmmc::{Cluster, DesignConfig};
 
 fn pingpong(cfg: NxConfig, bytes: usize, rounds: u32) -> (f64, f64) {
-    let cluster = Cluster::new(2, DesignConfig::default());
+    let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
     let endpoints = nx::create(&cluster, cfg);
     let mut it = endpoints.into_iter();
     let a = it.next().unwrap();

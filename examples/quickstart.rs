@@ -9,7 +9,7 @@ use shrimp::vmmc::{Cluster, DesignConfig};
 
 fn main() {
     // A 2-node SHRIMP: PCs + NICs + the mesh backplane, as built.
-    let cluster = Cluster::new(2, DesignConfig::default());
+    let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
     let sender = cluster.vmmc(0);
     let receiver = cluster.vmmc(1);
 

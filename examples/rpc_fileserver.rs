@@ -16,7 +16,7 @@ const PROC_PUT: u32 = 1;
 const PROC_GET: u32 = 2;
 
 fn main() {
-    let cluster = Cluster::new(3, DesignConfig::default());
+    let cluster = Cluster::builder(3).config(DesignConfig::default()).build();
     let rpc = RpcSystem::new(&cluster);
 
     // Node 0 serves a key-value store.

@@ -13,7 +13,9 @@ use shrimp::vmmc::{Cluster, DesignConfig};
 /// nearly free under AURC.
 fn run(protocol: Protocol) -> (u64, Vec<(String, f64)>) {
     let nodes = 8;
-    let cluster = Cluster::new(nodes, DesignConfig::default());
+    let cluster = Cluster::builder(nodes)
+        .config(DesignConfig::default())
+        .build();
     let svm = Svm::create(&cluster, SvmConfig::new(protocol));
     let pages = 32;
     let region = svm.create_region(pages * 4096, |p| p % nodes);

@@ -29,7 +29,7 @@
 //! use shrimp::vmmc::{Cluster, DesignConfig};
 //!
 //! // A 2-node SHRIMP machine with the paper's default design.
-//! let cluster = Cluster::new(2, DesignConfig::default());
+//! let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
 //! assert_eq!(cluster.num_nodes(), 2);
 //! ```
 

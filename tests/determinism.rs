@@ -20,7 +20,9 @@ const ROUNDS: usize = 6;
 /// One complete run: returns (trace timeline, final sim time, counter
 /// totals, per-node allreduce results).
 fn run(seed: u64) -> (String, u64, Vec<u64>, Vec<f64>) {
-    let cluster = Cluster::new(NODES, DesignConfig::default());
+    let cluster = Cluster::builder(NODES)
+        .config(DesignConfig::default())
+        .build();
     // Large capacity so no event is dropped: the comparison must see the
     // complete schedule.
     cluster.sim().trace().enable(Some(1 << 20));

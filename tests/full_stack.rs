@@ -14,7 +14,7 @@ use shrimp::vmmc::{Cluster, DesignConfig};
 
 #[test]
 fn sixteen_node_nx_all_to_all() {
-    let cluster = Cluster::new(16, DesignConfig::default());
+    let cluster = Cluster::builder(16).config(DesignConfig::default()).build();
     let endpoints = nx::create(&cluster, NxConfig::default());
     let mut handles = Vec::new();
     for nxp in endpoints {
@@ -45,7 +45,7 @@ fn sixteen_node_nx_all_to_all() {
 #[test]
 fn sixteen_node_svm_coherence_under_all_protocols() {
     for protocol in [Protocol::Hlrc, Protocol::HlrcAu, Protocol::Aurc] {
-        let cluster = Cluster::new(16, DesignConfig::default());
+        let cluster = Cluster::builder(16).config(DesignConfig::default()).build();
         let svm = Svm::create(&cluster, SvmConfig::new(protocol));
         let region = svm.create_region(16 * 4096, |p| p % 16);
         let mut handles = Vec::new();
@@ -79,7 +79,7 @@ fn sixteen_node_svm_coherence_under_all_protocols() {
 #[test]
 fn sockets_pipeline_through_intermediate_node() {
     // 0 -> 1 -> 2 relay: two connections in a chain.
-    let cluster = Cluster::new(3, DesignConfig::default());
+    let cluster = Cluster::builder(3).config(DesignConfig::default()).build();
     let net = SocketNet::new(&cluster);
     let l1 = net.listen(1, 100);
     let l2 = net.listen(2, 100);
@@ -131,20 +131,28 @@ fn design_knobs_change_time_but_never_results() {
         seed: 5,
     };
     let base = run_radix_vmmc(
-        &Cluster::new(4, DesignConfig::default()),
+        &Cluster::builder(4).config(DesignConfig::default()).build(),
         &params,
         Mechanism::DeliberateUpdate,
     );
     // Syscall per send: slower, same answer.
     let mut cfg = DesignConfig::default();
     cfg.syscall_send = true;
-    let sys = run_radix_vmmc(&Cluster::new(4, cfg), &params, Mechanism::DeliberateUpdate);
+    let sys = run_radix_vmmc(
+        &Cluster::builder(4).config(cfg).build(),
+        &params,
+        Mechanism::DeliberateUpdate,
+    );
     assert_eq!(sys.checksum, base.checksum);
     assert!(sys.elapsed > base.elapsed, "syscalls should cost time");
     // Interrupt per message: slower, same answer.
     let mut cfg = DesignConfig::default();
     cfg.interrupt_per_message = true;
-    let intr = run_radix_vmmc(&Cluster::new(4, cfg), &params, Mechanism::DeliberateUpdate);
+    let intr = run_radix_vmmc(
+        &Cluster::builder(4).config(cfg).build(),
+        &params,
+        Mechanism::DeliberateUpdate,
+    );
     assert_eq!(intr.checksum, base.checksum);
     assert!(intr.elapsed > base.elapsed, "interrupts should cost time");
 }
@@ -158,7 +166,7 @@ fn svm_protocols_identical_results_different_times() {
     };
     let mut outs = Vec::new();
     for protocol in [Protocol::Hlrc, Protocol::HlrcAu, Protocol::Aurc] {
-        let cluster = Cluster::new(4, DesignConfig::default());
+        let cluster = Cluster::builder(4).config(DesignConfig::default()).build();
         outs.push((protocol, run_ocean_svm(&cluster, protocol, &params)));
     }
     for w in outs.windows(2) {
@@ -178,17 +186,17 @@ fn nx_and_svm_and_transport_variants_agree_on_physics() {
         reduce_every: 1,
     };
     let nx_du = run_ocean_nx(
-        &Cluster::new(3, DesignConfig::default()),
+        &Cluster::builder(3).config(DesignConfig::default()).build(),
         &params,
         Mechanism::DeliberateUpdate,
     );
     let nx_au = run_ocean_nx(
-        &Cluster::new(3, DesignConfig::default()),
+        &Cluster::builder(3).config(DesignConfig::default()).build(),
         &params,
         Mechanism::AutomaticUpdate,
     );
     let svm = run_ocean_svm(
-        &Cluster::new(3, DesignConfig::default()),
+        &Cluster::builder(3).config(DesignConfig::default()).build(),
         Protocol::Aurc,
         &params,
     );
@@ -199,7 +207,7 @@ fn nx_and_svm_and_transport_variants_agree_on_physics() {
 #[test]
 fn whole_app_runs_are_deterministic() {
     let run = || {
-        let cluster = Cluster::new(8, DesignConfig::default());
+        let cluster = Cluster::builder(8).config(DesignConfig::default()).build();
         let out = run_radix_svm(
             &cluster,
             Protocol::Aurc,
@@ -219,7 +227,7 @@ fn whole_app_runs_are_deterministic() {
 fn cpu_overlap_hides_idle_interrupts() {
     // A node that is blocked on communication absorbs interrupt handler
     // time for free; a computing node pays for it (§4.4's premise).
-    let cluster = Cluster::new(2, DesignConfig::default());
+    let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
     let vm = cluster.vmmc(0);
     let cpu = cluster.cpu(0).clone();
     let h = cluster.sim().spawn(async move {
@@ -258,7 +266,7 @@ fn cpu_overlap_hides_idle_interrupts() {
 #[test]
 fn trace_timeline_captures_hardware_and_protocol_events() {
     use shrimp::svm::{Protocol, Svm, SvmConfig};
-    let cluster = Cluster::new(2, DesignConfig::default());
+    let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
     cluster.sim().trace().enable(None);
     let svm = Svm::create(&cluster, SvmConfig::new(Protocol::Hlrc));
     let region = svm.create_region(8192, |p| p % 2);

@@ -55,7 +55,7 @@ props! {
         len in usize_in(1..3 * PAGE_SIZE),
         seed in u8_in(0..255),
     ) {
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let a = cluster.vmmc(0);
         let b = cluster.vmmc(1);
         let pages = (dst_off + len).div_ceil(PAGE_SIZE) + 1;
@@ -83,7 +83,7 @@ props! {
         let run = |combining: bool| -> Vec<u8> {
             let mut cfg = DesignConfig::default();
             cfg.nic.combining = combining;
-            let cluster = Cluster::new(2, cfg);
+            let cluster = Cluster::builder(2).config(cfg).build();
             let a = cluster.vmmc(0);
             let b = cluster.vmmc(1);
             let recv = b.space().alloc(1);
@@ -113,7 +113,7 @@ props! {
         sizes in vec_of(usize_in(0..1500), 1..12),
         automatic in any_bool(),
     ) {
-        let cluster = Cluster::new(2, DesignConfig::default());
+        let cluster = Cluster::builder(2).config(DesignConfig::default()).build();
         let a = cluster.vmmc(0);
         let b = cluster.vmmc(1);
         let bulk = if automatic { RingBulk::Automatic } else { RingBulk::Deliberate };
@@ -149,7 +149,7 @@ props! {
     ) {
         for protocol in [Protocol::Hlrc, Protocol::Aurc] {
             let nodes = 3;
-            let cluster = Cluster::new(nodes, DesignConfig::default());
+            let cluster = Cluster::builder(nodes).config(DesignConfig::default()).build();
             let svm = Svm::create(&cluster, SvmConfig::new(protocol));
             let region = svm.create_region(4 * PAGE_SIZE, |p| p % nodes);
             let mut handles = Vec::new();
