@@ -18,10 +18,10 @@ use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc, RadixParams};
 use shrimp_apps::render::{run_render, RenderParams};
 use shrimp_apps::{Mechanism, RunOutcome};
 use shrimp_core::{
-    run_distributed, run_parallel, Cluster, ClusterReport, DesignConfig, DistributedParams,
-    ParallelParams, RingBulk,
+    run_chaos_distributed, run_distributed, run_parallel, Cluster, ClusterReport, DesignConfig,
+    DistributedParams, HeartbeatConfig, ParallelParams, RingBulk,
 };
-use shrimp_faults::{FaultScenario, FifoStall, LinkFault, NodePause};
+use shrimp_faults::{FaultScenario, FifoStall, LinkFault, NodeCrash, NodePause};
 use shrimp_sim::{time, MetricsSnapshot, Time, TraceEvent};
 use shrimp_sockets::SocketConfig;
 use shrimp_svm::Protocol;
@@ -570,7 +570,10 @@ impl RunSpec {
     }
 
     /// The distributed-cluster execution path: the full SHRIMP stack on
-    /// the shard engine via [`shrimp_core::run_distributed`]. The
+    /// the shard engine via [`shrimp_core::run_distributed`] — or, when
+    /// the knobs carry a fault scenario,
+    /// [`shrimp_core::run_chaos_distributed`] with the default heartbeat
+    /// failure detector for the row's node count. The
     /// [`RunRecord`] comes from the shard-count-invariant
     /// [`LaunchOutcome`](shrimp_core::LaunchOutcome) — byte-identical at
     /// every shard count — while the [`PerfSample`] (wall-clock, executor
@@ -584,13 +587,35 @@ impl RunSpec {
         cli_shards: usize,
     ) -> (RunRecord, PerfSample, Option<Observation>) {
         let start = std::time::Instant::now();
-        let params = distributed_params_at(self.scale).scaled_to(self.nodes);
+        let mut params = distributed_params_at(self.scale).scaled_to(self.nodes);
+        params.seed = self.seed;
         let shards = self.effective_shards(cli_shards);
-        let out = run_distributed(&params, self.design_config(), Shards::Fixed(shards));
+        let chaos = self.knobs.faults.is_active();
+        let out = if chaos {
+            run_chaos_distributed(
+                &params,
+                self.design_config(),
+                Shards::Fixed(shards),
+                HeartbeatConfig::for_nodes(self.nodes),
+            )
+        } else {
+            run_distributed(&params, self.design_config(), Shards::Fixed(shards))
+        };
         let checksum = out
             .node_results
             .iter()
             .fold(0u64, |acc, &r| acc.wrapping_add(r));
+        // Same serialization rule as the classic path: recovery metrics
+        // appear only on chaos/reliability rows, so plain cluster rows
+        // stay byte-identical.
+        let recovery = (self.knobs.reliability || chaos).then_some(Recovery {
+            retransmits: out.retransmits,
+            corrupt_detected: out.corrupt_detected,
+            dup_suppressed: out.dup_suppressed,
+            faults_injected: out.faults_injected,
+            detection_latency_ps: out.detection_latency_ps,
+            recovery_time_ps: out.recovery_time_ps,
+        });
         let record = RunRecord {
             elapsed: out.elapsed,
             checksum,
@@ -600,7 +625,7 @@ impl RunSpec {
             syscalls: out.syscalls,
             net_packets: out.net_packets,
             net_bytes: out.net_bytes,
-            recovery: None,
+            recovery,
         };
         let wall_ns = start.elapsed().as_nanos() as u64;
         (
@@ -1111,6 +1136,71 @@ pub fn matrix(scale: Scale, max_nodes: usize) -> Vec<RunSpec> {
         specs.push(RunSpec::new("cluster", App::ClusterNodes, 256, scale));
     }
 
+    // Sharded chaos: fault scenarios on the `launch()` path, where the
+    // fault plane draws from per-entity RNG streams (shard-count
+    // invariant) and the workload carries the heartbeat failure detector.
+    // The 16-node packet-fate row is the oracle row (its single-shard run
+    // is windowless); the 64-node pair exercises a permanent crash and a
+    // crash-with-restart — detection latency and recovery time land in
+    // the recovery metrics; the 256-node permanent-link-failure row runs
+    // the detour path at Paragon scale (too heavy for the smoke gate).
+    specs.push(
+        RunSpec::new("chaos-cluster", App::ClusterNodes, 16, scale).with_knobs(Knobs {
+            reliability: true,
+            faults: FaultScenario {
+                seed: 21,
+                drop_pct: 3,
+                corrupt_pct: 2,
+                duplicate_pct: 3,
+                ..FaultScenario::none()
+            },
+            ..Knobs::as_built()
+        }),
+    );
+    for crash in [
+        // Permanent: the node never returns; survivors must detect it and
+        // complete without it.
+        NodeCrash {
+            node: 5,
+            at_us: 40,
+            down_us: 0,
+        },
+        // Restarting: down for 560 us, then a deterministic reboot the
+        // survivors witness (finite recovery time).
+        NodeCrash {
+            node: 5,
+            at_us: 40,
+            down_us: 560,
+        },
+    ] {
+        specs.push(
+            RunSpec::new("chaos-cluster", App::ClusterNodes, 64, scale).with_knobs(Knobs {
+                faults: FaultScenario {
+                    crash: Some(crash),
+                    ..FaultScenario::none()
+                },
+                ..Knobs::as_built()
+            }),
+        );
+    }
+    if scale != Scale::Smoke {
+        specs.push(
+            RunSpec::new("chaos-cluster", App::ClusterNodes, 256, scale).with_knobs(Knobs {
+                reliability: true,
+                faults: FaultScenario {
+                    link: Some(LinkFault {
+                        from: 0,
+                        to: 1,
+                        at_us: 0,
+                        down_us: 0,
+                    }),
+                    ..FaultScenario::none()
+                },
+                ..Knobs::as_built()
+            }),
+        );
+    }
+
     specs
 }
 
@@ -1162,6 +1252,7 @@ mod tests {
             "chaos",
             "parallel",
             "cluster",
+            "chaos-cluster",
         ] {
             assert!(
                 specs.iter().any(|s| s.experiment == exp),
@@ -1255,5 +1346,23 @@ mod tests {
         let (two, perf2) = pinned.execute_timed_at(4);
         assert_eq!(one, two);
         assert_eq!(perf2.shards, 2);
+    }
+
+    /// A chaos-cluster crash row produces finite detector metrics and
+    /// stays shard-count invariant, record bytes included.
+    #[test]
+    fn chaos_cluster_crash_row_reports_detection_and_is_invariant() {
+        let spec = matrix(Scale::Smoke, 4)
+            .into_iter()
+            .find(|s| s.experiment == "chaos-cluster" && s.knobs.faults.label() == "crashres5")
+            .expect("matrix lost the 64-node crash/restart row");
+        let (one, _) = spec.execute_timed_at(1);
+        let r = one.recovery.as_ref().expect("chaos row without recovery");
+        assert_eq!(r.faults_injected, 1);
+        assert!(r.detection_latency_ps > 0, "crash went undetected");
+        assert!(r.recovery_time_ps > 0, "restart went unwitnessed");
+        let (four, perf4) = spec.execute_timed_at(4);
+        assert_eq!(one, four, "chaos-cluster record diverged across shards");
+        assert_eq!(perf4.shards, 4);
     }
 }

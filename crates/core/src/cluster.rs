@@ -20,8 +20,9 @@ use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
-use shrimp_faults::{FaultPlane, FaultScenario, Reliability};
+use shrimp_faults::{FaultPlane, FaultScenario, Reliability, ShrimpError};
 use shrimp_mem::{AddressSpace, MemBus, NodeMem, PAGE_SIZE};
 use shrimp_net::{Flit, MeshConfig, Network, NodeId};
 use shrimp_nic::{IptEntry, Nic, Packet, ShrimpNetwork};
@@ -164,9 +165,12 @@ impl ClusterBuilder {
         self
     }
 
-    /// Sets the fault-injection scenario. Chaos scenarios share one RNG
-    /// stream across the machine (zero lookahead), so they are only
-    /// runnable on the classic single-`Sim` path.
+    /// Sets the fault-injection scenario. The classic
+    /// [`ClusterBuilder::build`] path draws all packet fates from one
+    /// shared RNG stream; [`ClusterBuilder::launch`] uses per-entity
+    /// streams (one per directed mesh edge, one per node) so the same
+    /// scenario partitions cleanly across shards with byte-identical
+    /// fates at any shard count.
     pub fn faults(mut self, faults: FaultScenario) -> Self {
         self.cfg.faults = faults;
         self
@@ -274,17 +278,40 @@ impl ClusterBuilder {
     /// ingress and notification queues only at the engine's global drain
     /// barrier, when no other shard can still have packets in flight.
     ///
+    /// Fault scenarios run here too: the fault plane uses per-entity RNG
+    /// streams (one per directed mesh edge, owned by the sending shard),
+    /// so packet fates are byte-identical at any shard count, and
+    /// [`NodeCrash`](shrimp_faults::NodeCrash) faults power-cycle the
+    /// node on its owning shard (see [`ClusterBuilder::try_launch`]).
+    ///
     /// # Panics
     ///
-    /// Panics when a fault scenario is active (chaos couples all nodes
-    /// through one RNG stream; use [`ClusterBuilder::build`]) or when the
-    /// application processes deadlock.
+    /// Panics when the application processes deadlock, or on the typed
+    /// errors [`ClusterBuilder::try_launch`] returns instead.
     pub fn launch(self, program: NodeProgram) -> LaunchOutcome {
-        assert!(
-            !self.cfg.faults.is_active(),
-            "fault scenarios couple all nodes through one RNG stream; \
-             run them on the single-Sim path (ClusterBuilder::build)"
-        );
+        match self.try_launch(program) {
+            Ok(out) => out,
+            Err(e) => panic!("cluster launch failed: {e}"),
+        }
+    }
+
+    /// [`ClusterBuilder::launch`] with typed configuration errors.
+    ///
+    /// A chaos row's shard count is part of its experiment identity, so a
+    /// fault scenario combined with a [`Shards::Fixed`] request above the
+    /// node count is refused as [`ShrimpError::ShardOverflow`] rather
+    /// than silently clamped to fewer shards than the row claims.
+    pub fn try_launch(self, program: NodeProgram) -> Result<LaunchOutcome, ShrimpError> {
+        if self.cfg.faults.is_active() {
+            if let Shards::Fixed(k) = self.shards {
+                if k > self.nodes {
+                    return Err(ShrimpError::ShardOverflow {
+                        shards: k,
+                        nodes: self.nodes,
+                    });
+                }
+            }
+        }
         let n = self.nodes;
         let shards = self.effective_shards();
         let mesh = self
@@ -313,7 +340,7 @@ impl ClusterBuilder {
         }
         assert_eq!(finished_nodes, n, "a node's program never completed");
         let sum = |f: fn(&ShardTally) -> u64| out.results.iter().map(f).sum::<u64>();
-        LaunchOutcome {
+        Ok(LaunchOutcome {
             elapsed: out.results.iter().map(|t| t.finished).max().unwrap_or(0),
             node_results,
             messages: sum(|t| t.messages),
@@ -322,10 +349,16 @@ impl ClusterBuilder {
             syscalls: sum(|t| t.syscalls),
             net_packets: sum(|t| t.net_packets),
             net_bytes: sum(|t| t.net_bytes),
+            retransmits: sum(|t| t.retransmits),
+            corrupt_detected: sum(|t| t.corrupt_detected),
+            dup_suppressed: sum(|t| t.dup_suppressed),
+            faults_injected: sum(|t| t.faults_injected),
+            detection_latency_ps: sum(|t| t.detection_latency_ps),
+            recovery_time_ps: sum(|t| t.recovery_time_ps),
             events: out.events,
             windows: out.windows,
             shards,
-        }
+        })
     }
 
     /// Constructs this shard's slice of the machine on `ctx`'s `Sim`,
@@ -361,7 +394,22 @@ impl ClusterBuilder {
             let net = net.clone();
             ctx.on_message(move |arrival, flit| net.deliver_remote(arrival, flit));
         }
-        let nodes = assemble(&sim, &cfg, &net, None, node_base..node_base + owned);
+        // Each shard builds its own per-entity plane from the shared
+        // scenario: every directed mesh edge draws from a stream seeded by
+        // (seed, edge) and consumed in that edge's node-local send order,
+        // so fates are byte-identical at any shard count.
+        let fault_plane = cfg.faults.is_active().then(|| {
+            let plane = FaultPlane::per_entity(cfg.faults);
+            net.install_fault_plane(plane.clone());
+            plane
+        });
+        let nodes = assemble(
+            &sim,
+            &cfg,
+            &net,
+            fault_plane.as_ref(),
+            node_base..node_base + owned,
+        );
         let cluster = Cluster {
             inner: Rc::new(ClusterInner {
                 sim: sim.clone(),
@@ -371,43 +419,152 @@ impl ClusterBuilder {
                 node_base,
                 total_nodes: n,
                 exports: RefCell::new(Vec::new()),
-                fault_plane: None,
+                fault_plane,
             }),
         };
         #[allow(clippy::type_complexity)]
         let finished: Rc<RefCell<Vec<(usize, Time, u64)>>> = Rc::new(RefCell::new(Vec::new()));
         for node in node_base..node_base + owned {
             cluster.spawn_dispatcher(node);
+            let crash = cluster
+                .fault_plane()
+                .and_then(|p| p.crash_of(node))
+                .filter(|c| c.onset() > sim.now());
             let fut = program(cluster.vmmc(node));
             let record = Rc::clone(&finished);
             let at = sim.clone();
-            sim.spawn(async move {
-                let result = fut.await;
-                record.borrow_mut().push((node, at.now(), result));
-            });
+            let Some(crash) = crash else {
+                sim.spawn(async move {
+                    let result = fut.await;
+                    record.borrow_mut().push((node, at.now(), result));
+                });
+                continue;
+            };
+            // A crashing node's program races its scheduled power loss:
+            // the incarnation is aborted at onset (its tasks stop making
+            // progress; in-flight hardware requests complete against a
+            // dead board), the node's volatile state is wiped, and — for
+            // a transient outage — a fresh incarnation of the same
+            // program boots deterministically on the same rewound
+            // allocators at restart.
+            let signal = Rc::new(CrashSignal::default());
+            {
+                let signal = Rc::clone(&signal);
+                sim.spawn(async move {
+                    let race = CrashRace { inner: fut, signal };
+                    if let Some(result) = race.await {
+                        record.borrow_mut().push((node, at.now(), result));
+                    }
+                });
+            }
+            {
+                let cl = cluster.clone();
+                let rec = Rc::clone(&finished);
+                let at = sim.clone();
+                sim.schedule(crash.onset(), move || {
+                    signal.trip();
+                    cl.crash_node(node);
+                    // Tombstone result: the incarnation died mid-program.
+                    rec.borrow_mut().push((node, at.now(), 0));
+                });
+            }
+            if let Some(up_at) = crash.restart_at() {
+                let cl = cluster.clone();
+                let rec = Rc::clone(&finished);
+                let program = program.clone();
+                let at = sim.clone();
+                sim.schedule(up_at, move || {
+                    cl.restart_node(node);
+                    let fut = program(cl.vmmc(node));
+                    let rec = Rc::clone(&rec);
+                    let done_at = at.clone();
+                    at.spawn(async move {
+                        let result = fut.await;
+                        rec.borrow_mut().push((node, done_at.now(), result));
+                    });
+                });
+            }
         }
         let to_shutdown = cluster.clone();
         ShardPlan {
             shutdown: Box::new(move || to_shutdown.shutdown()),
             harvest: Box::new(move || {
                 let mut done = finished.borrow_mut();
+                // A crashed node records a tombstone at onset and — when it
+                // restarts — a second, later record from the fresh
+                // incarnation. Keep the record latest in time per node.
+                done.sort_by_key(|&(node, t, _)| (node, t));
+                let mut merged: Vec<(usize, Time, u64)> = Vec::with_capacity(owned);
+                for &(node, t, r) in done.iter() {
+                    match merged.last_mut() {
+                        Some(last) if last.0 == node => *last = (node, t, r),
+                        _ => merged.push((node, t, r)),
+                    }
+                }
                 assert_eq!(
-                    done.len(),
+                    merged.len(),
                     owned,
                     "application processes deadlocked; check for missing sends/receives"
                 );
-                done.sort_unstable_by_key(|&(node, ..)| node);
                 ShardTally {
-                    finished: done.iter().map(|&(_, t, _)| t).max().unwrap_or(0),
-                    node_results: done.iter().map(|&(node, _, r)| (node, r)).collect(),
+                    finished: merged.iter().map(|&(_, t, _)| t).max().unwrap_or(0),
+                    node_results: merged.iter().map(|&(node, _, r)| (node, r)).collect(),
                     messages: cluster.total(|s| s.messages_sent.get()),
                     notifications: cluster.total(|s| s.notifications.get()),
                     interrupts: cluster.total(|s| s.interrupts_taken.get()),
                     syscalls: cluster.total(|s| s.syscalls.get()),
                     net_packets: cluster.network().stats().packets(),
                     net_bytes: cluster.network().stats().bytes(),
+                    retransmits: cluster.total(|s| s.retransmits.get()),
+                    corrupt_detected: cluster.total_nic(|c| c.corrupt_detected.get()),
+                    dup_suppressed: cluster.total_nic(|c| c.dup_suppressed.get()),
+                    faults_injected: cluster.fault_plane().map_or(0, |p| p.stats().total()),
+                    detection_latency_ps: cluster.total(|s| s.detection_latency.get()),
+                    recovery_time_ps: cluster.total(|s| s.recovery_time.get()),
                 }
             }),
+        }
+    }
+}
+
+/// Abort flag raced against a crashing node's program future: tripping it
+/// wakes the task, whose next poll resolves to `None` without touching the
+/// aborted program again.
+#[derive(Default)]
+struct CrashSignal {
+    tripped: Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
+impl CrashSignal {
+    fn trip(&self) {
+        self.tripped.set(true);
+        if let Some(w) = self.waker.borrow_mut().take() {
+            w.wake();
+        }
+    }
+}
+
+/// Races a node program against its crash signal; yields `Some(result)` on
+/// completion, `None` when the node lost power first.
+struct CrashRace {
+    inner: Pin<Box<dyn Future<Output = u64>>>,
+    signal: Rc<CrashSignal>,
+}
+
+impl Future for CrashRace {
+    type Output = Option<u64>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if self.signal.tripped.get() {
+            return Poll::Ready(None);
+        }
+        match self.inner.as_mut().poll(cx) {
+            Poll::Ready(v) => Poll::Ready(Some(v)),
+            Poll::Pending => {
+                *self.signal.waker.borrow_mut() = Some(cx.waker().clone());
+                Poll::Pending
+            }
         }
     }
 }
@@ -422,6 +579,12 @@ struct ShardTally {
     syscalls: u64,
     net_packets: u64,
     net_bytes: u64,
+    retransmits: u64,
+    corrupt_detected: u64,
+    dup_suppressed: u64,
+    faults_injected: u64,
+    detection_latency_ps: u64,
+    recovery_time_ps: u64,
 }
 
 /// The merged, shard-count-invariant outcome of a
@@ -445,6 +608,21 @@ pub struct LaunchOutcome {
     pub net_packets: u64,
     /// Mesh wire bytes including headers.
     pub net_bytes: u64,
+    /// Reliable-delivery retransmissions performed (0 on fault-free runs).
+    pub retransmits: u64,
+    /// Packets whose payload failed the checksum at NIC ingress.
+    pub corrupt_detected: u64,
+    /// Sequenced packets discarded as already-delivered duplicates.
+    pub dup_suppressed: u64,
+    /// Faults the planes actually injected, summed across shards.
+    pub faults_injected: u64,
+    /// Summed failure-detector latency: per declaring node, sim time from
+    /// a peer's last heartbeat to declaring it dead (ps).
+    pub detection_latency_ps: u64,
+    /// Summed recovery time: retransmitted-chunk recovery plus sim time
+    /// from a death declaration to the heartbeat witnessing the rejoin
+    /// (ps).
+    pub recovery_time_ps: u64,
     /// Executor events across shards (host-dependent layout detail — never
     /// part of deterministic artifacts).
     pub events: u64,
@@ -506,20 +684,6 @@ impl Cluster {
     /// Starts a typed [`ClusterBuilder`] for an `n`-node machine.
     pub fn builder(n: usize) -> ClusterBuilder {
         ClusterBuilder::new(n)
-    }
-
-    /// Builds an `n`-node machine with the given design configuration and
-    /// starts all hardware engines and system-software processes.
-    #[deprecated(note = "use `Cluster::builder(n).config(cfg).build()`")]
-    pub fn new(n: usize, cfg: DesignConfig) -> Self {
-        Self::builder(n).config(cfg).build()
-    }
-
-    /// Like [`Cluster::new`] but on a caller-provided simulator (so several
-    /// machines can share one timeline, or the caller controls the run loop).
-    #[deprecated(note = "use `Cluster::builder(n).config(cfg).build_on(sim)`")]
-    pub fn with_sim(sim: Sim, n: usize, cfg: DesignConfig) -> Self {
-        Self::builder(n).config(cfg).build_on(sim)
     }
 
     /// The per-node interrupt dispatch process: takes NIC interrupts,
@@ -612,13 +776,14 @@ impl Cluster {
     /// sharded launch synchronizes with.
     ///
     /// Couplings tighter than the mesh pin a machine to **one shard**: the
-    /// contended transport's link `Resource`s are reserved synchronously in
-    /// global send order, and a chaos run's single [`FaultPlane`] RNG
-    /// stream is consumed in that same order. [`ClusterBuilder::launch`]
-    /// therefore rejects fault scenarios, and the classic
-    /// [`ClusterBuilder::build`] machine always runs single-`Sim`; the
-    /// decoupled transport of a sharded launch has no shared fabric state,
-    /// so only the mesh latency bounds its windows.
+    /// contended transport's link `Resource`s are reserved synchronously
+    /// in global send order, so the classic [`ClusterBuilder::build`]
+    /// machine always runs single-`Sim`. A sharded launch has no shared
+    /// fabric state — the decoupled transport keeps per-(src, dst) clamp
+    /// state on the sender's shard, and a chaos run's [`FaultPlane`]
+    /// draws each edge's packet fates from a per-edge RNG stream consumed
+    /// in that edge's node-local send order — so only the mesh latency
+    /// bounds its windows.
     pub fn coupling_lookahead(&self) -> Time {
         self.inner.net.config().min_remote_latency()
     }
@@ -653,6 +818,39 @@ impl Cluster {
     /// Sum of a counter over the owned nodes.
     pub fn total<F: Fn(&NodeStats) -> u64>(&self, f: F) -> u64 {
         self.inner.nodes.iter().map(|n| f(&n.stats)).sum()
+    }
+
+    /// Sum of a NIC hardware counter over the owned nodes.
+    pub fn total_nic<F: Fn(&shrimp_nic::NicCounters) -> u64>(&self, f: F) -> u64 {
+        self.inner.nodes.iter().map(|n| f(n.nic.counters())).sum()
+    }
+
+    /// Crashes a node with full loss of volatile state: the NIC loses
+    /// power (page tables, dedup window and in-flight work gone; traffic
+    /// to the dead board is absorbed), memory and the address space rewind
+    /// to their post-construction allocators, and the system software's
+    /// page directory and queued notifications are dropped. The NIC's
+    /// sequence counter deliberately survives — it is the incarnation
+    /// guard that keeps a restarted node's sequences distinct from its
+    /// pre-crash ones in peers' dedup tables.
+    pub(crate) fn crash_node(&self, node: usize) {
+        let n = self.node(node);
+        n.nic.power_off();
+        n.mem.reset();
+        n.space.reset();
+        n.page_dir.borrow_mut().clear();
+        n.pending_notifications.borrow_mut().clear();
+        n.notifications_blocked.set(false);
+        if let Some(plane) = self.fault_plane() {
+            plane.record_crash();
+        }
+    }
+
+    /// Restores power to a crashed node's NIC. The caller boots a fresh
+    /// program incarnation, which reproduces the node's canonical memory
+    /// map on the rewound allocators.
+    pub(crate) fn restart_node(&self, node: usize) {
+        self.node(node).nic.power_on();
     }
 
     /// Closes NIC queues so hardware/system processes terminate once idle,

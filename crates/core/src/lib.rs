@@ -65,7 +65,10 @@ pub mod vmmc;
 pub use cluster::{Cluster, ClusterBuilder, ClusterFlit, LaunchOutcome, NodeProgram, Notification};
 pub use config::DesignConfig;
 pub use cpu::Cpu;
-pub use distributed::{node_program, run_distributed, DistributedParams};
+pub use distributed::{
+    chaos_node_program, node_program, run_chaos_distributed, run_distributed, DistributedParams,
+    HeartbeatConfig,
+};
 pub use parallel::{run_parallel, shard_of, ParallelOutcome, ParallelParams};
 pub use report::{ClusterReport, NodeReport};
 pub use ring::{connect_ring, RingBulk, RingFrame, RingReceiver, RingSender};

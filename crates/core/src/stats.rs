@@ -18,8 +18,13 @@ pub struct NodeStats {
     /// Reliable-delivery retransmissions performed (chaos experiments).
     pub retransmits: Cell<u64>,
     /// Summed sim time (picoseconds) spent recovering chunks that needed at
-    /// least one retransmission, from first injection to final ack.
+    /// least one retransmission, from first injection to final ack — and,
+    /// on the chaos-cluster path, from a peer's death declaration to the
+    /// heartbeat that witnessed its rejoin.
     pub recovery_time: Cell<u64>,
+    /// Summed sim time (picoseconds) from a peer's last heartbeat to this
+    /// node's failure detector declaring it dead (chaos-cluster runs).
+    pub detection_latency: Cell<u64>,
 }
 
 impl NodeStats {

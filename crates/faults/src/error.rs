@@ -62,6 +62,14 @@ pub enum ShrimpError {
         /// Debug rendering of what actually arrived.
         got: String,
     },
+    /// A fault scenario was combined with a fixed shard count larger than
+    /// the node count, which the fault plane cannot partition.
+    ShardOverflow {
+        /// The fixed shard count requested.
+        shards: usize,
+        /// The cluster's node count.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for ShrimpError {
@@ -96,6 +104,11 @@ impl std::fmt::Display for ShrimpError {
             ShrimpError::BadReply { wanted, got } => {
                 write!(f, "SVM protocol expected {wanted} reply, got {got}")
             }
+            ShrimpError::ShardOverflow { shards, nodes } => write!(
+                f,
+                "fault scenarios cannot run on {shards} fixed shards with only {nodes} nodes; \
+                 lower the shard count to at most the node count"
+            ),
         }
     }
 }

@@ -21,7 +21,7 @@ mod scenario;
 
 pub use error::ShrimpError;
 pub use plane::{FaultPlane, FaultStats, PacketFate};
-pub use scenario::{FaultScenario, FifoStall, LinkFault, NodePause};
+pub use scenario::{FaultScenario, FifoStall, LinkFault, NodeCrash, NodePause};
 
 use shrimp_sim::Time;
 
@@ -73,6 +73,26 @@ pub fn backoff_timeout(base: Time, cap: Time, attempt: u32) -> Time {
     base.saturating_mul(factor).min(cap)
 }
 
+/// Per-node jittered backoff: the [`backoff_timeout`] schedule plus a
+/// deterministic jitter in `[0, base)` drawn from the node's own
+/// `(seed, node, attempt)` stream.
+///
+/// Used by the heartbeat failure detector's suspicion probes. The jitter
+/// decorrelates nodes that arm a probe at the same instant — two distinct
+/// nodes never replay the same schedule — while staying a pure function, so
+/// the schedule is shard-invariant and replay-stable by construction.
+pub fn node_backoff(seed: u64, node: usize, attempt: u32, base: Time, cap: Time) -> Time {
+    let mut st = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((node as u64) << 32)
+        .wrapping_add(attempt as u64)
+        ^ 0x6261_636b_6f66_6621;
+    let _ = shrimp_sim::rng::splitmix64(&mut st);
+    let draw = shrimp_sim::rng::splitmix64(&mut st);
+    let jitter = if base == 0 { 0 } else { draw % base };
+    backoff_timeout(base, cap, attempt).saturating_add(jitter)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +113,20 @@ mod tests {
     fn reliability_defaults_to_the_unreliable_fast_path() {
         assert!(!Reliability::default().enabled);
         assert!(Reliability::on().enabled);
+    }
+
+    #[test]
+    fn node_backoff_is_deterministic_bounded_and_node_distinct() {
+        let base = time::us(10);
+        let cap = time::us(40);
+        for attempt in 0..6 {
+            let t = node_backoff(1, 3, attempt, base, cap);
+            assert_eq!(t, node_backoff(1, 3, attempt, base, cap));
+            let pure = backoff_timeout(base, cap, attempt);
+            assert!(t >= pure && t < pure + base);
+        }
+        let a: Vec<_> = (0..6).map(|i| node_backoff(1, 3, i, base, cap)).collect();
+        let b: Vec<_> = (0..6).map(|i| node_backoff(1, 4, i, base, cap)).collect();
+        assert_ne!(a, b);
     }
 }

@@ -1,12 +1,13 @@
 //! The seeded fault plane that turns a scenario into individual faults.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use shrimp_sim::rng::{rng_for, SimRng};
+use shrimp_sim::rng::{rng_for, rng_for_entity, SimRng};
 use shrimp_sim::Time;
 
-use crate::scenario::FaultScenario;
+use crate::scenario::{FaultScenario, NodeCrash};
 
 /// What the fault plane decided to do to one mesh packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +36,8 @@ pub struct FaultStats {
     pub link_rejects: Cell<u64>,
     /// Packets detoured around a failed link.
     pub reroutes: Cell<u64>,
+    /// Node crashes injected (one per crash onset, not per restart).
+    pub crashes: Cell<u64>,
 }
 
 impl FaultStats {
@@ -45,13 +48,53 @@ impl FaultStats {
             + self.dups.get()
             + self.link_rejects.get()
             + self.reroutes.get()
+            + self.crashes.get()
     }
+}
+
+/// Where the plane's randomness comes from.
+///
+/// `Shared` is the PR-3 design: one `rng_for("faults", seed)` stream drawn in
+/// global packet order. That only replays on a single-`Sim` run, because the
+/// draw order couples every node; the committed chaos baselines are pinned to
+/// it, so it stays byte-for-byte as-is.
+///
+/// `PerEntity` derives one independent stream per *directed mesh edge*
+/// `(src, dst)` lazily on first use. A packet's fate then depends only on how
+/// many packets that edge carried before it — a per-edge count that is
+/// invariant under shard placement — so the plane partitions across shards
+/// with byte-identical fates at any shard count. Per-node faults (FIFO
+/// stalls, pauses, crashes) are fixed windows that draw nothing, so they are
+/// trivially partitionable in both modes.
+enum RngMode {
+    Shared(RefCell<SimRng>),
+    PerEntity {
+        seed: u64,
+        edges: RefCell<HashMap<(usize, usize), SimRng>>,
+    },
 }
 
 struct PlaneInner {
     scenario: FaultScenario,
-    rng: RefCell<SimRng>,
+    rng: RngMode,
     stats: FaultStats,
+}
+
+impl RngMode {
+    /// Runs `f` on the stream that owns randomness for edge `(src, dst)`.
+    fn with_edge<T>(&self, src: usize, dst: usize, f: impl FnOnce(&mut SimRng) -> T) -> T {
+        match self {
+            RngMode::Shared(rng) => f(&mut rng.borrow_mut()),
+            RngMode::PerEntity { seed, edges } => {
+                let mut edges = edges.borrow_mut();
+                let rng = edges.entry((src, dst)).or_insert_with(|| {
+                    let edge = ((src as u64) << 32) | dst as u64;
+                    rng_for_entity("faults", *seed, edge)
+                });
+                f(rng)
+            }
+        }
+    }
 }
 
 /// A shared handle to one run's fault-injection state.
@@ -74,15 +117,44 @@ impl std::fmt::Debug for FaultPlane {
 }
 
 impl FaultPlane {
-    /// Creates a plane for `scenario`.
+    /// Creates a plane for `scenario` on the legacy shared RNG stream.
+    ///
+    /// Fates replay only when every packet in the run draws in one global
+    /// order — i.e. on the classic single-`Sim` contended path. The sharded
+    /// path uses [`FaultPlane::per_entity`].
     pub fn new(scenario: FaultScenario) -> Self {
         FaultPlane {
             inner: Rc::new(PlaneInner {
                 scenario,
-                rng: RefCell::new(rng_for("faults", scenario.seed)),
+                rng: RngMode::Shared(RefCell::new(rng_for("faults", scenario.seed))),
                 stats: FaultStats::default(),
             }),
         }
+    }
+
+    /// Creates a plane for `scenario` with one independent RNG stream per
+    /// directed mesh edge, so fates are invariant under shard placement.
+    ///
+    /// Each shard constructs its own plane from the same scenario; a shard
+    /// only ever draws from the edge streams of packets its own nodes send,
+    /// and those draws depend only on the per-edge send order (a node-local
+    /// property), never on cross-shard interleaving.
+    pub fn per_entity(scenario: FaultScenario) -> Self {
+        FaultPlane {
+            inner: Rc::new(PlaneInner {
+                scenario,
+                rng: RngMode::PerEntity {
+                    seed: scenario.seed,
+                    edges: RefCell::new(HashMap::new()),
+                },
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// `true` if this plane draws from per-edge streams (shard-safe mode).
+    pub fn is_per_entity(&self) -> bool {
+        matches!(self.inner.rng, RngMode::PerEntity { .. })
     }
 
     /// The scenario this plane injects.
@@ -95,16 +167,22 @@ impl FaultPlane {
         &self.inner.stats
     }
 
-    /// Draws the fate of one mesh packet and records any injection.
+    /// Draws the fate of the next mesh packet on edge `src -> dst` and
+    /// records any injection.
     ///
     /// Drop, corrupt, and duplicate are mutually exclusive per packet; each
     /// packet consumes exactly one RNG draw so fates replay with the seed.
-    pub fn packet_fate(&self) -> PacketFate {
+    /// In shared mode the edge is ignored (one global draw order); in
+    /// per-entity mode the draw comes from the edge's own stream.
+    pub fn packet_fate(&self, src: usize, dst: usize) -> PacketFate {
         let s = &self.inner.scenario;
         if s.drop_pct == 0 && s.corrupt_pct == 0 && s.duplicate_pct == 0 {
             return PacketFate::Deliver;
         }
-        let roll = self.inner.rng.borrow_mut().gen_range(0..100u64) as u8;
+        let roll = self
+            .inner
+            .rng
+            .with_edge(src, dst, |rng| rng.gen_range(0..100u64)) as u8;
         let stats = &self.inner.stats;
         if roll < s.drop_pct {
             stats.drops.set(stats.drops.get() + 1);
@@ -120,9 +198,10 @@ impl FaultPlane {
         }
     }
 
-    /// A fresh random value for choosing how to corrupt a payload.
-    pub fn corrupt_salt(&self) -> u64 {
-        self.inner.rng.borrow_mut().gen_u64()
+    /// A fresh random value for choosing how to corrupt a payload on edge
+    /// `src -> dst` (drawn from the same stream as that edge's fates).
+    pub fn corrupt_salt(&self, src: usize, dst: usize) -> u64 {
+        self.inner.rng.with_edge(src, dst, |rng| rng.gen_u64())
     }
 
     /// Records a send refused because no route avoided a failed link.
@@ -181,6 +260,18 @@ impl FaultPlane {
             )
         })
     }
+
+    /// The crash scheduled for `node`, if any.
+    pub fn crash_of(&self, node: usize) -> Option<NodeCrash> {
+        let c = self.inner.scenario.crash?;
+        (c.node as usize == node).then_some(c)
+    }
+
+    /// Records a node crash actually injected.
+    pub fn record_crash(&self) {
+        let c = &self.inner.stats.crashes;
+        c.set(c.get() + 1);
+    }
 }
 
 #[cfg(test)]
@@ -200,8 +291,8 @@ mod tests {
         };
         let a = FaultPlane::new(scenario);
         let b = FaultPlane::new(scenario);
-        let fates_a: Vec<_> = (0..256).map(|_| a.packet_fate()).collect();
-        let fates_b: Vec<_> = (0..256).map(|_| b.packet_fate()).collect();
+        let fates_a: Vec<_> = (0..256).map(|_| a.packet_fate(0, 1)).collect();
+        let fates_b: Vec<_> = (0..256).map(|_| b.packet_fate(0, 1)).collect();
         assert_eq!(fates_a, fates_b);
         assert!(fates_a.contains(&PacketFate::Drop));
         assert!(fates_a.contains(&PacketFate::Corrupt));
@@ -219,7 +310,7 @@ mod tests {
     fn empty_scenario_never_touches_the_rng() {
         let plane = FaultPlane::new(FaultScenario::none());
         for _ in 0..64 {
-            assert_eq!(plane.packet_fate(), PacketFate::Deliver);
+            assert_eq!(plane.packet_fate(0, 1), PacketFate::Deliver);
         }
         assert_eq!(plane.stats().total(), 0);
     }
@@ -233,7 +324,7 @@ mod tests {
         });
         let n = 4000;
         let drops = (0..n)
-            .filter(|_| plane.packet_fate() == PacketFate::Drop)
+            .filter(|_| plane.packet_fate(0, 1) == PacketFate::Drop)
             .count();
         let rate = drops as f64 / n as f64;
         assert!((0.2..0.3).contains(&rate), "drop rate {rate} off target");
@@ -256,6 +347,75 @@ mod tests {
         assert!(plane.link_blocked(2, 1, time::us(149)));
         assert!(!plane.link_blocked(1, 2, time::us(150)));
         assert!(!plane.link_blocked(0, 1, time::us(60)));
+    }
+
+    #[test]
+    fn per_entity_fates_are_invariant_under_interleaving() {
+        let scenario = FaultScenario {
+            seed: 11,
+            drop_pct: 10,
+            corrupt_pct: 10,
+            duplicate_pct: 10,
+            ..FaultScenario::none()
+        };
+        // Plane A serves edge (0,1) then edge (2,3); plane B interleaves the
+        // two edges packet-by-packet — the per-edge fate sequences must not
+        // change, which is exactly what a shard layout change does to the
+        // global draw order.
+        let a = FaultPlane::per_entity(scenario);
+        let fates_01_a: Vec<_> = (0..128).map(|_| a.packet_fate(0, 1)).collect();
+        let fates_23_a: Vec<_> = (0..128).map(|_| a.packet_fate(2, 3)).collect();
+        let b = FaultPlane::per_entity(scenario);
+        let mut fates_01_b = Vec::new();
+        let mut fates_23_b = Vec::new();
+        for _ in 0..128 {
+            fates_23_b.push(b.packet_fate(2, 3));
+            fates_01_b.push(b.packet_fate(0, 1));
+        }
+        assert_eq!(fates_01_a, fates_01_b);
+        assert_eq!(fates_23_a, fates_23_b);
+        // Distinct edges draw distinct streams.
+        assert_ne!(fates_01_a, fates_23_a);
+        // Direction matters: (1,0) is not (0,1).
+        let c = FaultPlane::per_entity(scenario);
+        let fates_10: Vec<_> = (0..128).map(|_| c.packet_fate(1, 0)).collect();
+        assert_ne!(fates_01_a, fates_10);
+    }
+
+    #[test]
+    fn per_entity_salts_ride_the_edge_stream() {
+        let scenario = FaultScenario {
+            seed: 5,
+            corrupt_pct: 100,
+            ..FaultScenario::none()
+        };
+        let a = FaultPlane::per_entity(scenario);
+        let b = FaultPlane::per_entity(scenario);
+        for _ in 0..32 {
+            assert_eq!(a.packet_fate(3, 7), b.packet_fate(3, 7));
+            assert_eq!(a.corrupt_salt(3, 7), b.corrupt_salt(3, 7));
+        }
+        assert!(a.is_per_entity());
+        assert!(!FaultPlane::new(scenario).is_per_entity());
+    }
+
+    #[test]
+    fn crash_of_matches_only_the_crashed_node() {
+        use crate::scenario::NodeCrash;
+        let plane = FaultPlane::per_entity(FaultScenario {
+            crash: Some(NodeCrash {
+                node: 5,
+                at_us: 40,
+                down_us: 400,
+            }),
+            ..FaultScenario::none()
+        });
+        assert_eq!(plane.crash_of(5).unwrap().at_us, 40);
+        assert!(plane.crash_of(4).is_none());
+        assert_eq!(plane.stats().crashes.get(), 0);
+        plane.record_crash();
+        assert_eq!(plane.stats().crashes.get(), 1);
+        assert_eq!(plane.stats().total(), 1);
     }
 
     #[test]

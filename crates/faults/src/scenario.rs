@@ -51,6 +51,38 @@ pub struct NodePause {
     pub dur_us: u32,
 }
 
+/// A whole-node crash: the node's CPU stops, its NIC powers off, and all
+/// volatile state (memory pages, address-space layout, NIC page tables,
+/// in-flight transfers) is lost. With `down_us == 0` the node never comes
+/// back; otherwise it restarts deterministically after the outage with
+/// empty memory and re-runs its program from the top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NodeCrash {
+    /// Crashed node.
+    pub node: u8,
+    /// Onset time in microseconds of sim time.
+    pub at_us: u32,
+    /// Outage duration in microseconds; `0` means the crash is permanent.
+    pub down_us: u32,
+}
+
+impl NodeCrash {
+    /// `true` for a permanent (never-restarting) crash.
+    pub fn is_permanent(&self) -> bool {
+        self.down_us == 0
+    }
+
+    /// Crash onset in sim time.
+    pub fn onset(&self) -> Time {
+        time::us(self.at_us as u64)
+    }
+
+    /// Restart time, for a crash that restarts.
+    pub fn restart_at(&self) -> Option<Time> {
+        (!self.is_permanent()).then(|| self.onset() + time::us(self.down_us as u64))
+    }
+}
+
 /// Everything the fault plane injects into one run.
 ///
 /// The default ([`FaultScenario::none`]) injects nothing, costs nothing, and
@@ -75,6 +107,8 @@ pub struct FaultScenario {
     pub interrupt_delay_us: u32,
     /// A CPU pause on one node.
     pub pause: Option<NodePause>,
+    /// A whole-node crash, optionally followed by a deterministic restart.
+    pub crash: Option<NodeCrash>,
 }
 
 impl FaultScenario {
@@ -92,6 +126,7 @@ impl FaultScenario {
             || self.fifo_stall.is_some()
             || self.interrupt_delay_us > 0
             || self.pause.is_some()
+            || self.crash.is_some()
     }
 
     /// The fixed interrupt-delivery delay.
@@ -124,6 +159,14 @@ impl FaultScenario {
         }
         if let Some(p) = &self.pause {
             parts.push(format!("pause{}", p.node));
+        }
+        if let Some(c) = &self.crash {
+            let kind = if c.is_permanent() {
+                "crash"
+            } else {
+                "crashres"
+            };
+            parts.push(format!("{kind}{}", c.node));
         }
         if parts.is_empty() {
             "none".to_string()
@@ -180,5 +223,31 @@ mod tests {
         };
         assert!(permanent.is_permanent());
         assert!(permanent.blocks_at(time::us(1_000_000)));
+    }
+
+    #[test]
+    fn crash_label_distinguishes_permanent_from_restarting() {
+        let dead = FaultScenario {
+            crash: Some(NodeCrash {
+                node: 5,
+                at_us: 40,
+                down_us: 0,
+            }),
+            ..FaultScenario::none()
+        };
+        assert!(dead.is_active());
+        assert_eq!(dead.label(), "crash5");
+        assert!(dead.crash.unwrap().restart_at().is_none());
+
+        let restarts = FaultScenario {
+            crash: Some(NodeCrash {
+                node: 5,
+                at_us: 40,
+                down_us: 400,
+            }),
+            ..FaultScenario::none()
+        };
+        assert_eq!(restarts.label(), "crashres5");
+        assert_eq!(restarts.crash.unwrap().restart_at(), Some(time::us(440)));
     }
 }

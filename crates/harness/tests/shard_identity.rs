@@ -104,10 +104,10 @@ fn cluster_rows_are_byte_identical_across_shard_counts() {
 
 /// Chaos under parallel: the nine chaos smoke rows executed with
 /// `--shards 4` reproduce the committed chaos baseline byte for byte.
-/// Fault scenarios couple all nodes through one RNG stream, so chaos
-/// rows always execute on the single-`Sim` contended path (see
-/// `ClusterBuilder::launch`) and the flag must be a no-op for them even
-/// with the fault plane active.
+/// These rows run classic single-`Sim` applications (Radix on `build()`),
+/// where the fault plane draws from its legacy shared RNG stream — the
+/// stream the committed bytes pin — so the `--shards` flag must stay a
+/// no-op for them even with the fault plane active.
 #[test]
 fn chaos_rows_under_shards_4_match_the_committed_baseline() {
     let mut specs = matrix(Scale::Smoke, 4);
@@ -118,5 +118,39 @@ fn chaos_rows_under_shards_4_match_the_committed_baseline() {
         fresh,
         committed("chaos-smoke.json"),
         "--shards 4 (or a regression) changed the chaos sweep artifact"
+    );
+}
+
+/// Sharded chaos: the chaos-cluster rows — fault scenarios on the
+/// `launch()` path, per-entity RNG streams, crash/restart faults, and
+/// the heartbeat failure detector — produce byte-identical artifacts at
+/// `--shards` 1, 2 and 4, and the single-shard run (the windowless
+/// single-`Sim` oracle) matches the committed baseline byte for byte.
+#[test]
+fn chaos_cluster_rows_are_byte_identical_across_shard_counts() {
+    let mut specs = matrix(Scale::Smoke, 4);
+    specs.retain(|s| s.experiment == "chaos-cluster");
+    assert_eq!(specs.len(), 3, "smoke chaos-cluster group changed size");
+    assert!(
+        specs
+            .iter()
+            .any(|s| s.nodes == 64 && s.knobs.faults.crash.is_some()),
+        "chaos-cluster group lost its 64-node crash rows"
+    );
+    let oracle = sweep_bytes(&specs, 1);
+    assert_eq!(
+        oracle,
+        sweep_bytes(&specs, 2),
+        "--shards 2 changed the chaos-cluster rows"
+    );
+    assert_eq!(
+        oracle,
+        sweep_bytes(&specs, 4),
+        "--shards 4 changed the chaos-cluster rows"
+    );
+    assert_eq!(
+        oracle,
+        committed("chaos-cluster-smoke.json"),
+        "the chaos-cluster artifact drifted from its committed baseline"
     );
 }

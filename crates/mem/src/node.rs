@@ -74,6 +74,20 @@ impl NodeMem {
         }
     }
 
+    /// Power-cycles the memory: every allocated page, cache-mode entry, and
+    /// pin is lost and the allocator rewinds to page 1, so a restarted node
+    /// that re-runs the same program reproduces the same physical pages.
+    ///
+    /// The snoop hook and write gates survive the reset — they model wiring
+    /// (the Xpress-bus board, parked pollers on other tasks), not volatile
+    /// contents.
+    pub fn reset(&self) {
+        self.inner.pages.borrow_mut().clear();
+        self.inner.cache_modes.borrow_mut().clear();
+        self.inner.pinned.borrow_mut().clear();
+        *self.inner.next_phys_page.borrow_mut() = 1;
+    }
+
     /// Allocates `npages` fresh, zeroed, contiguous physical pages and
     /// returns the first page number.
     pub fn alloc_pages(&self, npages: usize) -> u64 {
@@ -320,6 +334,26 @@ mod tests {
         assert!(m.is_pinned(p));
         m.unpin(p);
         assert!(!m.is_pinned(p));
+    }
+
+    #[test]
+    fn reset_rewinds_the_allocator_and_keeps_the_snoop() {
+        let m = NodeMem::new();
+        let seen = Rc::new(RefCell::new(0usize));
+        let s = seen.clone();
+        m.set_snoop(move |_, _| *s.borrow_mut() += 1);
+        let p = m.alloc_pages(2);
+        m.set_cache_mode(p, CacheMode::WriteThrough);
+        m.pin(p);
+        m.reset();
+        assert_eq!(m.allocated_pages(), 0);
+        assert!(!m.is_pinned(p));
+        // The rewound allocator hands back the same first page.
+        assert_eq!(m.alloc_pages(2), p);
+        // Snoop wiring survived: a write-through store is still seen.
+        m.set_cache_mode(p, CacheMode::WriteThrough);
+        m.cpu_store(Paddr::from_parts(p, 0), &[1]);
+        assert_eq!(*seen.borrow(), 1);
     }
 
     #[test]

@@ -49,6 +49,14 @@ impl AddressSpace {
         &self.inner.mem
     }
 
+    /// Forgets every mapping and rewinds the virtual allocator, so a
+    /// restarted process re-running the same allocation sequence reproduces
+    /// the same virtual (and, after [`NodeMem::reset`], physical) pages.
+    pub fn reset(&self) {
+        self.inner.table.borrow_mut().clear();
+        *self.inner.next_virt_page.borrow_mut() = 16;
+    }
+
     /// Allocates and maps `npages` fresh pages of zeroed memory; returns the
     /// (page-aligned) base virtual address.
     pub fn alloc(&self, npages: usize) -> Vaddr {
@@ -231,6 +239,21 @@ mod tests {
         for i in 0..3 {
             assert!(!mem.is_pinned(sp.phys_page(v.page() + i)));
         }
+    }
+
+    #[test]
+    fn reset_reproduces_the_allocation_sequence() {
+        let mem = NodeMem::new();
+        let sp = AddressSpace::new(mem.clone());
+        let a = sp.alloc(2);
+        let b = sp.alloc(1);
+        let phys = (sp.translate(a).page(), sp.translate(b).page());
+        sp.reset();
+        mem.reset();
+        let a2 = sp.alloc(2);
+        let b2 = sp.alloc(1);
+        assert_eq!((a, b), (a2, b2));
+        assert_eq!(phys, (sp.translate(a2).page(), sp.translate(b2).page()));
     }
 
     #[test]

@@ -320,13 +320,15 @@ impl<P: 'static> Network<P> {
     ///
     /// # Panics
     ///
-    /// Panics on a sharded backplane: the fault plane's single RNG stream
-    /// is zero-lookahead shared state, so chaos scenarios run one-shard
-    /// (the builder enforces this).
+    /// Panics when a legacy shared-stream plane ([`FaultPlane::new`]) is
+    /// installed on a sharded backplane: its single RNG stream is
+    /// zero-lookahead shared state. Sharded backplanes take a
+    /// [`FaultPlane::per_entity`] plane (one stream per mesh edge), whose
+    /// draws depend only on per-edge send order and therefore partition.
     pub fn install_fault_plane(&self, plane: FaultPlane) {
         assert!(
-            self.inner.decoupled.is_none(),
-            "fault planes require the contended single-shard transport"
+            self.inner.decoupled.is_none() || plane.is_per_entity(),
+            "sharded backplanes require a per-entity fault plane"
         );
         *self.inner.faults.borrow_mut() = Some(plane);
     }
@@ -483,7 +485,7 @@ impl<P: 'static> Network<P> {
             );
             let fate = plane
                 .as_ref()
-                .map_or(PacketFate::Deliver, |p| p.packet_fate());
+                .map_or(PacketFate::Deliver, |p| p.packet_fate(src.0, dst.0));
             (head + serialization + cfg.transceiver_latency, fate)
         };
 
@@ -497,7 +499,7 @@ impl<P: 'static> Network<P> {
                         plane
                             .as_ref()
                             .expect("corrupt fate without plane")
-                            .corrupt_salt(),
+                            .corrupt_salt(src.0, dst.0),
                     );
                 }
                 if fate == PacketFate::Duplicate {
@@ -515,15 +517,38 @@ impl<P: 'static> Network<P> {
     /// latency plus the per-pair no-overtake clamp, then either a local
     /// insert into the destination's reorder heap at arrival time or a
     /// cross-shard flit through the [`ShardSender`].
-    fn send_decoupled(&self, src: NodeId, dst: NodeId, payload_bytes: usize, packet: P) -> Time {
+    ///
+    /// Fault injection here consults only sender-shard state: the fate draw
+    /// comes from the `(src, dst)` edge's own stream (a per-entity plane —
+    /// the only kind installable on a sharded backplane), and link-fault
+    /// routing depends on the send instant, which is node-local. Every
+    /// injected fault is therefore identical at any shard count.
+    fn send_decoupled(&self, src: NodeId, dst: NodeId, payload_bytes: usize, mut packet: P) -> Time
+    where
+        P: Clone + Faultable,
+    {
         let sim = &self.inner.sim;
         let cfg = &self.inner.cfg;
         let d = self.inner.decoupled.as_ref().expect("decoupled transport");
         let wire_bytes = (payload_bytes + cfg.header_bytes) as u64;
         let serialization = time::transfer(wire_bytes, cfg.link_bytes_per_sec);
+        let plane = self.inner.faults.borrow().clone();
         let (sx, sy) = cfg.coords(src);
         let (dx, dy) = cfg.coords(dst);
-        let hops = sx.abs_diff(dx) + sy.abs_diff(dy);
+        let mut hops = sx.abs_diff(dx) + sy.abs_diff(dy);
+        // A failed link stretches (or severs) the route exactly as on the
+        // contended path; the detour's extra hops feed the point latency.
+        if src != dst {
+            if let Some(p) = plane.as_ref().filter(|p| p.has_link_faults()) {
+                match self.route_avoiding(src, dst, p) {
+                    Some(path) => hops = path.len() - 1,
+                    None => {
+                        p.record_link_reject();
+                        return sim.now();
+                    }
+                }
+            }
+        }
         let ideal = if src == dst {
             // Loopback: transceiver out and back, never touching the mesh.
             sim.now() + 2 * cfg.transceiver_latency + serialization
@@ -565,17 +590,56 @@ impl<P: 'static> Network<P> {
                 "{src} -> {dst}: {wire_bytes} B over {hops} hops (decoupled)"
             );
         }
+        // Loopback never touches the mesh, so packet fates cannot reach it.
+        let fate = if src == dst {
+            PacketFate::Deliver
+        } else {
+            plane
+                .as_ref()
+                .map_or(PacketFate::Deliver, |p| p.packet_fate(src.0, dst.0))
+        };
+        if fate == PacketFate::Drop {
+            // The clamp already advanced — a dropped packet still occupied
+            // its channel slot, exactly as on the contended path.
+            return arrival;
+        }
+        if fate == PacketFate::Corrupt {
+            packet.corrupt(
+                plane
+                    .as_ref()
+                    .expect("corrupt fate without plane")
+                    .corrupt_salt(src.0, dst.0),
+            );
+        }
         if d.shard_map[dst.0] == d.shard {
             // Deliveries are *events at the arrival instant*: the insert
             // runs at `arrival`, so its executor seq — like the seqs of the
             // cross-shard dispatches merged at the window boundary — is
             // assigned before the instant executes, and the drain scheduled
             // *during* the instant runs after every same-instant insert.
+            if fate == PacketFate::Duplicate {
+                let dup = packet.clone();
+                let net = self.clone();
+                sim.schedule(arrival, move || {
+                    net.insert_decoupled(arrival, src, dst, dup);
+                });
+            }
             let net = self.clone();
             sim.schedule(arrival, move || {
                 net.insert_decoupled(arrival, src, dst, packet);
             });
         } else {
+            if fate == PacketFate::Duplicate {
+                d.sender.send(
+                    d.shard_map[dst.0],
+                    arrival,
+                    Flit {
+                        src,
+                        dst,
+                        pkt: packet.clone(),
+                    },
+                );
+            }
             d.sender.send(
                 d.shard_map[dst.0],
                 arrival,
@@ -641,9 +705,19 @@ impl<P: 'static> Network<P> {
 
     /// A route from `src` to `dst` that avoids links failed *now*: the
     /// dimension-order route when it is clean, otherwise the first
-    /// breadth-first detour (deterministic neighbor order). `None` when the
-    /// failure disconnects the pair.
-    fn route_avoiding(&self, src: NodeId, dst: NodeId, plane: &FaultPlane) -> Option<Vec<usize>> {
+    /// breadth-first detour (deterministic neighbor order — x−1, x+1, y−1,
+    /// y+1). `None` when the failure disconnects the pair.
+    ///
+    /// The detour is a pure function of `(geometry, src, dst, blocked links
+    /// at now)` — no transport state — which is what makes link-fault
+    /// behavior identical between the contended and decoupled transports and
+    /// at every shard count (pinned by the route-around property test).
+    pub fn route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        plane: &FaultPlane,
+    ) -> Option<Vec<usize>> {
         let now = self.inner.sim.now();
         let dim = self.route(src, dst);
         if dim.windows(2).all(|w| !plane.link_blocked(w[0], w[1], now)) {

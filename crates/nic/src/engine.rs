@@ -114,6 +114,11 @@ struct NicInner {
     seq_counter: Cell<u64>,
     ack_waiters: RefCell<BTreeMap<u64, AckWaiter>>,
     seen_seqs: RefCell<BTreeMap<usize, BTreeSet<u64>>>,
+    // Cleared by a crash fault; every engine discards work while off.
+    powered: Cell<bool>,
+    // Bumped by every power_off so engines sleeping across an outage can
+    // tell their in-flight work belongs to a dead incarnation.
+    power_epoch: Cell<u64>,
 }
 
 /// One node's SHRIMP network interface. Cheap to clone (shared handle).
@@ -177,6 +182,8 @@ impl Nic {
                 seq_counter: Cell::new(0),
                 ack_waiters: RefCell::new(BTreeMap::new()),
                 seen_seqs: RefCell::new(BTreeMap::new()),
+                powered: Cell::new(true),
+                power_epoch: Cell::new(0),
             }),
         };
         // The Xpress-bus board: snoop every main-memory write.
@@ -196,6 +203,35 @@ impl Nic {
         self.inner
             .sim
             .spawn(async move { n.incoming_engine().await });
+    }
+
+    /// Powers the board off: both page tables, any half-combined AU packet,
+    /// ack waiters, and receive dedup state are lost, and every engine
+    /// discards work (arriving packets vanish, queued DU requests complete
+    /// without sending, the FIFO drains to nowhere) until [`Nic::power_on`].
+    ///
+    /// The sequence counter deliberately survives: it is the incarnation
+    /// guard. A restarted node keeps allocating monotonically increasing
+    /// seqs, so its post-restart transfers can never collide with pre-crash
+    /// seqs lingering in peers' dedup tables.
+    pub fn power_off(&self) {
+        self.inner.powered.set(false);
+        self.inner.power_epoch.set(self.inner.power_epoch.get() + 1);
+        self.inner.tables.clear();
+        *self.inner.pending_au.borrow_mut() = None;
+        self.inner.ack_waiters.borrow_mut().clear();
+        self.inner.seen_seqs.borrow_mut().clear();
+    }
+
+    /// Restores power after [`Nic::power_off`]; the board comes up with
+    /// empty tables, ready for the restarted node's exports and imports.
+    pub fn power_on(&self) {
+        self.inner.powered.set(true);
+    }
+
+    /// `false` while a crash fault has the board powered off.
+    pub fn is_powered(&self) -> bool {
+        self.inner.powered.get()
     }
 
     /// Closes all NIC queues so the engine processes terminate once idle.
@@ -376,11 +412,22 @@ impl Nic {
             let Some((req, done)) = self.inner.du_queue.recv().await else {
                 break;
             };
-            let entry = self
-                .inner
-                .tables
-                .opt_get(req.proxy_index)
-                .expect("OPT entry vanished under pending DU transfer");
+            if !self.inner.powered.get() {
+                // Dead board: the request is consumed and completed so no
+                // submitter wedges, but nothing reaches the wire.
+                done.set();
+                self.inner.du_slots.release();
+                continue;
+            }
+            let Some(entry) = self.inner.tables.opt_get(req.proxy_index) else {
+                // A crash wiped the tables while this request was queued
+                // (possibly a whole power cycle ago): drop it like the
+                // dead-board path above.
+                done.set();
+                self.inner.du_slots.release();
+                continue;
+            };
+            let epoch = self.inner.power_epoch.get();
             // DMA the data out of main memory across the EISA bus; the
             // memory bus is occupied for the duration (no cycle sharing).
             let dur = self.inner.cfg.dma_setup
@@ -388,6 +435,13 @@ impl Nic {
             let (_, end) = self.inner.eisa.reserve(&self.inner.sim, dur);
             let end = end.max(self.inner.membus.occupy_reserve(&self.inner.sim, dur).1);
             self.inner.sim.sleep_until(end).await;
+            if !self.inner.powered.get() || self.inner.power_epoch.get() != epoch {
+                // Power was lost mid-DMA; the source memory is gone. The
+                // transfer aborts without touching the wire.
+                done.set();
+                self.inner.du_slots.release();
+                continue;
+            }
             self.stall_cpu(dur);
 
             let mut data = crate::pool::zeroed(req.len);
@@ -451,6 +505,9 @@ impl Nic {
     /// memory bus. Writes whose OPT entry is absent or not AU-enabled are
     /// snooped but ignored (§2.3).
     pub fn snoop_store(&self, addr: Paddr, data: &[u8]) {
+        if !self.inner.powered.get() {
+            return;
+        }
         let Some(entry) = self.inner.tables.opt_get(addr.page()) else {
             return;
         };
@@ -530,6 +587,9 @@ impl Nic {
     /// Flushes any pending combined packet immediately (used by software
     /// barriers/releases that need AU data pushed out).
     pub fn flush_au(&self) {
+        if !self.inner.powered.get() {
+            return;
+        }
         let p = self.inner.pending_au.borrow_mut().take();
         if let Some(p) = p {
             self.emit_au_packet(p);
@@ -644,6 +704,12 @@ impl Nic {
             if let Some(until) = stall {
                 self.inner.sim.sleep_until(until).await;
             }
+            if !self.inner.powered.get() {
+                // Dead board: the FIFO drains to nowhere.
+                let occ = self.inner.fifo_bytes.get() - pkt.len();
+                self.inner.fifo_bytes.set(occ);
+                continue;
+            }
             // The FIFO drains through the NIC chip at link rate; incoming
             // packets have priority for the chip port, modeled by sharing
             // `nic_access` with the incoming engine.
@@ -680,6 +746,11 @@ impl Nic {
     }
 
     async fn process_incoming(&self, pkt: &mut Packet, link_bw: u64) {
+        if !self.inner.powered.get() {
+            // Dead board: every arriving packet — control included — is
+            // absorbed by the backplane with no counters, acks, or DMA.
+            return;
+        }
         if pkt.kind.is_control() {
             self.handle_control(pkt);
             return;
@@ -732,6 +803,7 @@ impl Nic {
         }
         // Receive through the NIC chip port (blocks the outgoing drain),
         // then DMA to main memory over the EISA and memory buses.
+        let epoch = self.inner.power_epoch.get();
         let recv_d =
             self.inner.cfg.incoming_packet_overhead + time::transfer(pkt.len() as u64, link_bw);
         self.inner.nic_access.use_for(&self.inner.sim, recv_d).await;
@@ -743,6 +815,12 @@ impl Nic {
         let (_, end) = self.inner.eisa.reserve(&self.inner.sim, dma_d);
         let end = end.max(self.inner.membus.occupy_reserve(&self.inner.sim, dma_d).1);
         self.inner.sim.sleep_until(end).await;
+        if !self.inner.powered.get() || self.inner.power_epoch.get() != epoch {
+            // Power was lost while the packet was crossing the chip port:
+            // the destination memory is gone, so the packet dies here —
+            // no DMA, no interrupt, no ack.
+            return;
+        }
         self.stall_cpu(dma_d);
         self.inner
             .mem
@@ -1490,6 +1568,81 @@ mod tests {
         let c0 = r.nics[0].counters();
         assert_eq!(c0.du_transfers.get(), 1);
         assert_eq!(c0.au_packets.get(), 1);
+    }
+
+    #[test]
+    fn powered_off_nic_absorbs_traffic_and_keeps_its_seq_counter() {
+        let r = rig(2, NicConfig::default());
+        let (proxy, dst_page) = export_import(&r, 0, 1);
+        let v = r.spaces[0].alloc(1);
+        r.spaces[0].write_raw(v, &[3; 16]);
+        let pa = r.spaces[0].translate(v);
+
+        let seq_before = r.nics[1].next_seq();
+        r.nics[1].power_off();
+        assert!(!r.nics[1].is_powered());
+        // The receiver's IPT was cleared — but even before protection, the
+        // dead board absorbs the packet without counting it.
+        let nic = r.nics[0].clone();
+        r.sim.spawn(async move {
+            let done = nic
+                .deliberate_update(DuRequest {
+                    src: pa,
+                    proxy_index: proxy,
+                    dst_offset: 0,
+                    len: 16,
+                    interrupt: false,
+                    notify: false,
+                    seq: 0,
+                })
+                .await
+                .unwrap();
+            done.wait().await;
+        });
+        r.sim.run();
+        assert_eq!(r.nics[1].counters().packets_received.get(), 0);
+        let mut got = [0u8; 16];
+        r.spaces[1]
+            .mem()
+            .read(Paddr::from_parts(dst_page, 0), &mut got);
+        assert_eq!(got, [0u8; 16], "dead NIC DMA'd a packet");
+
+        // Power back on: the incarnation guard keeps seqs monotone.
+        r.nics[1].power_on();
+        assert!(r.nics[1].is_powered());
+        assert_eq!(r.nics[1].next_seq(), seq_before + 1);
+        // Tables were lost; a fresh export is needed before traffic lands.
+        assert!(r.nics[1].tables().ipt_get(dst_page).is_none());
+        r.nics[1].ipt_set(
+            dst_page,
+            IptEntry {
+                accept: true,
+                interrupt_enable: false,
+                buffer_id: 0,
+            },
+        );
+        let nic = r.nics[0].clone();
+        r.sim.spawn(async move {
+            let done = nic
+                .deliberate_update(DuRequest {
+                    src: pa,
+                    proxy_index: proxy,
+                    dst_offset: 0,
+                    len: 16,
+                    interrupt: false,
+                    notify: false,
+                    seq: 0,
+                })
+                .await
+                .unwrap();
+            done.wait().await;
+        });
+        finish(&r);
+        assert_eq!(r.nics[1].counters().packets_received.get(), 1);
+        r.spaces[1]
+            .mem()
+            .read(Paddr::from_parts(dst_page, 0), &mut got);
+        assert_eq!(got, [3; 16]);
     }
 
     #[test]

@@ -64,6 +64,15 @@ impl PageTables {
         }
     }
 
+    /// Drops every OPT/IPT entry and rewinds the proxy allocator — the
+    /// board's RAM after a power cycle. A restarted node re-running the same
+    /// export/import sequence reallocates the same proxy indices.
+    pub fn clear(&self) {
+        self.opt.borrow_mut().clear();
+        self.ipt.borrow_mut().clear();
+        *self.next_proxy.borrow_mut() = PROXY_INDEX_BASE;
+    }
+
     /// Allocates `n` consecutive proxy OPT indices (for an import) and
     /// returns the first.
     pub fn alloc_proxy_range(&self, n: usize) -> u64 {
