@@ -123,6 +123,14 @@ pub enum App {
     /// Table 1 application, so it is absent from [`App::all`]; it builds
     /// its own sharded cluster per run.
     ClusterNodes,
+    /// The warm-start variant of the distributed-cluster workload
+    /// (`shrimp_core::warm`): the warmup prefix runs once under the
+    /// as-built machine, is checkpointed at the drain barrier, and each
+    /// row resumes from the checkpoint under its own knobs. Used by the
+    /// `"warm"` experiment group and the harness
+    /// `--checkpoint-out`/`--checkpoint-in` flags. Not a Table 1
+    /// application, so it is absent from [`App::all`].
+    WarmClusterNodes,
 }
 
 impl App {
@@ -153,6 +161,7 @@ impl App {
             App::RenderSockets => "Render-sockets",
             App::ParallelNodes => "Engine-parallel",
             App::ClusterNodes => "Cluster-distributed",
+            App::WarmClusterNodes => "Cluster-warm",
         }
     }
 
@@ -164,7 +173,7 @@ impl App {
             App::BarnesNx | App::OceanNx => "NX",
             App::DfsSockets | App::RenderSockets => "Sockets",
             App::ParallelNodes => "Engine",
-            App::ClusterNodes => "VMMC",
+            App::ClusterNodes | App::WarmClusterNodes => "VMMC",
         }
     }
 
@@ -201,6 +210,13 @@ impl App {
                 let p = spec::distributed_params_at(global_scale());
                 format!("{} nodes x {} rounds", p.nodes, p.steps)
             }
+            App::WarmClusterNodes => {
+                let p = spec::warm_params_at(global_scale(), 16, 1);
+                format!(
+                    "{} nodes x {} rounds ({} warmup)",
+                    p.base.nodes, p.base.steps, p.warmup
+                )
+            }
         }
     }
 
@@ -235,6 +251,22 @@ impl App {
             // the reference execution and every count agrees with it.
             let params = spec::distributed_params_at(scale_of(harness)).scaled_to(nodes);
             let out = shrimp_core::run_distributed(&params, cfg, shrimp_core::Shards::Fixed(1));
+            return RunOutcome {
+                elapsed: out.elapsed,
+                checksum: out
+                    .node_results
+                    .iter()
+                    .fold(0u64, |acc, &r| acc.wrapping_add(r)),
+                messages: out.messages,
+                notifications: out.notifications,
+                svm: None,
+            };
+        }
+        if *self == App::WarmClusterNodes {
+            // The cold two-phase pipeline (warmup + checkpoint + resume);
+            // one shard is the reference execution here too.
+            let params = spec::warm_params_at(scale_of(harness), nodes, 1);
+            let (out, _) = shrimp_core::run_cold(&params, cfg, shrimp_core::Shards::Fixed(1));
             return RunOutcome {
                 elapsed: out.elapsed,
                 checksum: out

@@ -18,8 +18,9 @@ use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc, RadixParams};
 use shrimp_apps::render::{run_render, RenderParams};
 use shrimp_apps::{Mechanism, RunOutcome};
 use shrimp_core::{
-    run_chaos_distributed, run_distributed, run_parallel, Cluster, ClusterReport, DesignConfig,
-    DistributedParams, HeartbeatConfig, ParallelParams, RingBulk,
+    run_chaos_distributed, run_cold, run_distributed, run_parallel, run_warm, Cluster,
+    ClusterCheckpoint, ClusterReport, DesignConfig, DistributedParams, HeartbeatConfig,
+    LaunchOutcome, ParallelParams, RingBulk, WarmParams,
 };
 use shrimp_faults::{FaultScenario, FifoStall, LinkFault, NodeCrash, NodePause};
 use shrimp_sim::{time, MetricsSnapshot, Time, TraceEvent};
@@ -203,6 +204,17 @@ pub fn distributed_params_at(scale: Scale) -> DistributedParams {
         Scale::Reduced => DistributedParams::with_steps(96),
         Scale::Full => DistributedParams::with_steps(384),
     }
+}
+
+/// Warm-start workload at a scale: the distributed-cluster shape on
+/// `nodes` nodes, split at the midpoint — half the rounds are warmup
+/// (phase A, checkpointed once), half resume from the checkpoint (phase
+/// B, per knob setting). Derived, not stored: every warm row of a given
+/// (scale, nodes, seed) shares one checkpoint fingerprint.
+pub fn warm_params_at(scale: Scale, nodes: usize, seed: u64) -> WarmParams {
+    let mut base = distributed_params_at(scale).scaled_to(nodes);
+    base.seed = seed;
+    WarmParams::split(base)
 }
 
 /// Render workload at a scale.
@@ -508,6 +520,12 @@ impl RunSpec {
         if self.app == App::ClusterNodes {
             return self.execute_cluster(observe, cli_shards);
         }
+        if self.app == App::WarmClusterNodes {
+            let (record, perf, _) = self
+                .execute_warm_at(cli_shards, None)
+                .expect("a cold warm-cluster run consumes no external checkpoint");
+            return (record, perf, observe.then(Observation::default));
+        }
         let start = std::time::Instant::now();
         let cluster = Cluster::builder(self.nodes)
             .config(self.design_config())
@@ -640,6 +658,92 @@ impl RunSpec {
         )
     }
 
+    /// The warm-start execution path ([`App::WarmClusterNodes`]).
+    ///
+    /// With `checkpoint` (an encoded
+    /// [`ClusterCheckpoint`], the harness
+    /// `--checkpoint-in` payload) the warmup phase is skipped entirely:
+    /// the machine restores from the artifact and runs only phase B —
+    /// the warm start. Without it the row runs **cold**: warmup under the
+    /// as-built machine, checkpoint encode + decode, then the identical
+    /// phase B — so cold and warm rows are byte-identical by construction
+    /// and differ only in wall-clock.
+    ///
+    /// Returns the record, the perf sample, and the encoded checkpoint
+    /// the row ran from (the input echoed back on warm starts, freshly
+    /// captured on cold runs — the harness `--checkpoint-out` payload).
+    ///
+    /// # Errors
+    ///
+    /// Any [`shrimp_sim::SnapshotError`] from decoding the artifact, and
+    /// [`FingerprintMismatch`](shrimp_sim::SnapshotError::FingerprintMismatch)
+    /// when it was produced by a different workload shape (scale, nodes,
+    /// or seed) than this spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on any app but [`App::WarmClusterNodes`], or on
+    /// a spec whose knobs carry a fault scenario (the restore plane is
+    /// fault-free).
+    pub fn execute_warm_at(
+        &self,
+        cli_shards: usize,
+        checkpoint: Option<&[u8]>,
+    ) -> Result<(RunRecord, PerfSample, Vec<u8>), shrimp_sim::SnapshotError> {
+        assert_eq!(
+            self.app,
+            App::WarmClusterNodes,
+            "execute_warm_at only runs warm-cluster rows"
+        );
+        assert!(
+            !self.knobs.faults.is_active(),
+            "warm-start rows cannot carry a fault scenario"
+        );
+        let start = std::time::Instant::now();
+        let params = warm_params_at(self.scale, self.nodes, self.seed);
+        let shards = self.effective_shards(cli_shards);
+        let cfg = self.design_config();
+        let (out, bytes) = match checkpoint {
+            Some(bytes) => {
+                let ckpt = ClusterCheckpoint::decode(bytes)?;
+                let out = run_warm(&params, cfg, Shards::Fixed(shards), &ckpt)?;
+                (out, bytes.to_vec())
+            }
+            None => run_cold(&params, cfg, Shards::Fixed(shards)),
+        };
+        let record = Self::record_of_launch(&out);
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        Ok((
+            record,
+            PerfSample {
+                wall_ns,
+                events: out.events,
+                peak_rss_bytes: peak_rss_bytes(),
+                shards: out.shards,
+            },
+            bytes,
+        ))
+    }
+
+    /// The fault-free [`RunRecord`] of a phase-B
+    /// [`LaunchOutcome`](shrimp_core::LaunchOutcome).
+    fn record_of_launch(out: &LaunchOutcome) -> RunRecord {
+        RunRecord {
+            elapsed: out.elapsed,
+            checksum: out
+                .node_results
+                .iter()
+                .fold(0u64, |acc, &r| acc.wrapping_add(r)),
+            messages: out.messages,
+            notifications: out.notifications,
+            interrupts: out.interrupts,
+            syscalls: out.syscalls,
+            net_packets: out.net_packets,
+            net_bytes: out.net_bytes,
+            recovery: None,
+        }
+    }
+
     /// The engine-parallel execution path: no cluster, no trace/metrics
     /// plane (the shard workload records nothing into either, so an
     /// observed run yields an empty [`Observation`]). The [`RunRecord`] is
@@ -718,6 +822,9 @@ impl RunSpec {
             }
             App::ClusterNodes => {
                 panic!("Cluster-distributed builds its own sharded cluster; execute the spec instead of run_on")
+            }
+            App::WarmClusterNodes => {
+                panic!("Cluster-warm builds its own sharded clusters; execute the spec instead of run_on")
             }
         }
     }
@@ -1201,6 +1308,26 @@ pub fn matrix(scale: Scale, max_nodes: usize) -> Vec<RunSpec> {
         );
     }
 
+    // Warm-start: three knob settings forked from one post-warmup
+    // checkpoint of the 64-node distributed workload (half the rounds are
+    // warmup — see `warm_params_at`). All three rows share a checkpoint
+    // fingerprint, so the harness `--checkpoint-in` mode resumes every
+    // one of them from a single artifact; rows are byte-identical whether
+    // run cold or warm, and at every shard count.
+    for knobs in [
+        Knobs::as_built(),
+        Knobs {
+            syscall_send: true,
+            ..Knobs::as_built()
+        },
+        Knobs {
+            interrupt_per_message: true,
+            ..Knobs::as_built()
+        },
+    ] {
+        specs.push(RunSpec::new("warm", App::WarmClusterNodes, 64, scale).with_knobs(knobs));
+    }
+
     specs
 }
 
@@ -1253,6 +1380,7 @@ mod tests {
             "parallel",
             "cluster",
             "chaos-cluster",
+            "warm",
         ] {
             assert!(
                 specs.iter().any(|s| s.experiment == exp),
@@ -1346,6 +1474,29 @@ mod tests {
         let (two, perf2) = pinned.execute_timed_at(4);
         assert_eq!(one, two);
         assert_eq!(perf2.shards, 2);
+    }
+
+    /// Every warm row forks from one shared checkpoint artifact, matches
+    /// its own cold run byte-for-byte, and refuses foreign checkpoints.
+    #[test]
+    fn warm_rows_fork_from_one_checkpoint_and_match_cold() {
+        let rows: Vec<RunSpec> = matrix(Scale::Smoke, 4)
+            .into_iter()
+            .filter(|s| s.experiment == "warm")
+            .collect();
+        assert_eq!(rows.len(), 3, "the warm group lost rows");
+        let (_, _, bytes) = rows[0].execute_warm_at(1, None).unwrap();
+        for row in &rows {
+            let (warm, _, echoed) = row.execute_warm_at(2, Some(&bytes)).unwrap();
+            let (cold, _) = row.execute_timed_at(1);
+            assert_eq!(warm, cold, "{} diverged warm vs cold", row.id());
+            assert_eq!(echoed, bytes, "warm start must echo its input artifact");
+        }
+        let foreign = rows[0].clone().with_seed(9);
+        assert!(matches!(
+            foreign.execute_warm_at(1, Some(&bytes)),
+            Err(shrimp_sim::SnapshotError::FingerprintMismatch)
+        ));
     }
 
     /// A chaos-cluster crash row produces finite detector metrics and

@@ -46,17 +46,17 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use shrimp_faults::{node_backoff, NodeCrash};
-use shrimp_mem::PAGE_SIZE;
+use shrimp_mem::{Vaddr, PAGE_SIZE};
 use shrimp_net::NodeId;
 use shrimp_sim::rng::splitmix64;
 use shrimp_sim::shard::Shards;
-use shrimp_sim::{time, Category, Time};
+use shrimp_sim::{time, Category, Queue, Time};
 
-use crate::cluster::{Cluster, LaunchOutcome, NodeProgram};
+use crate::cluster::{Cluster, LaunchOutcome, NodeProgram, Notification};
 use crate::config::DesignConfig;
 use crate::parallel::choice;
 use crate::stats::NodeStats;
-use crate::vmmc::Vmmc;
+use crate::vmmc::{ProxyBuffer, Vmmc};
 
 /// Workload shape for one distributed cluster run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,7 +123,21 @@ pub fn node_program(p: DistributedParams) -> NodeProgram {
     Arc::new(move |vmmc: Vmmc| Box::pin(run_node(vmmc, p)))
 }
 
-async fn run_node(vmmc: Vmmc, p: DistributedParams) -> u64 {
+/// The deterministic buffer map every incarnation of the workload builds
+/// in [`setup_node`]. Shared with the warm-start resume path
+/// (`crate::warm`), whose preamble must replay this map exactly.
+pub(crate) struct NodeSetup {
+    pub(crate) recv: Vaddr,
+    pub(crate) stage: Vaddr,
+    pub(crate) inbox: Queue<Notification>,
+    pub(crate) proxies: Vec<Option<ProxyBuffer>>,
+}
+
+/// The workload preamble: receive buffer, export + notifications, peer
+/// page map, stage buffer, proxy imports. Pure allocation and table
+/// programming — no sends, no awaits — so a checkpoint restore can verify
+/// its replay against the captured allocator cursors and table images.
+pub(crate) fn setup_node(vmmc: &Vmmc, p: &DistributedParams) -> NodeSetup {
     let me = vmmc.node_id().0;
     let n = p.nodes;
     let slot = p.payload;
@@ -144,22 +158,42 @@ async fn run_node(vmmc: Vmmc, p: DistributedParams) -> u64 {
     let proxies: Vec<_> = (0..n)
         .map(|peer| (peer != me).then(|| vmmc.import_remote(NodeId(peer), &peer_pages, len)))
         .collect();
-
-    for step in 0..p.steps {
-        let jitter = choice(p.seed, me, step, 0x6a69) % 1024;
-        vmmc.compute(p.compute + jitter).await;
-        if n == 1 {
-            continue;
-        }
-        let pick = choice(p.seed, me, step, 0x7065) as usize;
-        let dst = (me + 1 + pick % (n - 1)) % n;
-        let bytes: Vec<u8> = (0..slot)
-            .map(|i| (choice(p.seed, me, step, i as u64) & 0xff) as u8)
-            .collect();
-        vmmc.space().write_raw(stage, &bytes);
-        let proxy = proxies[dst].as_ref().expect("never send to self");
-        vmmc.send(stage, proxy, me * slot, slot).await;
+    NodeSetup {
+        recv,
+        stage,
+        inbox,
+        proxies,
     }
+}
+
+/// One compute/send round of the workload: seeded jitter, then one
+/// deliberate-update send to a seeded peer.
+pub(crate) async fn work_step(vmmc: &Vmmc, p: &DistributedParams, s: &NodeSetup, step: u32) {
+    let me = vmmc.node_id().0;
+    let n = p.nodes;
+    let slot = p.payload;
+    let jitter = choice(p.seed, me, step, 0x6a69) % 1024;
+    vmmc.compute(p.compute + jitter).await;
+    if n == 1 {
+        return;
+    }
+    let pick = choice(p.seed, me, step, 0x7065) as usize;
+    let dst = (me + 1 + pick % (n - 1)) % n;
+    let bytes: Vec<u8> = (0..slot)
+        .map(|i| (choice(p.seed, me, step, i as u64) & 0xff) as u8)
+        .collect();
+    vmmc.space().write_raw(s.stage, &bytes);
+    let proxy = s.proxies[dst].as_ref().expect("never send to self");
+    vmmc.send(s.stage, proxy, me * slot, slot).await;
+}
+
+/// The closing notify round plus the receive-buffer checksum that is the
+/// node's program result.
+pub(crate) async fn finish_node(vmmc: &Vmmc, p: &DistributedParams, s: &NodeSetup) -> u64 {
+    let me = vmmc.node_id().0;
+    let n = p.nodes;
+    let slot = p.payload;
+    let len = n * slot;
 
     if n > 1 {
         // Closing round: one notifying send per peer. It follows every
@@ -168,13 +202,13 @@ async fn run_node(vmmc: Vmmc, p: DistributedParams) -> u64 {
         let fin: Vec<u8> = (0..slot)
             .map(|i| (choice(p.seed, me, p.steps, i as u64) & 0xff) as u8)
             .collect();
-        vmmc.space().write_raw(stage, &fin);
-        for proxy in proxies.iter().flatten() {
-            vmmc.send_notify(stage, proxy, me * slot, slot).await;
+        vmmc.space().write_raw(s.stage, &fin);
+        for proxy in s.proxies.iter().flatten() {
+            vmmc.send_notify(s.stage, proxy, me * slot, slot).await;
         }
         let mut checked_in = 0;
         while checked_in < n - 1 {
-            inbox
+            s.inbox
                 .recv()
                 .await
                 .expect("notification queue closed before all peers checked in");
@@ -185,7 +219,7 @@ async fn run_node(vmmc: Vmmc, p: DistributedParams) -> u64 {
     // Checksum the receive buffer (node-local reads of a now-final buffer;
     // the scan is charged as a local copy).
     let mut buf = vec![0u8; len];
-    vmmc.space().read(recv, &mut buf);
+    vmmc.space().read(s.recv, &mut buf);
     vmmc.local_copy(len).await;
     let mut st = p.seed ^ ((me as u64) << 32) ^ 0x5348_524d_5044_4953;
     let mut h = 0u64;
@@ -194,6 +228,14 @@ async fn run_node(vmmc: Vmmc, p: DistributedParams) -> u64 {
         h = h.wrapping_add(splitmix64(&mut st));
     }
     h
+}
+
+async fn run_node(vmmc: Vmmc, p: DistributedParams) -> u64 {
+    let setup = setup_node(&vmmc, &p);
+    for step in 0..p.steps {
+        work_step(&vmmc, &p, &setup, step).await;
+    }
+    finish_node(&vmmc, &p, &setup).await
 }
 
 /// Bytes of one node's slot in every peer's control buffer:

@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod cpu;
@@ -61,7 +62,9 @@ pub mod report;
 pub mod ring;
 pub mod stats;
 pub mod vmmc;
+pub mod warm;
 
+pub use checkpoint::{ClusterCheckpoint, NodeState};
 pub use cluster::{Cluster, ClusterBuilder, ClusterFlit, LaunchOutcome, NodeProgram, Notification};
 pub use config::DesignConfig;
 pub use cpu::Cpu;
@@ -76,3 +79,4 @@ pub use shrimp_faults::{FaultScenario, Reliability, ShrimpError};
 pub use shrimp_sim::shard::Shards;
 pub use stats::NodeStats;
 pub use vmmc::{ExportId, ImportBuilder, ProxyBuffer, SendTicket, UpdatePolicy, Vmmc};
+pub use warm::{run_cold, run_warm, warm_checkpoint, WarmParams};

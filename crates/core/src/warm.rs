@@ -1,0 +1,280 @@
+//! Warm-start runs of the distributed workload: run the warmup prefix
+//! once, checkpoint the machine at the drain barrier, and fork the
+//! checkpoint into any number of design-knob settings — each resumed run
+//! pays only the post-warmup steps.
+//!
+//! # Identity
+//!
+//! Determinism makes warm and cold runs indistinguishable *by
+//! construction*: a "cold" run of the warm experiment
+//! ([`run_cold`]) executes phase A (warmup, always
+//! [`DesignConfig::as_built`]), encodes the checkpoint, decodes it, and
+//! runs phase B — the very path a warm run takes with a checkpoint loaded
+//! from disk. Both phases are shard-count-invariant, so a checkpoint
+//! captured at one shard count restores onto any other
+//! (`crates/harness/tests/shard_identity.rs` pins this at the artifact
+//! byte level).
+//!
+//! # Quiesce and verification
+//!
+//! Phase A's capture happens at the shard engine's global drain barrier
+//! (no packet in flight), and phase B's restore replays the allocation
+//! preamble before [`Cluster::restore_node`](crate::Cluster::restore_node)
+//! verifies the replayed cursors and table images against the captured
+//! ones — a resuming run whose shape diverged from the checkpoint fails
+//! loudly. The fingerprint [`WarmParams::tag`] guards the same boundary at
+//! the artifact level; phase-B knobs are deliberately outside it.
+
+use std::sync::Arc;
+
+use shrimp_sim::shard::Shards;
+use shrimp_sim::{SnapshotError, SnapshotWriter};
+
+use crate::checkpoint::ClusterCheckpoint;
+use crate::cluster::{Cluster, LaunchOutcome, NodeProgram};
+use crate::config::DesignConfig;
+use crate::distributed::{finish_node, setup_node, work_step, DistributedParams};
+use crate::vmmc::Vmmc;
+
+/// Shape of a warm-start experiment: the distributed workload split at a
+/// warmup boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmParams {
+    /// The full workload shape (phase A and phase B together run exactly
+    /// `base.steps` rounds plus the closing round).
+    pub base: DistributedParams,
+    /// Rounds in the warmup prefix (phase A). Must not exceed
+    /// `base.steps`.
+    pub warmup: u32,
+}
+
+impl WarmParams {
+    /// Splits a workload at the midpoint: half the rounds are warmup.
+    pub fn split(base: DistributedParams) -> Self {
+        WarmParams {
+            base,
+            warmup: base.steps / 2,
+        }
+    }
+
+    /// The checkpoint fingerprint of this shape: everything phase A
+    /// depends on. Design knobs are deliberately absent — one checkpoint
+    /// forks into every phase-B knob setting.
+    pub fn tag(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_str("warm-distributed");
+        w.put_u64(self.base.nodes as u64);
+        w.put_u64(u64::from(self.base.steps));
+        w.put_u64(self.base.payload as u64);
+        w.put_u64(self.base.compute);
+        w.put_u64(self.base.seed);
+        w.put_u64(u64::from(self.warmup));
+        w.finish()
+    }
+}
+
+/// Runs phase A — the warmup prefix under [`DesignConfig::as_built`] —
+/// and captures the machine at the drain barrier.
+///
+/// The checkpoint is a pure function of `params` (shard-count-invariant
+/// down to its encoded bytes).
+///
+/// # Panics
+///
+/// Panics when `params.warmup > params.base.steps` or the launch fails.
+pub fn warm_checkpoint(params: &WarmParams, shards: Shards) -> ClusterCheckpoint {
+    assert!(
+        params.warmup <= params.base.steps,
+        "warmup prefix exceeds the workload's round count"
+    );
+    let p = params.base;
+    let warmup = params.warmup;
+    let program: NodeProgram = Arc::new(move |vmmc: Vmmc| {
+        Box::pin(async move {
+            let setup = setup_node(&vmmc, &p);
+            for step in 0..warmup {
+                work_step(&vmmc, &p, &setup, step).await;
+            }
+            0
+        })
+    });
+    let out = Cluster::builder(p.nodes)
+        .config(DesignConfig::as_built())
+        .shards(shards)
+        .capture_state(true)
+        .launch(program);
+    ClusterCheckpoint {
+        time: out.elapsed,
+        total_nodes: p.nodes,
+        tag: params.tag(),
+        nodes: out.node_states.expect("capture_state was requested"),
+    }
+}
+
+/// Runs phase B — steps `[warmup, steps)` plus the closing round — from a
+/// checkpoint, under any design configuration and shard count.
+///
+/// Every node replays the allocation preamble, restores its captured
+/// state (verified — see
+/// [`Cluster::restore_node`](crate::Cluster::restore_node)), and resumes
+/// with its clock at the checkpoint's quiesce time.
+///
+/// # Errors
+///
+/// [`SnapshotError::FingerprintMismatch`] when the checkpoint was
+/// produced by a different workload shape than `params`.
+///
+/// # Panics
+///
+/// Panics when the launch fails or a node's replayed preamble diverges
+/// from the captured state.
+pub fn run_warm(
+    params: &WarmParams,
+    cfg: DesignConfig,
+    shards: Shards,
+    ckpt: &ClusterCheckpoint,
+) -> Result<LaunchOutcome, SnapshotError> {
+    if ckpt.tag != params.tag() || ckpt.total_nodes != params.base.nodes {
+        return Err(SnapshotError::FingerprintMismatch);
+    }
+    let p = params.base;
+    let warmup = params.warmup;
+    let state = Arc::new(ckpt.clone());
+    let program: NodeProgram = Arc::new(move |vmmc: Vmmc| {
+        let state = Arc::clone(&state);
+        Box::pin(async move {
+            let me = vmmc.node_id().0;
+            // Replay the preamble, then restore before the first await:
+            // no packet can arrive earlier (the mesh latency is positive
+            // and every peer starts at the same resumed clock).
+            let setup = setup_node(&vmmc, &p);
+            vmmc.cluster().restore_node(me, &state.nodes[me]);
+            for step in warmup..p.steps {
+                work_step(&vmmc, &p, &setup, step).await;
+            }
+            finish_node(&vmmc, &p, &setup).await
+        })
+    });
+    Ok(Cluster::builder(p.nodes)
+        .config(cfg)
+        .shards(shards)
+        .resume_at(ckpt.time)
+        .launch(program))
+}
+
+/// The cold path of the warm experiment: phase A, encode, decode, phase B
+/// — byte-for-byte the pipeline a warm run takes with the checkpoint
+/// loaded from disk, so cold and warm rows are identical by construction.
+/// Returns the phase-B outcome and the encoded checkpoint artifact.
+pub fn run_cold(
+    params: &WarmParams,
+    cfg: DesignConfig,
+    shards: Shards,
+) -> (LaunchOutcome, Vec<u8>) {
+    let bytes = warm_checkpoint(params, shards).encode();
+    let ckpt = ClusterCheckpoint::decode(&bytes).expect("self-produced checkpoint decodes");
+    let out = run_warm(params, cfg, shards, &ckpt).expect("self-produced checkpoint matches");
+    (out, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shrimp_sim::{time, Time};
+
+    fn small() -> WarmParams {
+        WarmParams::split(DistributedParams {
+            nodes: 8,
+            steps: 6,
+            payload: 64,
+            compute: time::us(1),
+            seed: 7,
+        })
+    }
+
+    fn fields(o: &LaunchOutcome) -> (Time, Vec<u64>, u64, u64, u64, u64, u64, u64) {
+        (
+            o.elapsed,
+            o.node_results.clone(),
+            o.messages,
+            o.notifications,
+            o.interrupts,
+            o.syscalls,
+            o.net_packets,
+            o.net_bytes,
+        )
+    }
+
+    #[test]
+    fn checkpoint_bytes_are_shard_invariant() {
+        let p = small();
+        let base = warm_checkpoint(&p, Shards::Fixed(1)).encode();
+        for shards in [2, 4] {
+            assert_eq!(
+                warm_checkpoint(&p, Shards::Fixed(shards)).encode(),
+                base,
+                "checkpoint diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_equals_cold_across_shard_counts() {
+        let p = small();
+        let cfg = DesignConfig::as_built();
+        let (cold, bytes) = run_cold(&p, cfg.clone(), Shards::Fixed(1));
+        let ckpt = ClusterCheckpoint::decode(&bytes).unwrap();
+        for shards in [1, 2, 4] {
+            let warm = run_warm(&p, cfg.clone(), Shards::Fixed(shards), &ckpt).unwrap();
+            assert_eq!(
+                fields(&warm),
+                fields(&cold),
+                "warm run diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn one_checkpoint_forks_into_different_knobs() {
+        let p = small();
+        let ckpt = warm_checkpoint(&p, Shards::Fixed(2));
+        let base = run_warm(&p, DesignConfig::as_built(), Shards::Fixed(2), &ckpt).unwrap();
+        let mut cfg = DesignConfig::as_built();
+        cfg.syscall_send = true;
+        let syscall = run_warm(&p, cfg, Shards::Fixed(2), &ckpt).unwrap();
+        assert!(
+            syscall.syscalls > base.syscalls,
+            "the forked knob had no effect"
+        );
+        assert_eq!(
+            syscall.node_results, base.node_results,
+            "knobs must not change the workload's data"
+        );
+    }
+
+    #[test]
+    fn resumed_clock_starts_at_the_quiesce_time() {
+        let p = small();
+        let ckpt = warm_checkpoint(&p, Shards::Fixed(1));
+        assert!(ckpt.time > 0);
+        let warm = run_warm(&p, DesignConfig::as_built(), Shards::Fixed(2), &ckpt).unwrap();
+        assert!(
+            warm.elapsed > ckpt.time,
+            "phase B must run past the resumed clock"
+        );
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_refused() {
+        let p = small();
+        let ckpt = warm_checkpoint(&p, Shards::Fixed(1));
+        let other = WarmParams {
+            base: DistributedParams { seed: 8, ..p.base },
+            ..p
+        };
+        assert!(matches!(
+            run_warm(&other, DesignConfig::as_built(), Shards::Fixed(1), &ckpt),
+            Err(SnapshotError::FingerprintMismatch)
+        ));
+    }
+}

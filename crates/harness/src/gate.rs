@@ -243,6 +243,7 @@ mod tests {
             status: RunStatus::Ok(record),
             perf: None,
             obs: None,
+            checkpoint: None,
         }]
     }
 

@@ -45,6 +45,15 @@ FLAGS:
   --perf-baseline <PATH>
                       perf baseline to gate against
                       (default results/baselines/perf-<scale>.json)
+  --checkpoint-out <PATH>
+                      capture the warm-start rows' post-warmup checkpoint
+                      and write the (byte-identical, shard-count-invariant)
+                      artifact to PATH after the sweep
+  --checkpoint-in <PATH>
+                      warm-start rows resume from the checkpoint at PATH
+                      instead of re-running their warmup phase; a
+                      fingerprint mismatch fails the row. Other rows are
+                      unaffected, and sweep.json stays byte-identical
   --trace-out <PATH>  run with tracing + metrics enabled and export each
                       run's timeline as Chrome trace_event JSON (open in
                       chrome://tracing or ui.perfetto.dev); with several
@@ -75,6 +84,8 @@ struct Cli {
     perf: bool,
     perf_out: Option<PathBuf>,
     perf_baseline: Option<PathBuf>,
+    checkpoint_out: Option<PathBuf>,
+    checkpoint_in: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     list: bool,
 }
@@ -96,6 +107,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         perf: false,
         perf_out: None,
         perf_baseline: None,
+        checkpoint_out: None,
+        checkpoint_in: None,
         trace_out: None,
         list: false,
     };
@@ -134,6 +147,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--perf" => cli.perf = true,
             "--perf-out" => cli.perf_out = Some(PathBuf::from(value("--perf-out")?)),
             "--perf-baseline" => cli.perf_baseline = Some(PathBuf::from(value("--perf-baseline")?)),
+            "--checkpoint-out" => {
+                cli.checkpoint_out = Some(PathBuf::from(value("--checkpoint-out")?))
+            }
+            "--checkpoint-in" => cli.checkpoint_in = Some(PathBuf::from(value("--checkpoint-in")?)),
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--list" => cli.list = true,
             "--help" | "-h" => {
@@ -202,6 +219,17 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    let checkpoint_in = match &cli.checkpoint_in {
+        Some(path) => match std::fs::read(path) {
+            Ok(bytes) => Some(std::sync::Arc::new(bytes)),
+            Err(e) => {
+                eprintln!("error: reading checkpoint {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
     let opts = RunnerOptions {
         workers: cli.workers.unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -211,6 +239,8 @@ fn main() -> ExitCode {
         timeout: cli.timeout,
         observe: cli.trace_out.is_some(),
         shards: cli.shards,
+        checkpoint_in,
+        checkpoint_out: cli.checkpoint_out.is_some(),
     };
     println!(
         "[shrimp-harness] {} runs at {} scale (max {} nodes) on {} workers, {}s timeout/run",
@@ -242,6 +272,42 @@ fn main() -> ExitCode {
     }
     print!("{}", sweep::render_table(&results));
     println!("\nwrote {}", out_path.display());
+
+    // Every warm row forks from the same warmup fingerprint, so their
+    // captured artifacts must be byte-identical — write one, refuse many.
+    if let Some(ck_path) = &cli.checkpoint_out {
+        let captured: Vec<&Vec<u8>> = results
+            .iter()
+            .filter_map(|r| r.checkpoint.as_ref())
+            .collect();
+        match captured.first() {
+            None => {
+                eprintln!(
+                    "error: --checkpoint-out: no warm-start row completed \
+                     (run the `warm` experiment group)"
+                );
+                return ExitCode::from(2);
+            }
+            Some(first) => {
+                if captured.iter().any(|b| b != first) {
+                    eprintln!("error: --checkpoint-out: warm rows captured diverging checkpoints");
+                    return ExitCode::FAILURE;
+                }
+                if let Some(parent) = ck_path.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                if let Err(e) = std::fs::write(ck_path, first) {
+                    eprintln!("error: writing {}: {e}", ck_path.display());
+                    return ExitCode::from(2);
+                }
+                println!(
+                    "wrote checkpoint {} ({} bytes)",
+                    ck_path.display(),
+                    first.len()
+                );
+            }
+        }
+    }
 
     if let Some(trace_path) = &cli.trace_out {
         let observed: Vec<_> = results.iter().filter(|r| r.obs.is_some()).collect();

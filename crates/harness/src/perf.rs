@@ -389,6 +389,7 @@ mod tests {
                 shards: 1,
             }),
             obs: None,
+            checkpoint: None,
         }
     }
 
@@ -492,6 +493,7 @@ mod tests {
                 },
             }),
             obs: None,
+            checkpoint: None,
         }
     }
 

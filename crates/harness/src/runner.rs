@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex, Once};
 use std::thread;
 use std::time::Duration;
 
-use shrimp_bench::{Observation, PerfSample, RunRecord, RunSpec};
+use shrimp_bench::{App, Observation, PerfSample, RunRecord, RunSpec};
 
 /// How one run ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +67,11 @@ pub struct RunResult {
     /// simulated data; `sweep.json` embeds the metrics per row and the
     /// Chrome-trace exporter renders the timeline.
     pub obs: Option<Observation>,
+    /// The encoded [`ClusterCheckpoint`](shrimp_core::ClusterCheckpoint)
+    /// this run produced (or echoed), present only on warm-start rows when
+    /// the sweep ran with [`RunnerOptions::checkpoint_out`]
+    /// (`--checkpoint-out`). Kept beside — never inside — `sweep.json`.
+    pub checkpoint: Option<Vec<u8>>,
 }
 
 /// Runner knobs.
@@ -86,6 +91,16 @@ pub struct RunnerOptions {
     /// cluster runs are unaffected, and every [`RunRecord`] is
     /// byte-identical at any setting — only wall-clock can change.
     pub shards: usize,
+    /// A serialized [`ClusterCheckpoint`](shrimp_core::ClusterCheckpoint)
+    /// for warm-start rows to resume from (`--checkpoint-in`). Warm rows
+    /// skip their warmup phase and fork from this image; a fingerprint
+    /// mismatch fails the row loudly. Non-warm rows ignore it.
+    pub checkpoint_in: Option<Arc<Vec<u8>>>,
+    /// Capture each warm-start row's checkpoint bytes into
+    /// [`RunResult::checkpoint`] (`--checkpoint-out`). Every warm row in a
+    /// sweep shares one warmup fingerprint, so all captured artifacts are
+    /// byte-identical; the CLI asserts that before writing the file.
+    pub checkpoint_out: bool,
 }
 
 impl Default for RunnerOptions {
@@ -97,6 +112,8 @@ impl Default for RunnerOptions {
             timeout: Duration::from_secs(600),
             observe: false,
             shards: 1,
+            checkpoint_in: None,
+            checkpoint_out: false,
         }
     }
 }
@@ -140,17 +157,26 @@ where
             let timeout = opts.timeout;
             let observe = opts.observe;
             let shards = opts.shards;
+            let checkpoint_in = opts.checkpoint_in.clone();
+            let checkpoint_out = opts.checkpoint_out;
             scope.spawn(move || {
                 while let Some(index) = next_index(&deques, w) {
                     let spec = specs[index].clone();
-                    let (status, perf, obs) =
-                        execute_isolated(spec.clone(), timeout, observe, shards);
+                    let (status, perf, obs, checkpoint) = execute_isolated(
+                        spec.clone(),
+                        timeout,
+                        observe,
+                        shards,
+                        checkpoint_in.clone(),
+                        checkpoint_out,
+                    );
                     let result = RunResult {
                         index,
                         spec,
                         status,
                         perf,
                         obs,
+                        checkpoint,
                     };
                     on_done(&result);
                     results_ref.lock().unwrap().push(result);
@@ -186,7 +212,14 @@ fn execute_isolated(
     timeout: Duration,
     observe: bool,
     shards: usize,
-) -> (RunStatus, Option<PerfSample>, Option<Observation>) {
+    checkpoint_in: Option<Arc<Vec<u8>>>,
+    checkpoint_out: bool,
+) -> (
+    RunStatus,
+    Option<PerfSample>,
+    Option<Observation>,
+    Option<Vec<u8>>,
+) {
     let (tx, rx) = mpsc::channel();
     let id = spec.id();
     let handle = thread::Builder::new()
@@ -194,12 +227,29 @@ fn execute_isolated(
         .spawn(move || {
             install_panic_location_hook();
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                if observe {
+                // Warm-start rows route through the checkpoint-aware path
+                // whenever a checkpoint flows in or out; without either
+                // flag they take the ordinary dispatch below, which runs
+                // the identical cold pipeline.
+                let route = spec.app == App::WarmClusterNodes
+                    && (checkpoint_in.is_some() || checkpoint_out);
+                if route {
+                    let bytes_in = checkpoint_in.as_ref().map(|b| b.as_slice());
+                    let (record, perf, bytes) = spec
+                        .execute_warm_at(shards, bytes_in)
+                        .unwrap_or_else(|e| panic!("checkpoint rejected: {e}"));
+                    (
+                        record,
+                        perf,
+                        observe.then(Observation::default),
+                        checkpoint_out.then_some(bytes),
+                    )
+                } else if observe {
                     let (record, perf, obs) = spec.execute_observed_at(shards);
-                    (record, perf, Some(obs))
+                    (record, perf, Some(obs), None)
                 } else {
                     let (record, perf) = spec.execute_timed_at(shards);
-                    (record, perf, None)
+                    (record, perf, None, None)
                 }
             }));
             // The receiver may have given up (timeout); ignore send errors.
@@ -213,15 +263,15 @@ fn execute_isolated(
         })
         .expect("spawn run thread");
     match rx.recv_timeout(timeout) {
-        Ok(Ok((record, perf, obs))) => {
+        Ok(Ok((record, perf, obs, checkpoint))) => {
             let _ = handle.join();
-            (RunStatus::Ok(record), Some(perf), obs)
+            (RunStatus::Ok(record), Some(perf), obs, checkpoint)
         }
         Ok(Err(msg)) => {
             let _ = handle.join();
-            (RunStatus::Panicked(msg), None, None)
+            (RunStatus::Panicked(msg), None, None, None)
         }
-        Err(_) => (RunStatus::TimedOut, None, None),
+        Err(_) => (RunStatus::TimedOut, None, None, None),
     }
 }
 

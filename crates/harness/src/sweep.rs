@@ -176,6 +176,7 @@ mod tests {
                 status: RunStatus::Ok(record),
                 perf: None,
                 obs: None,
+                checkpoint: None,
             },
             RunResult {
                 index: 1,
@@ -183,6 +184,7 @@ mod tests {
                 status: RunStatus::Panicked("boom".to_string()),
                 perf: None,
                 obs: None,
+                checkpoint: None,
             },
         ]
     }

@@ -32,6 +32,7 @@ fn row_line(spec: &RunSpec) -> String {
         status: RunStatus::Ok(spec.execute()),
         perf: None,
         obs: None,
+        checkpoint: None,
     };
     let text = sweep::to_json("smoke", &[result]);
     text.lines()
@@ -97,6 +98,7 @@ fn observed_fig3_row_exports_multi_category_trace_and_histograms() {
         status: RunStatus::Ok(record),
         perf: None,
         obs: Some(obs),
+        checkpoint: None,
     };
     let text = sweep::to_json("smoke", &[result]);
     let doc = json::parse(&text).expect("sweep artifact is valid JSON");

@@ -42,6 +42,7 @@ fn sweep_bytes(specs: &[RunSpec]) -> String {
             status: RunStatus::Ok(spec.execute()),
             perf: None,
             obs: None,
+            checkpoint: None,
         })
         .collect();
     sweep::to_json("smoke", &results)

@@ -106,6 +106,25 @@ impl NodeMem {
         self.inner.pages.borrow().len()
     }
 
+    /// The next physical page number the allocator will hand out.
+    ///
+    /// Checkpoint capture records this, and restore *verifies* it: a
+    /// restored node re-runs its allocation preamble, so a cursor mismatch
+    /// means the replayed layout diverged from the captured one.
+    pub fn next_phys_page(&self) -> u64 {
+        *self.inner.next_phys_page.borrow()
+    }
+
+    /// Every allocated page's number and contents, sorted by page number —
+    /// the deterministic memory image a checkpoint stores.
+    pub fn dump_pages(&self) -> Vec<(u64, Vec<u8>)> {
+        let pages = self.inner.pages.borrow();
+        let mut out: Vec<(u64, Vec<u8>)> =
+            pages.iter().map(|(&p, data)| (p, data.to_vec())).collect();
+        out.sort_unstable_by_key(|&(p, _)| p);
+        out
+    }
+
     fn with_page<R>(&self, page: u64, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> R {
         let mut pages = self.inner.pages.borrow_mut();
         let p = pages

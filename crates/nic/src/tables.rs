@@ -121,6 +121,31 @@ impl PageTables {
             }
         }
     }
+
+    /// The next proxy index the allocator will hand out. Checkpoint restore
+    /// verifies this against the captured value after replaying the
+    /// import/export preamble.
+    pub fn next_proxy(&self) -> u64 {
+        *self.next_proxy.borrow()
+    }
+
+    /// Every OPT entry, sorted by index — the deterministic table image a
+    /// checkpoint stores.
+    pub fn opt_entries(&self) -> Vec<(u64, OptEntry)> {
+        let mut out: Vec<(u64, OptEntry)> =
+            self.opt.borrow().iter().map(|(&i, &e)| (i, e)).collect();
+        out.sort_unstable_by_key(|&(i, _)| i);
+        out
+    }
+
+    /// Every IPT entry, sorted by page — the deterministic table image a
+    /// checkpoint stores.
+    pub fn ipt_entries(&self) -> Vec<(u64, IptEntry)> {
+        let mut out: Vec<(u64, IptEntry)> =
+            self.ipt.borrow().iter().map(|(&p, &e)| (p, e)).collect();
+        out.sort_unstable_by_key(|&(p, _)| p);
+        out
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ use std::task::{Context, Poll, Wake, Waker};
 use std::thread::ThreadId;
 
 use crate::metrics::MetricsRegistry;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::time::Time;
 use crate::trace::TraceSink;
 use crate::wheel::TimerWheel;
@@ -367,6 +368,16 @@ impl std::fmt::Debug for Sim {
 impl Sim {
     /// Creates an empty simulator at time zero.
     pub fn new() -> Self {
+        Sim::new_at(0)
+    }
+
+    /// Creates an empty simulator whose clock starts at `start`.
+    ///
+    /// Restored runs use this to resume simulated time where a checkpoint
+    /// left off: timers pop in `(time, seq)` order regardless of where the
+    /// clock was born, so a simulator started at `start` behaves exactly
+    /// like one that idled from zero to `start`.
+    pub fn new_at(start: Time) -> Self {
         #[cfg(any(test, feature = "legacy-sched"))]
         let timers = if sched::legacy_scheduler() {
             TimerStore::Legacy {
@@ -381,7 +392,7 @@ impl Sim {
 
         Sim {
             inner: Rc::new(SimInner {
-                now: Cell::new(0),
+                now: Cell::new(start),
                 trace: TraceSink::new(),
                 metrics: MetricsRegistry::new(),
                 events: Cell::new(0),
@@ -577,6 +588,134 @@ impl Sim {
     /// iteration (it would run at the *current* time, before any timer).
     pub fn has_runnable(&self) -> bool {
         !self.inner.ready.is_empty()
+    }
+
+    /// `true` when nothing pends: no runnable process, no live process, no
+    /// timer. This is the state [`Sim::snapshot`] requires.
+    pub fn is_quiesced(&self) -> bool {
+        !self.has_runnable() && self.live_tasks() == 0 && self.next_deadline().is_none()
+    }
+
+    /// Serializes a quiesced simulator into a versioned binary artifact.
+    ///
+    /// A simulator is quiesced when no process is runnable, no process is
+    /// alive, and no timer pends — i.e. [`Sim::run`] has returned and every
+    /// process completed. Only then is the full state expressible as plain
+    /// data: pending timers hold wakers and closures, which cannot cross a
+    /// serialization boundary. The artifact still captures the *structural*
+    /// residue future behavior depends on — the clock, the event counter,
+    /// the timer wheel's cursor, sequence counter and slab generations (so
+    /// recycled timer ids stay inert after a restore), task-slot
+    /// generations and free-list order, and the metrics registry — so a
+    /// [`Sim::restore`]d simulator continues byte-identically to the
+    /// original.
+    ///
+    /// The trace sink is not captured; a restored simulator starts with a
+    /// fresh, disabled sink.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::NotQuiesced`] if work is still pending, or if the
+    /// simulator runs on the test-only legacy heap scheduler (which has no
+    /// snapshot representation).
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        if self.has_runnable() {
+            return Err(SnapshotError::NotQuiesced("woken processes await polling"));
+        }
+        if self.live_tasks() != 0 {
+            return Err(SnapshotError::NotQuiesced("processes are still alive"));
+        }
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.now());
+        w.put_u64(self.events());
+        match &*self.inner.timers.borrow() {
+            TimerStore::Wheel(wheel) => {
+                if !wheel.is_empty() {
+                    return Err(SnapshotError::NotQuiesced("timers are still pending"));
+                }
+                // Quiesced: only cancelled/free residue remains, so the
+                // payload encoder is provably never consulted.
+                wheel.snapshot_into(&mut w, |_| {
+                    Err(SnapshotError::NotQuiesced(
+                        "timer payloads are not serializable",
+                    ))
+                })?;
+            }
+            #[cfg(any(test, feature = "legacy-sched"))]
+            TimerStore::Legacy { .. } => {
+                return Err(SnapshotError::NotQuiesced(
+                    "legacy heap scheduler has no snapshot form",
+                ));
+            }
+        }
+        let tasks = self.inner.tasks.borrow();
+        w.put_u64(tasks.slots.len() as u64);
+        w.put_u32(tasks.free);
+        for slot in &tasks.slots {
+            w.put_u32(slot.gen);
+            match slot.state {
+                SlotState::Free { next } => w.put_u32(next),
+                SlotState::Live { .. } => unreachable!("live task slot while live == 0"),
+            }
+        }
+        drop(tasks);
+        self.inner.metrics.snapshot_into(&mut w);
+        Ok(w.finish())
+    }
+
+    /// Rebuilds a simulator from a [`Sim::snapshot`] artifact.
+    ///
+    /// The restored simulator always runs on the timer wheel, regardless of
+    /// any thread-local scheduler toggle.
+    pub fn restore(bytes: &[u8]) -> Result<Sim, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        let now = r.get_u64()?;
+        let events = r.get_u64()?;
+        let wheel = TimerWheel::restore_from(&mut r, |_| {
+            Err(SnapshotError::Corrupt(
+                "quiesced snapshot holds a live timer payload",
+            ))
+        })?;
+        let slots_len = r.get_len()?;
+        if slots_len >= NO_SLOT as usize {
+            return Err(SnapshotError::Corrupt(
+                "task slab length exceeds index space",
+            ));
+        }
+        let valid = |idx: u32| idx == NO_SLOT || (idx as usize) < slots_len;
+        let free = r.get_u32()?;
+        if !valid(free) {
+            return Err(SnapshotError::Corrupt("task free-list head out of bounds"));
+        }
+        let mut slots = Vec::with_capacity(slots_len);
+        for _ in 0..slots_len {
+            let gen = r.get_u32()?;
+            let next = r.get_u32()?;
+            if !valid(next) {
+                return Err(SnapshotError::Corrupt("task free-list link out of bounds"));
+            }
+            slots.push(TaskSlot {
+                gen,
+                state: SlotState::Free { next },
+            });
+        }
+        let metrics = MetricsRegistry::restore_from(&mut r)?;
+        r.finish()?;
+        Ok(Sim {
+            inner: Rc::new(SimInner {
+                now: Cell::new(now),
+                trace: TraceSink::new(),
+                metrics,
+                events: Cell::new(events),
+                timers: RefCell::new(TimerStore::Wheel(wheel)),
+                ready: Arc::new(ReadyQueue::new()),
+                tasks: RefCell::new(TaskSlab {
+                    slots,
+                    free,
+                    live: 0,
+                }),
+            }),
+        })
     }
 
     /// Runs until simulated time would exceed `limit`; events at exactly
@@ -857,6 +996,66 @@ mod tests {
         let legacy = scenario();
         sched::set_legacy_scheduler(false);
         assert_eq!(wheel, legacy);
+    }
+
+    #[test]
+    fn new_at_starts_clock_at_offset() {
+        let sim = Sim::new_at(us(100));
+        assert_eq!(sim.now(), us(100));
+        let s = sim.clone();
+        sim.spawn(async move { s.sleep(us(5)).await });
+        assert_eq!(sim.run_to_completion(), us(105));
+    }
+
+    #[test]
+    fn snapshot_requires_quiescence() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move { s.sleep(us(1)).await });
+        assert!(matches!(sim.snapshot(), Err(SnapshotError::NotQuiesced(_))));
+        sim.run_to_completion();
+        assert!(sim.is_quiesced());
+        sim.snapshot().unwrap();
+    }
+
+    #[test]
+    fn restored_sim_continues_byte_identically() {
+        fn batch(sim: &Sim, rounds: std::ops::Range<u64>, log: Rc<RefCell<Vec<(Time, u64)>>>) {
+            for i in rounds {
+                let s = sim.clone();
+                let log = log.clone();
+                sim.spawn(async move {
+                    s.sleep(ns(i * 37 % 23 + 1)).await;
+                    log.borrow_mut().push((s.now(), i));
+                });
+            }
+            sim.run_to_completion();
+        }
+        // Uninterrupted run: two batches back to back.
+        let log_a: Rc<RefCell<Vec<(Time, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sim = Sim::new();
+        batch(&sim, 0..8, log_a.clone());
+        batch(&sim, 8..16, log_a.clone());
+        let final_a = (sim.now(), sim.events());
+        // Interrupted run: snapshot between the batches, restore, continue.
+        let log_b: Rc<RefCell<Vec<(Time, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sim = Sim::new();
+        batch(&sim, 0..8, log_b.clone());
+        let bytes = sim.snapshot().unwrap();
+        let sim = Sim::restore(&bytes).unwrap();
+        batch(&sim, 8..16, log_b.clone());
+        assert_eq!((sim.now(), sim.events()), final_a);
+        assert_eq!(*log_a.borrow(), *log_b.borrow());
+        // The restored simulator re-snapshots to the same final state as
+        // the uninterrupted one.
+        let cold = {
+            let sim2 = Sim::new();
+            let log: Rc<RefCell<Vec<(Time, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+            batch(&sim2, 0..8, log.clone());
+            batch(&sim2, 8..16, log.clone());
+            sim2.snapshot().unwrap()
+        };
+        assert_eq!(sim.snapshot().unwrap(), cold);
     }
 
     #[test]

@@ -174,12 +174,18 @@ struct ShardCore<M> {
 }
 
 impl<M: 'static> ShardCore<M> {
-    fn new(shard: usize, shards: usize, lookahead: Time, fabric: Arc<Fabric<M>>) -> Rc<Self> {
+    fn new(
+        shard: usize,
+        shards: usize,
+        lookahead: Time,
+        start: Time,
+        fabric: Arc<Fabric<M>>,
+    ) -> Rc<Self> {
         Rc::new(ShardCore {
             shard,
             shards,
             lookahead,
-            sim: Sim::new(),
+            sim: Sim::new_at(start),
             fabric,
             handler: RefCell::new(None),
             edge_seq: RefCell::new(vec![0; shards]),
@@ -405,6 +411,12 @@ pub struct ShardConfig {
     /// Record a [`WindowRecord`] per window (for the safety-horizon property
     /// tests). Disables the `shards == 1` fast path so windows exist.
     pub observe_windows: bool,
+    /// Simulated time every shard's clock starts at (0 for a fresh run).
+    ///
+    /// A run restored from a checkpoint sets this to the checkpoint's
+    /// quiesce time so the resumed timeline continues where the captured
+    /// one stopped, at any shard count.
+    pub start: Time,
 }
 
 impl ShardConfig {
@@ -415,6 +427,7 @@ impl ShardConfig {
             lookahead,
             mode: ExecMode::default(),
             observe_windows: false,
+            start: 0,
         }
     }
 }
@@ -569,7 +582,7 @@ where
     if cfg.shards == 1 && !cfg.observe_windows {
         let fabric = Arc::new(Fabric::new(1));
         let ctx = ShardCtx {
-            core: ShardCore::new(0, 1, cfg.lookahead, fabric),
+            core: ShardCore::new(0, 1, cfg.lookahead, cfg.start, fabric),
         };
         let ShardPlan { shutdown, harvest } = builders.into_iter().next().unwrap()(&ctx);
         let elapsed = ctx.core.sim.run();
@@ -619,6 +632,7 @@ where
     let fabric = Arc::new(Fabric::new(n));
     let observe = cfg.observe_windows;
     let lookahead = cfg.lookahead;
+    let start = cfg.start;
 
     let mut outcome = None;
     // The first dead shard's panic payload, re-raised on the caller after
@@ -652,7 +666,7 @@ where
             scope.spawn(move || {
                 let fail_tx = reply_tx.clone();
                 let run = std::panic::AssertUnwindSafe(move || {
-                    let core = ShardCore::new(shard, n, lookahead, fabric);
+                    let core = ShardCore::new(shard, n, lookahead, start, fabric);
                     let ctx = ShardCtx {
                         core: Rc::clone(&core),
                     };
@@ -807,7 +821,7 @@ where
     let mut shutdowns = Vec::with_capacity(n);
     let mut harvests = Vec::with_capacity(n);
     for (shard, builder) in builders.into_iter().enumerate() {
-        let core = ShardCore::new(shard, n, cfg.lookahead, Arc::clone(&fabric));
+        let core = ShardCore::new(shard, n, cfg.lookahead, cfg.start, Arc::clone(&fabric));
         let ctx = ShardCtx {
             core: Rc::clone(&core),
         };

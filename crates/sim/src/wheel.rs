@@ -42,7 +42,38 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::time::Time;
+
+/// Opt-in switch to the legacy level-by-level cascade stepper, compiled
+/// only for tests and the `legacy-skip` feature.
+///
+/// The production refill path idle-skips: it jumps the cursor straight to
+/// the earliest deadline of the next populated slot instead of cascading
+/// through intermediate levels. The legacy stepper is kept as a
+/// differential oracle (`tests/skip_differential.rs` replays identical
+/// streams through both and demands identical `(time, seq)` order). This
+/// mirrors the `sched` toggle for the pre-wheel heap scheduler: the choice
+/// is thread-local and captured once per wheel at construction time.
+#[cfg(any(test, feature = "legacy-skip"))]
+pub mod skip {
+    use std::cell::Cell;
+
+    thread_local! {
+        static LEGACY: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Routes wheels subsequently created on this thread to the legacy
+    /// cascade stepper (`true`) or the idle-skip fast path (`false`).
+    pub fn set_legacy_stepper(on: bool) {
+        LEGACY.with(|l| l.set(on));
+    }
+
+    /// The current thread-local stepper choice.
+    pub fn legacy_stepper() -> bool {
+        LEGACY.with(|l| l.get())
+    }
+}
 
 /// Slot-index bits per level.
 const BITS: u32 = 6;
@@ -99,6 +130,10 @@ pub struct TimerWheel<T> {
     overflow: BinaryHeap<Reverse<(Time, u64, Idx)>>,
     /// Reusable sort buffer for slot drains.
     scratch: Vec<(u64, Idx)>,
+    /// Use the legacy cascade stepper instead of idle-skip (differential
+    /// oracle only; captured from the thread-local toggle at construction).
+    #[cfg(any(test, feature = "legacy-skip"))]
+    legacy_refill: bool,
 }
 
 impl<T> Default for TimerWheel<T> {
@@ -122,6 +157,8 @@ impl<T> TimerWheel<T> {
             pre: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             scratch: Vec::new(),
+            #[cfg(any(test, feature = "legacy-skip"))]
+            legacy_refill: skip::legacy_stepper(),
         }
     }
 
@@ -248,23 +285,72 @@ impl<T> TimerWheel<T> {
                 self.drain_slot_sorted(slot);
                 return true;
             }
-            // Cascade: advance to the slot's start and re-place its
-            // entries, which now land at a strictly lower level.
-            let shift = BITS * level as u32;
-            let base = self.elapsed & !((1u64 << (shift + BITS)) - 1);
-            let start = base | ((slot as u64) << shift);
-            debug_assert!(start > self.elapsed);
-            self.elapsed = start;
-            self.promote();
-            let mut head = self.take_slot(level, slot);
-            while head != NIL {
-                let next = self.slab[head as usize].next;
-                if self.slab[head as usize].cancelled {
-                    self.release(head);
-                } else {
-                    self.place(head);
+            #[cfg(any(test, feature = "legacy-skip"))]
+            if self.legacy_refill {
+                // Legacy cascade stepper (differential oracle): advance to
+                // the slot's start and re-place its entries, which now land
+                // at a strictly lower level.
+                let shift = BITS * level as u32;
+                let base = self.elapsed & !((1u64 << (shift + BITS)) - 1);
+                let start = base | ((slot as u64) << shift);
+                debug_assert!(start > self.elapsed);
+                self.elapsed = start;
+                self.promote();
+                let mut head = self.take_slot(level, slot);
+                while head != NIL {
+                    let next = self.slab[head as usize].next;
+                    if self.slab[head as usize].cancelled {
+                        self.release(head);
+                    } else {
+                        self.place(head);
+                    }
+                    head = next;
                 }
-                head = next;
+                continue;
+            }
+            // Idle-skip: this slot holds the earliest wheel entries (its
+            // level-`k` population agrees with the cursor above block `k`
+            // and occupies the lowest occupied slot of the lowest occupied
+            // level; every overflow deadline is later still, since it
+            // differs from the cursor above the horizon). Jump the cursor
+            // straight to the slot's earliest live deadline in one hop
+            // instead of cascading a level at a time through empty slots.
+            // All chain entries share the cursor's bits at block `k` and
+            // above after the jump, so re-placing them lands at level
+            // `k - 1` or lower — the earliest one at level 0 exactly.
+            let head = self.take_slot(level, slot);
+            let mut target: Option<Time> = None;
+            let mut cur = head;
+            while cur != NIL {
+                let node = &self.slab[cur as usize];
+                if !node.cancelled {
+                    target = Some(target.map_or(node.at, |t: Time| t.min(node.at)));
+                }
+                cur = node.next;
+            }
+            let Some(target) = target else {
+                // The chain was entirely cancelled entries; free them and
+                // rescan without moving the cursor.
+                let mut cur = head;
+                while cur != NIL {
+                    let next = self.slab[cur as usize].next;
+                    self.release(cur);
+                    cur = next;
+                }
+                continue;
+            };
+            debug_assert!(target > self.elapsed);
+            self.elapsed = target;
+            self.promote();
+            let mut cur = head;
+            while cur != NIL {
+                let next = self.slab[cur as usize].next;
+                if self.slab[cur as usize].cancelled {
+                    self.release(cur);
+                } else {
+                    self.place(cur);
+                }
+                cur = next;
             }
         }
     }
@@ -374,6 +460,185 @@ impl<T> TimerWheel<T> {
         node.cancelled = false;
         node.next = free;
         self.free = idx;
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Serializes the wheel's complete structure — cursor, sequence
+    /// counter, generation-tagged slab (including the free list), slot
+    /// chains, occupancy bitmaps, drained-slot queue, pre-heap and
+    /// overflow heap — so that [`TimerWheel::restore_from`] rebuilds a
+    /// wheel whose future behavior (pop order, recycled slot indices,
+    /// generation tags handed to new timers) is byte-identical to the
+    /// original's.
+    ///
+    /// `encode` turns a live payload into bytes; it is only invoked for
+    /// pending, non-cancelled entries. Cancelled entries are serialized
+    /// without their payload — the wheel never reads a cancelled payload,
+    /// it only drops it — which lets a caller snapshot a wheel holding
+    /// unserializable residue (e.g. cancelled wakers) with an `encode`
+    /// that always fails.
+    ///
+    /// The two heaps are written as ascending-sorted vectors: their
+    /// `(deadline, seq, index)` keys are unique, so heap pop order depends
+    /// only on the key set and the serialized artifact is independent of
+    /// the heaps' internal layout.
+    pub fn snapshot_into(
+        &self,
+        w: &mut SnapshotWriter,
+        mut encode: impl FnMut(&T) -> Result<Vec<u8>, SnapshotError>,
+    ) -> Result<(), SnapshotError> {
+        w.put_u64(self.elapsed);
+        w.put_u64(self.next_seq);
+        w.put_u64(self.live as u64);
+        w.put_u32(self.free);
+        w.put_u64(self.slab.len() as u64);
+        for node in &self.slab {
+            w.put_u64(node.at);
+            w.put_u64(node.seq);
+            w.put_u32(node.gen);
+            w.put_u32(node.next);
+            w.put_bool(node.cancelled);
+            match &node.payload {
+                Some(p) if !node.cancelled => {
+                    w.put_bool(true);
+                    w.put_bytes(&encode(p)?);
+                }
+                _ => w.put_bool(false),
+            }
+        }
+        for level in 0..LEVELS {
+            for slot in 0..SLOTS {
+                w.put_u32(self.slots[level][slot]);
+            }
+        }
+        for level in 0..LEVELS {
+            w.put_u64(self.occupied[level]);
+        }
+        w.put_u64(self.current.len() as u64);
+        for &idx in &self.current {
+            w.put_u32(idx);
+        }
+        for heap in [&self.pre, &self.overflow] {
+            let mut keys: Vec<(Time, u64, Idx)> = heap.iter().map(|&Reverse(k)| k).collect();
+            keys.sort_unstable();
+            w.put_u64(keys.len() as u64);
+            for (at, seq, idx) in keys {
+                w.put_u64(at);
+                w.put_u64(seq);
+                w.put_u32(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a wheel serialized by [`TimerWheel::snapshot_into`].
+    ///
+    /// `decode` inverts the snapshot's `encode`; it runs once per pending
+    /// entry. Structural invariants (index bounds, live count vs. payload
+    /// count) are validated and violations surface as
+    /// [`SnapshotError::Corrupt`].
+    pub fn restore_from(
+        r: &mut SnapshotReader<'_>,
+        mut decode: impl FnMut(&[u8]) -> Result<T, SnapshotError>,
+    ) -> Result<TimerWheel<T>, SnapshotError> {
+        let elapsed = r.get_u64()?;
+        let next_seq = r.get_u64()?;
+        let live = r.get_u64()? as usize;
+        let free = r.get_u32()?;
+        let slab_len = r.get_len()?;
+        if slab_len >= NIL as usize {
+            return Err(SnapshotError::Corrupt(
+                "timer slab length exceeds index space",
+            ));
+        }
+        let valid = |idx: Idx| idx == NIL || (idx as usize) < slab_len;
+        if !valid(free) {
+            return Err(SnapshotError::Corrupt("free-list head out of bounds"));
+        }
+        let mut slab = Vec::with_capacity(slab_len);
+        let mut payloads = 0usize;
+        for _ in 0..slab_len {
+            let at = r.get_u64()?;
+            let seq = r.get_u64()?;
+            let gen = r.get_u32()?;
+            let next = r.get_u32()?;
+            if !valid(next) {
+                return Err(SnapshotError::Corrupt("node link out of bounds"));
+            }
+            let cancelled = r.get_bool()?;
+            let payload = if r.get_bool()? {
+                payloads += 1;
+                Some(decode(r.get_bytes()?)?)
+            } else {
+                None
+            };
+            slab.push(Node {
+                at,
+                seq,
+                gen,
+                next,
+                cancelled,
+                payload,
+            });
+        }
+        if payloads != live {
+            return Err(SnapshotError::Corrupt(
+                "live count disagrees with payload count",
+            ));
+        }
+        let mut slots = [[NIL; SLOTS]; LEVELS];
+        for level in slots.iter_mut() {
+            for slot in level.iter_mut() {
+                *slot = r.get_u32()?;
+                if !valid(*slot) {
+                    return Err(SnapshotError::Corrupt("slot head out of bounds"));
+                }
+            }
+        }
+        let mut occupied = [0u64; LEVELS];
+        for bits in occupied.iter_mut() {
+            *bits = r.get_u64()?;
+        }
+        let current_len = r.get_len()?;
+        let mut current = VecDeque::with_capacity(current_len);
+        for _ in 0..current_len {
+            let idx = r.get_u32()?;
+            if idx == NIL || !valid(idx) {
+                return Err(SnapshotError::Corrupt("current-queue index out of bounds"));
+            }
+            current.push_back(idx);
+        }
+        let mut heaps: [BinaryHeap<Reverse<(Time, u64, Idx)>>; 2] =
+            [BinaryHeap::new(), BinaryHeap::new()];
+        for heap in heaps.iter_mut() {
+            let n = r.get_len()?;
+            for _ in 0..n {
+                let at = r.get_u64()?;
+                let seq = r.get_u64()?;
+                let idx = r.get_u32()?;
+                if idx == NIL || !valid(idx) {
+                    return Err(SnapshotError::Corrupt("heap index out of bounds"));
+                }
+                heap.push(Reverse((at, seq, idx)));
+            }
+        }
+        let [pre, overflow] = heaps;
+        Ok(TimerWheel {
+            elapsed,
+            next_seq,
+            live,
+            slots,
+            occupied,
+            slab,
+            free,
+            current,
+            pre,
+            overflow,
+            scratch: Vec::new(),
+            #[cfg(any(test, feature = "legacy-skip"))]
+            legacy_refill: skip::legacy_stepper(),
+        })
     }
 }
 
@@ -500,6 +765,94 @@ mod tests {
         w.insert(10, 2);
         assert_eq!(w.pop(), Some((10, 1)));
         assert_eq!(w.pop(), Some((10, 2)));
+    }
+
+    fn snap(w: &TimerWheel<u32>) -> Vec<u8> {
+        let mut sw = crate::snapshot::SnapshotWriter::new();
+        w.snapshot_into(&mut sw, |&v| Ok(v.to_le_bytes().to_vec()))
+            .unwrap();
+        sw.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> TimerWheel<u32> {
+        let mut r = crate::snapshot::SnapshotReader::new(bytes).unwrap();
+        let w = TimerWheel::restore_from(&mut r, |b| {
+            let b: [u8; 4] = b
+                .try_into()
+                .map_err(|_| crate::snapshot::SnapshotError::Corrupt("payload width"))?;
+            Ok(u32::from_le_bytes(b))
+        })
+        .unwrap();
+        r.finish().unwrap();
+        w
+    }
+
+    #[test]
+    fn snapshot_mid_drain_resumes_identically() {
+        let mut w = TimerWheel::new();
+        for (at, tag) in [(10u64, 0u32), (10, 1), (5_000, 2), (HORIZON + 3, 3)] {
+            w.insert(at, tag);
+        }
+        let mut reference = TimerWheel::new();
+        for (at, tag) in [(10u64, 0u32), (10, 1), (5_000, 2), (HORIZON + 3, 3)] {
+            reference.insert(at, tag);
+        }
+        // Pop one entry so the snapshot captures a half-drained `current`
+        // queue and a recycled slab slot.
+        assert_eq!(w.pop(), Some((10, 0)));
+        assert_eq!(reference.pop(), Some((10, 0)));
+        let mut restored = restore(&snap(&w));
+        assert_eq!(drain_all(&mut restored), drain_all(&mut reference));
+        // Fresh inserts after restore reuse the same recycled slots and
+        // sequence numbers as the original would have.
+        restored.insert(7, 9);
+        reference.insert(7, 9);
+        assert_eq!(drain_all(&mut restored), drain_all(&mut reference));
+    }
+
+    #[test]
+    fn snapshot_skips_cancelled_payloads() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let id = w.insert(10, 0);
+        w.cancel(id);
+        assert!(w.is_empty());
+        // Only cancelled residue remains, so an encoder that always fails
+        // must never be consulted.
+        let mut sw = crate::snapshot::SnapshotWriter::new();
+        w.snapshot_into(&mut sw, |_| {
+            Err(crate::snapshot::SnapshotError::NotQuiesced(
+                "unserializable",
+            ))
+        })
+        .unwrap();
+        let bytes = sw.finish();
+        let mut r = crate::snapshot::SnapshotReader::new(&bytes).unwrap();
+        let mut restored: TimerWheel<u32> = TimerWheel::restore_from(&mut r, |_| {
+            Err(crate::snapshot::SnapshotError::Corrupt(
+                "no payloads expected",
+            ))
+        })
+        .unwrap();
+        r.finish().unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.pop(), None);
+    }
+
+    #[test]
+    fn legacy_stepper_matches_idle_skip() {
+        // Deadlines spread across every level force multi-level hops.
+        let deadlines = [3u64, 100, 5_000, 300_000, 20_000_000, 1 << 33, HORIZON + 7];
+        let mut fast = TimerWheel::new();
+        skip::set_legacy_stepper(true);
+        let mut slow = TimerWheel::new();
+        skip::set_legacy_stepper(false);
+        assert!(!fast.legacy_refill);
+        assert!(slow.legacy_refill);
+        for (i, &at) in deadlines.iter().enumerate() {
+            fast.insert(at, i as u32);
+            slow.insert(at, i as u32);
+        }
+        assert_eq!(drain_all(&mut fast), drain_all(&mut slow));
     }
 
     #[test]

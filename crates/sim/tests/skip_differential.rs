@@ -1,0 +1,138 @@
+//! Differential test of the idle-skip refill fast path against the legacy
+//! level-by-level cascade stepper.
+//!
+//! The production wheel refill jumps the cursor straight to the earliest
+//! deadline of the next populated slot instead of cascading through every
+//! intermediate level — the win is on long quiescent gaps, where the
+//! legacy stepper walks thousands of empty slots. The optimization must be
+//! invisible: this suite replays identical operation streams through one
+//! wheel per stepper and demands identical `(time, seq)` pop order, peeked
+//! deadlines, cancel results, and live counts at every step.
+//!
+//! Streams come from `shrimp-testkit` choice sources, so failures replay
+//! and shrink deterministically. The deadline buckets are biased toward
+//! *sparse* schedules (multi-level gaps, the 2^36 ps overflow horizon) —
+//! exactly the regions where the skip path and the cascade diverge if
+//! either is wrong.
+
+use shrimp_sim::wheel::{skip, TimerId, TimerWheel};
+use shrimp_testkit::prop::*;
+use shrimp_testkit::{prop_assert, props};
+
+/// Maps one `(selector, value)` choice pair to a deadline. Bucket 0 keeps
+/// slot-local density; bucket 1 spreads entries ~256 K ps apart so pops
+/// cross long runs of empty slots on several levels; buckets 2 and 3
+/// straddle the 2^36 ps overflow horizon.
+fn deadline(selector: u64, value: u64) -> u64 {
+    match selector % 4 {
+        0 => value % 64,
+        1 => (value % 1024) << 18,
+        2 => value % (1 << 36),
+        _ => value % (1 << 40),
+    }
+}
+
+/// Runs one op stream through an idle-skip wheel and a legacy-cascade
+/// wheel, asserting agreement at every step. Returns the number of
+/// operations executed.
+fn run_differential(ops: &[(u64, u64)]) -> usize {
+    let mut fast: TimerWheel<u64> = TimerWheel::new();
+    assert!(
+        !skip::legacy_stepper(),
+        "stepper toggle leaked between tests"
+    );
+    skip::set_legacy_stepper(true);
+    let mut slow: TimerWheel<u64> = TimerWheel::new();
+    skip::set_legacy_stepper(false);
+
+    let mut next_payload = 0u64;
+    // Handles into both wheels; deliberately kept after fire/cancel so
+    // stale ids are exercised too.
+    let mut ids: Vec<(TimerId, TimerId)> = Vec::new();
+
+    for &(op, value) in ops {
+        match op % 100 {
+            // Schedule (40%)
+            0..=39 => {
+                let at = deadline(op / 100, value);
+                let payload = next_payload;
+                next_payload += 1;
+                let f = fast.insert(at, payload);
+                let s = slow.insert(at, payload);
+                ids.push((f, s));
+                if ids.len() > 256 {
+                    ids.remove(0);
+                }
+            }
+            // Pop — the operation that triggers a refill and, on sparse
+            // schedules, a long idle skip (35%)
+            40..=74 => {
+                assert_eq!(fast.pop(), slow.pop(), "pop disagreed");
+            }
+            // Cancel a (possibly stale) id (10%)
+            75..=84 => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let (f, s) = ids[(value as usize) % ids.len()];
+                assert_eq!(fast.cancel(f), slow.cancel(s), "cancel disagreed");
+            }
+            // Peek, which may advance the cursor without firing (15%)
+            _ => {
+                assert_eq!(fast.peek_deadline(), slow.peek_deadline(), "peek disagreed");
+            }
+        }
+        assert_eq!(fast.len(), slow.len(), "live-count disagreed");
+    }
+
+    // Full drain must agree to the last entry.
+    loop {
+        let got = fast.pop();
+        assert_eq!(got, slow.pop(), "drain disagreed");
+        if got.is_none() {
+            break;
+        }
+    }
+    ops.len()
+}
+
+/// The headline oracle run: 3 independent choice streams of 8192 operations
+/// each (24k+ total), biased toward long quiescent gaps.
+#[test]
+fn skip_path_matches_legacy_stepper_over_24k_random_ops() {
+    let mut total = 0;
+    for seed in [0x5eed_0002u64, 0xfeed_f00d, 0x1d1e_5c1b] {
+        let mut src = Source::record(seed);
+        let ops: Vec<(u64, u64)> = (0..8192)
+            .map(|_| (src.draw_below(400), src.draw()))
+            .collect();
+        total += run_differential(&ops);
+    }
+    assert!(total >= 24_000, "ran only {total} ops");
+}
+
+/// A deterministic worst case for the refill: lone timers separated by
+/// gaps spanning every level, including the overflow horizon — each pop
+/// forces the skip path to jump across the maximal number of empty slots.
+#[test]
+fn lone_timers_across_maximal_gaps_agree() {
+    let gaps: Vec<u64> = (0..40).map(|i| 1u64 << i).collect();
+    let ops: Vec<(u64, u64)> = gaps
+        .iter()
+        .flat_map(|&g| [(200, g), (50, 0)]) // insert at 2^i (bucket 2), then pop
+        .collect();
+    run_differential(&ops);
+}
+
+props! {
+    cases = 32;
+
+    /// Shrinkable version of the oracle: any small op stream keeps the
+    /// idle-skip wheel and the legacy cascade in lock-step.
+    fn skip_path_matches_legacy_stepper(
+        ops in vec_of(zip(u64_in(0..400), any_u64()), 1..600),
+    ) {
+        let n = run_differential(&ops);
+        prop_assert!(n == ops.len());
+    }
+}

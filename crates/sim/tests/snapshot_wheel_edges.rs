@@ -1,0 +1,158 @@
+//! Regression tests for timer-wheel snapshots at the structure's edges:
+//! overflow-heap entries beyond the 2^36 ps horizon, pre-heap entries
+//! scheduled behind the cursor after a non-firing peek, and
+//! generation-tag reuse across a restore boundary.
+//!
+//! A quiesced `Sim` never snapshots a wheel with pending entries, but the
+//! wheel codec itself supports them (cluster-level tooling and future
+//! mid-run checkpoints rely on it), so each edge region must round-trip
+//! and then *behave* identically — pop order, stale-handle rejection,
+//! slot recycling — on both sides of the boundary.
+
+use shrimp_sim::wheel::TimerWheel;
+use shrimp_sim::{SnapshotError, SnapshotReader, SnapshotWriter};
+
+/// 2^36 ps: deadlines further than this from the cursor sit in the
+/// overflow heap (mirrors the wheel's internal `HORIZON`).
+const HORIZON: u64 = 1 << 36;
+
+fn snapshot(w: &TimerWheel<u64>) -> Vec<u8> {
+    let mut sw = SnapshotWriter::new();
+    w.snapshot_into(&mut sw, |v| Ok(v.to_le_bytes().to_vec()))
+        .expect("u64 payloads always encode");
+    sw.finish()
+}
+
+fn restore(bytes: &[u8]) -> TimerWheel<u64> {
+    let mut r = SnapshotReader::new(bytes).expect("framed artifact");
+    let w = TimerWheel::restore_from(&mut r, |b| {
+        b.try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| SnapshotError::Corrupt("payload is not 8 bytes"))
+    })
+    .expect("artifact restores");
+    r.finish().expect("no trailing bytes");
+    w
+}
+
+fn drain(w: &mut TimerWheel<u64>) -> Vec<(u64, u64)> {
+    std::iter::from_fn(|| w.pop()).collect()
+}
+
+/// Entries beyond the 2^36 ps horizon live in the overflow heap; a
+/// snapshot taken while they pend must restore them into the identical
+/// pop position, interleaved with wheel-resident entries.
+#[test]
+fn overflow_entries_beyond_the_horizon_survive_restore() {
+    let mut w: TimerWheel<u64> = TimerWheel::new();
+    w.insert(HORIZON + 5, 0);
+    w.insert((1 << 40) + 123, 1);
+    w.insert(10, 2);
+    w.insert(HORIZON - 1, 3); // just inside the horizon: wheel-resident
+    w.insert(HORIZON + 5, 4); // same overflow deadline: seq order must hold
+
+    let bytes = snapshot(&w);
+    let mut r = restore(&bytes);
+    assert_eq!(
+        snapshot(&r),
+        bytes,
+        "restore → snapshot is not the identity"
+    );
+
+    let popped = drain(&mut r);
+    assert_eq!(
+        popped,
+        vec![
+            (10, 2),
+            (HORIZON - 1, 3),
+            (HORIZON + 5, 0),
+            (HORIZON + 5, 4),
+            ((1 << 40) + 123, 1),
+        ]
+    );
+    assert_eq!(drain(&mut w), popped, "original and restored disagreed");
+}
+
+/// A peek may advance the cursor without firing; an entry then scheduled
+/// at an earlier deadline lands in the pre heap. A snapshot at that exact
+/// point must preserve it — and it must still pop first after restore.
+#[test]
+fn pre_heap_inserts_behind_the_cursor_survive_restore() {
+    let mut w: TimerWheel<u64> = TimerWheel::new();
+    w.insert(1 << 20, 0);
+    assert_eq!(w.peek_deadline(), Some(1 << 20)); // may advance the cursor
+    w.insert(5, 1); // behind the cursor: the pre-heap hazard
+
+    let bytes = snapshot(&w);
+    let mut r = restore(&bytes);
+    assert_eq!(snapshot(&r), bytes);
+
+    assert_eq!(r.peek_deadline(), Some(5), "pre-heap entry lost precedence");
+    let popped = drain(&mut r);
+    assert_eq!(popped, vec![(5, 1), (1 << 20, 0)]);
+    assert_eq!(drain(&mut w), popped);
+}
+
+/// Generation tags must survive a restore so that (a) a handle minted
+/// before the snapshot is rejected as stale on the restored wheel exactly
+/// when it is on the original, and (b) slot recycling after restore mints
+/// the same generation-tagged ids as the original would have.
+#[test]
+fn generation_tags_stay_inert_and_recycle_identically_across_restore() {
+    let mut w: TimerWheel<u64> = TimerWheel::new();
+    let cancelled = w.insert(10, 0);
+    let live = w.insert(20, 1);
+    let fired = w.insert(1, 2);
+    assert!(w.cancel(cancelled));
+    assert_eq!(w.pop(), Some((1, 2))); // fires and releases its slot
+
+    let bytes = snapshot(&w);
+    let mut r = restore(&bytes);
+    assert_eq!(snapshot(&r), bytes);
+
+    // Stale handles from before the snapshot are no-ops on both wheels.
+    assert!(!w.cancel(cancelled) && !r.cancel(cancelled));
+    assert!(!w.cancel(fired) && !r.cancel(fired));
+
+    // New inserts recycle the released slots with bumped generations —
+    // identically, so the minted handles agree across the boundary.
+    let w_new = w.insert(30, 3);
+    let r_new = r.insert(30, 3);
+    assert_eq!(w_new, r_new, "slot recycling diverged after restore");
+    assert_ne!(w_new, fired, "recycled slot must carry a fresh generation");
+
+    // Handles minted before the snapshot still act on live entries.
+    assert!(r.cancel(live) && w.cancel(live));
+    assert_eq!(drain(&mut w), drain(&mut r));
+}
+
+/// Cancelled residue snapshots without consulting payloads at all — the
+/// property `Sim::snapshot` relies on to serialize a quiesced executor
+/// whose wheel still holds unserializable cancelled wakers.
+#[test]
+fn cancelled_residue_snapshots_without_touching_payloads() {
+    let mut w: TimerWheel<u64> = TimerWheel::new();
+    let a = w.insert(50, 7);
+    assert!(w.cancel(a));
+
+    let mut sw = SnapshotWriter::new();
+    w.snapshot_into(&mut sw, |_| {
+        Err(SnapshotError::NotQuiesced("encode must never run"))
+    })
+    .expect("cancelled payloads are skipped");
+    let bytes = sw.finish();
+
+    let mut r = SnapshotReader::new(&bytes).unwrap();
+    let mut restored: TimerWheel<u64> = TimerWheel::restore_from(&mut r, |_| {
+        Err(SnapshotError::Corrupt("decode must never run"))
+    })
+    .expect("cancelled residue restores");
+    r.finish().unwrap();
+
+    assert_eq!(restored.len(), 0);
+    // Popping sweeps the cancelled residue onto the free list — on both
+    // wheels, so the next insert recycles the identical slot/generation.
+    assert_eq!(restored.pop(), None);
+    assert_eq!(w.pop(), None);
+    assert_eq!(w.insert(9, 8), restored.insert(9, 8));
+}

@@ -56,6 +56,16 @@ impl DetRng {
         DetRng { s }
     }
 
+    /// Returns the raw xoshiro state.
+    ///
+    /// Feeding the returned words back through [`DetRng::from_state`]
+    /// resumes the stream exactly where it left off — the property the
+    /// simulation checkpoint plane relies on (and `rng_golden.rs` pins), so
+    /// the state layout is part of the serialized-snapshot format.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Returns the next word of the stream (xoshiro256++ step).
     pub fn gen_u64(&mut self) -> u64 {
         let result = self.s[0]
