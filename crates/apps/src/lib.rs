@@ -26,9 +26,11 @@
 
 pub mod barnes;
 pub mod dfs;
+pub mod kv;
 pub mod ocean;
 pub mod radix;
 pub mod render;
 pub mod util;
 
+pub use kv::{run_kv, KvParams};
 pub use util::{vmmc_barrier_group, Mechanism, RunOutcome, VmmcBarrier};

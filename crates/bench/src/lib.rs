@@ -24,7 +24,7 @@ use shrimp_sim::{time, Time};
 use shrimp_testkit::HarnessConfig;
 
 pub use spec::{
-    matrix, Knobs, Observation, PerfSample, RunRecord, RunSpec, Scale, Shards, Variant,
+    matrix, Knobs, KvMetrics, Observation, PerfSample, RunRecord, RunSpec, Scale, Shards, Variant,
 };
 
 /// The problem scale a harness configuration selects (`Full` under
@@ -131,6 +131,14 @@ pub enum App {
     /// `--checkpoint-out`/`--checkpoint-in` flags. Not a Table 1
     /// application, so it is absent from [`App::all`].
     WarmClusterNodes,
+    /// The replicated key-value service (`shrimp_apps::kv`): sharded
+    /// primary/backup replication groups on the `launch()` path, driven
+    /// by a deterministic open-loop Zipf load whose per-request latency
+    /// lands in the metrics plane — the `"kv"` experiment group's rows
+    /// carry p50/p99/p999 and throughput. Not a Table 1 application, so
+    /// it is absent from [`App::all`]; it builds its own sharded cluster
+    /// per run.
+    KvNodes,
 }
 
 impl App {
@@ -162,6 +170,7 @@ impl App {
             App::ParallelNodes => "Engine-parallel",
             App::ClusterNodes => "Cluster-distributed",
             App::WarmClusterNodes => "Cluster-warm",
+            App::KvNodes => "KV-replicated",
         }
     }
 
@@ -173,7 +182,7 @@ impl App {
             App::BarnesNx | App::OceanNx => "NX",
             App::DfsSockets | App::RenderSockets => "Sockets",
             App::ParallelNodes => "Engine",
-            App::ClusterNodes | App::WarmClusterNodes => "VMMC",
+            App::ClusterNodes | App::WarmClusterNodes | App::KvNodes => "VMMC",
         }
     }
 
@@ -215,6 +224,13 @@ impl App {
                 format!(
                     "{} nodes x {} rounds ({} warmup)",
                     p.base.nodes, p.base.steps, p.warmup
+                )
+            }
+            App::KvNodes => {
+                let p = spec::kv_params_at(global_scale());
+                format!(
+                    "{}x{} replicas, {} keys, {} reqs/client",
+                    p.groups, p.replication, p.keys, p.requests
                 )
             }
         }
@@ -267,6 +283,22 @@ impl App {
             // one shard is the reference execution here too.
             let params = spec::warm_params_at(scale_of(harness), nodes, 1);
             let (out, _) = shrimp_core::run_cold(&params, cfg, shrimp_core::Shards::Fixed(1));
+            return RunOutcome {
+                elapsed: out.elapsed,
+                checksum: out
+                    .node_results
+                    .iter()
+                    .fold(0u64, |acc, &r| acc.wrapping_add(r)),
+                messages: out.messages,
+                notifications: out.notifications,
+                svm: None,
+            };
+        }
+        if *self == App::KvNodes {
+            // The replicated KV service builds its own sharded cluster;
+            // one shard is the reference execution and every count agrees.
+            let params = spec::kv_params_for(scale_of(harness), nodes, 1);
+            let out = shrimp_apps::run_kv(&params, cfg, shrimp_core::Shards::Fixed(1));
             return RunOutcome {
                 elapsed: out.elapsed,
                 checksum: out

@@ -13,6 +13,7 @@
 
 use shrimp_apps::barnes::{run_barnes_nx, run_barnes_svm, BarnesParams};
 use shrimp_apps::dfs::{run_dfs, DfsParams};
+use shrimp_apps::kv::{run_kv, total_acked, total_verify_failures, KvParams};
 use shrimp_apps::ocean::{run_ocean_nx, run_ocean_svm, OceanParams};
 use shrimp_apps::radix::{run_radix_svm, run_radix_vmmc, RadixParams};
 use shrimp_apps::render::{run_render, RenderParams};
@@ -23,7 +24,7 @@ use shrimp_core::{
     LaunchOutcome, ParallelParams, RingBulk, WarmParams,
 };
 use shrimp_faults::{FaultScenario, FifoStall, LinkFault, NodeCrash, NodePause};
-use shrimp_sim::{time, MetricsSnapshot, Time, TraceEvent};
+use shrimp_sim::{time, Category, MetricValue, MetricsSnapshot, Time, TraceEvent};
 use shrimp_sockets::SocketConfig;
 use shrimp_svm::Protocol;
 
@@ -215,6 +216,38 @@ pub fn warm_params_at(scale: Scale, nodes: usize, seed: u64) -> WarmParams {
     let mut base = distributed_params_at(scale).scaled_to(nodes);
     base.seed = seed;
     WarmParams::split(base)
+}
+
+/// Replicated KV service at a scale: the 16-node smoke shape (two groups
+/// of three replicas, ten clients, 4096-key Zipf keyspace) with the
+/// load-phase request count scaled. Latency quantiles want enough samples
+/// to have a tail, so the count grows faster than the step counts above.
+pub fn kv_params_at(scale: Scale) -> KvParams {
+    let requests = match scale {
+        Scale::Smoke => 10,
+        Scale::Reduced => 40,
+        Scale::Full => 160,
+    };
+    KvParams {
+        requests,
+        ..KvParams::smoke()
+    }
+}
+
+/// [`kv_params_at`] on `nodes` nodes with `seed`: extra nodes become
+/// clients, and the open-loop gap stretches with each group's client
+/// fan-in so the offered load per primary — set just under the ~55 µs
+/// per-request service capacity by the 16-node shape (5 clients per
+/// group at 400 µs) — stays constant at every node count. Without the
+/// stretch a 64-node row would oversubscribe its two primaries several
+/// times over: the open-loop tail would grow without bound and the
+/// starved primaries would be falsely declared dead by their backups.
+pub fn kv_params_for(scale: Scale, nodes: usize, seed: u64) -> KvParams {
+    let mut p = kv_params_at(scale).scaled_to(nodes);
+    p.seed = seed;
+    let fanin = p.clients().div_ceil(p.groups).max(1);
+    p.mean_gap = time::us(80) * fanin as Time;
+    p
 }
 
 /// Render workload at a scale.
@@ -520,6 +553,9 @@ impl RunSpec {
         if self.app == App::ClusterNodes {
             return self.execute_cluster(observe, cli_shards);
         }
+        if self.app == App::KvNodes {
+            return self.execute_kv(observe, cli_shards);
+        }
         if self.app == App::WarmClusterNodes {
             let (record, perf, _) = self
                 .execute_warm_at(cli_shards, None)
@@ -567,6 +603,7 @@ impl RunSpec {
             net_packets: report.net_packets,
             net_bytes: report.net_bytes,
             recovery,
+            kv: None,
         };
         let events = cluster.sim().events();
         let observation = observe.then(|| Observation {
@@ -644,6 +681,63 @@ impl RunSpec {
             net_packets: out.net_packets,
             net_bytes: out.net_bytes,
             recovery,
+            kv: None,
+        };
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        (
+            record,
+            PerfSample {
+                wall_ns,
+                events: out.events,
+                peak_rss_bytes: peak_rss_bytes(),
+                shards: out.shards,
+            },
+            observe.then(Observation::default),
+        )
+    }
+
+    /// The replicated-KV execution path ([`App::KvNodes`]): the service
+    /// of `shrimp_apps::kv` on the `launch()` path, always with the
+    /// metrics plane on — the row's tail-latency quantiles come out of
+    /// the merged `(App, "kv_req_ps")` histogram, which is part of the
+    /// shard-count-invariant [`LaunchOutcome`](shrimp_core::LaunchOutcome),
+    /// so the [`KvMetrics`] block is byte-identical at every shard count
+    /// like the rest of the [`RunRecord`]. Like the other shard-engine
+    /// paths, an observed run yields an empty [`Observation`].
+    fn execute_kv(
+        &self,
+        observe: bool,
+        cli_shards: usize,
+    ) -> (RunRecord, PerfSample, Option<Observation>) {
+        let start = std::time::Instant::now();
+        let params = kv_params_for(self.scale, self.nodes, self.seed);
+        let shards = self.effective_shards(cli_shards);
+        let out = run_kv(&params, self.design_config(), Shards::Fixed(shards));
+        let checksum = out
+            .node_results
+            .iter()
+            .fold(0u64, |acc, &r| acc.wrapping_add(r));
+        let chaos = self.knobs.faults.is_active();
+        let recovery = (self.knobs.reliability || chaos).then_some(Recovery {
+            retransmits: out.retransmits,
+            corrupt_detected: out.corrupt_detected,
+            dup_suppressed: out.dup_suppressed,
+            faults_injected: out.faults_injected,
+            detection_latency_ps: out.detection_latency_ps,
+            recovery_time_ps: out.recovery_time_ps,
+        });
+        let kv = Some(KvMetrics::capture(&params, &out));
+        let record = RunRecord {
+            elapsed: out.elapsed,
+            checksum,
+            messages: out.messages,
+            notifications: out.notifications,
+            interrupts: out.interrupts,
+            syscalls: out.syscalls,
+            net_packets: out.net_packets,
+            net_bytes: out.net_bytes,
+            recovery,
+            kv,
         };
         let wall_ns = start.elapsed().as_nanos() as u64;
         (
@@ -741,6 +835,7 @@ impl RunSpec {
             net_packets: out.net_packets,
             net_bytes: out.net_bytes,
             recovery: None,
+            kv: None,
         }
     }
 
@@ -771,6 +866,7 @@ impl RunSpec {
             net_packets: out.messages,
             net_bytes: out.bytes,
             recovery: None,
+            kv: None,
         };
         let wall_ns = start.elapsed().as_nanos() as u64;
         (
@@ -825,6 +921,9 @@ impl RunSpec {
             }
             App::WarmClusterNodes => {
                 panic!("Cluster-warm builds its own sharded clusters; execute the spec instead of run_on")
+            }
+            App::KvNodes => {
+                panic!("KV-replicated builds its own sharded cluster; execute the spec instead of run_on")
             }
         }
     }
@@ -881,6 +980,10 @@ pub struct RunRecord {
     /// Fault-recovery metrics; present only on runs with reliability or an
     /// active fault scenario, so fault-free rows serialize unchanged.
     pub recovery: Option<Recovery>,
+    /// KV-service metrics (tail-latency quantiles, throughput, failover);
+    /// present only on [`App::KvNodes`] rows, so every other row
+    /// serializes unchanged.
+    pub kv: Option<KvMetrics>,
 }
 
 /// Host-side performance sample of one run. Carried *beside* the
@@ -955,10 +1058,65 @@ pub struct Recovery {
     pub recovery_time_ps: u64,
 }
 
+/// Service-level metrics of one replicated-KV run, extracted from the
+/// shard-count-invariant merged metrics of the
+/// [`LaunchOutcome`] — so, like every other
+/// [`RunRecord`] field, byte-identical at every shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvMetrics {
+    /// Load-phase requests acknowledged across all clients.
+    pub acked: u64,
+    /// Acked writes whose verify-phase re-read regressed (0 on a correct
+    /// run — an acked write must survive any crash in the scenario).
+    pub verify_failures: u64,
+    /// Median request latency (ps), scheduled open-loop arrival → ack.
+    pub p50_ps: u64,
+    /// 99th-percentile request latency (ps).
+    pub p99_ps: u64,
+    /// 99.9th-percentile request latency (ps).
+    pub p999_ps: u64,
+    /// Saturation throughput: acked requests per simulated second.
+    pub throughput_rps: u64,
+    /// Backup promotions observed (0 on fault-free rows).
+    pub failovers: u64,
+    /// Median failover time (ps): promotion instant minus the failed
+    /// primary's last heartbeat. 0 when no failover happened.
+    pub failover_p50_ps: u64,
+}
+
+impl KvMetrics {
+    /// Reads the service metrics out of a finished KV run.
+    pub fn capture(params: &KvParams, out: &LaunchOutcome) -> Self {
+        let hist = |name: &str| match out.metrics.get(Category::App, name) {
+            Some(MetricValue::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        };
+        let req = hist("kv_req_ps");
+        let fail = hist("kv_failover_ps");
+        let q = |h: &Option<shrimp_sim::HistogramSnapshot>, p: f64| {
+            h.as_ref().map_or(0, |h| h.quantile(p))
+        };
+        let acked = total_acked(params, out);
+        KvMetrics {
+            acked,
+            verify_failures: total_verify_failures(params, out),
+            p50_ps: q(&req, 0.50),
+            p99_ps: q(&req, 0.99),
+            p999_ps: q(&req, 0.999),
+            throughput_rps: acked
+                .saturating_mul(1_000_000_000_000)
+                .checked_div(out.elapsed)
+                .unwrap_or(0),
+            failovers: fail.as_ref().map_or(0, |h| h.count),
+            failover_p50_ps: q(&fail, 0.50),
+        }
+    }
+}
+
 impl RunRecord {
     /// The gated metrics as stable `(name, value)` pairs — the flat row
     /// schema shared by `sweep.json` and the committed baselines.
-    /// Recovery metrics are appended only when present.
+    /// Recovery and KV metrics are appended only when present.
     pub fn fields(&self) -> Vec<(&'static str, u64)> {
         let mut f = vec![
             ("elapsed_ns", self.elapsed),
@@ -977,6 +1135,16 @@ impl RunRecord {
             f.push(("faults_injected", r.faults_injected));
             f.push(("detection_latency_ps", r.detection_latency_ps));
             f.push(("recovery_time_ps", r.recovery_time_ps));
+        }
+        if let Some(k) = &self.kv {
+            f.push(("kv_acked", k.acked));
+            f.push(("kv_verify_failures", k.verify_failures));
+            f.push(("kv_p50_ps", k.p50_ps));
+            f.push(("kv_p99_ps", k.p99_ps));
+            f.push(("kv_p999_ps", k.p999_ps));
+            f.push(("kv_rps", k.throughput_rps));
+            f.push(("kv_failovers", k.failovers));
+            f.push(("kv_failover_p50_ps", k.failover_p50_ps));
         }
         f
     }
@@ -1328,6 +1496,36 @@ pub fn matrix(scale: Scale, max_nodes: usize) -> Vec<RunSpec> {
         specs.push(RunSpec::new("warm", App::WarmClusterNodes, 64, scale).with_knobs(knobs));
     }
 
+    // Replicated KV service: two groups of three replicas on the
+    // `launch()` path under a deterministic open-loop Zipf load, with
+    // p50/p99/p999 request latency and throughput in the row's KV
+    // metrics block. The 16-node Auto row follows the sweep-wide
+    // `--shards` flag and must stay byte-identical at every setting; the
+    // chaos row crashes group 0's initial primary mid-load (permanently —
+    // reliability stays off, matching the service's unreliable-transport
+    // failover design) and reports the measured failover time; the
+    // pinned 64-node pair scales the client fan-in at constant offered
+    // load per primary (too heavy for the smoke gate).
+    specs.push(RunSpec::new("kv", App::KvNodes, 16, scale));
+    specs.push(
+        RunSpec::new("kv", App::KvNodes, 16, scale).with_knobs(Knobs {
+            faults: FaultScenario {
+                crash: Some(NodeCrash {
+                    node: 0,
+                    at_us: 400,
+                    down_us: 0,
+                }),
+                ..FaultScenario::none()
+            },
+            ..Knobs::as_built()
+        }),
+    );
+    if scale != Scale::Smoke {
+        for sh in [1usize, 4] {
+            specs.push(RunSpec::new("kv", App::KvNodes, 64, scale).with_shards(Shards::Fixed(sh)));
+        }
+    }
+
     specs
 }
 
@@ -1381,6 +1579,7 @@ mod tests {
             "cluster",
             "chaos-cluster",
             "warm",
+            "kv",
         ] {
             assert!(
                 specs.iter().any(|s| s.experiment == exp),
@@ -1474,6 +1673,58 @@ mod tests {
         let (two, perf2) = pinned.execute_timed_at(4);
         assert_eq!(one, two);
         assert_eq!(perf2.shards, 2);
+    }
+
+    #[test]
+    fn kv_record_is_shard_count_invariant_and_carries_tail_quantiles() {
+        // The 16-node Auto row follows the CLI shard count; the record —
+        // KV metrics block included, since the latency histogram merges
+        // commutatively across shards — must not.
+        let auto = RunSpec::new("kv", App::KvNodes, 16, Scale::Smoke);
+        let (one, perf1) = auto.execute_timed_at(1);
+        let (two, _) = auto.execute_timed_at(2);
+        let (four, perf4) = auto.execute_timed_at(4);
+        assert_eq!(one, two, "--shards 2 leaked into the kv record");
+        assert_eq!(one, four, "--shards 4 leaked into the kv record");
+        assert_eq!((perf1.shards, perf4.shards), (1, 4));
+        let kv = one.kv.expect("kv row lacks its KV metrics block");
+        let p = kv_params_for(Scale::Smoke, 16, 1);
+        assert_eq!(kv.acked, p.clients() as u64 * p.requests as u64);
+        assert_eq!(kv.verify_failures, 0);
+        assert!(kv.p50_ps > 0, "no median latency measured");
+        assert!(kv.p50_ps <= kv.p99_ps && kv.p99_ps <= kv.p999_ps);
+        assert!(kv.throughput_rps > 0);
+        assert_eq!(kv.failovers, 0, "fault-free run observed a promotion");
+        // The quantiles ride the flat row schema; fault-free kv rows
+        // carry no recovery block.
+        assert_eq!(one.field("kv_p999_ps"), Some(kv.p999_ps));
+        assert_eq!(one.field("kv_rps"), Some(kv.throughput_rps));
+        assert!(one.recovery.is_none());
+    }
+
+    #[test]
+    fn kv_chaos_row_reports_failover_and_loses_no_acked_write() {
+        let specs = matrix(Scale::Smoke, 4);
+        let spec = specs
+            .iter()
+            .find(|s| s.experiment == "kv" && s.knobs.faults.crash.is_some())
+            .expect("kv group lost its crash row");
+        let (one, _) = spec.execute_timed_at(1);
+        let (four, _) = spec.execute_timed_at(4);
+        assert_eq!(one, four, "--shards 4 leaked into the kv chaos row");
+        let kv = one.kv.expect("kv chaos row lacks its KV metrics block");
+        assert_eq!(
+            kv.verify_failures, 0,
+            "an acked write regressed after failover"
+        );
+        assert!(kv.acked > 0, "the crash starved the load phase");
+        assert!(kv.failovers >= 1, "the primary crash produced no promotion");
+        assert!(kv.failover_p50_ps > 0, "failover time not measured");
+        let rec = one.recovery.expect("kv chaos row lacks recovery metrics");
+        assert!(
+            rec.detection_latency_ps > 0,
+            "no detection latency recorded"
+        );
     }
 
     /// Every warm row forks from one shared checkpoint artifact, matches

@@ -27,6 +27,7 @@ use shrimp_mem::{AddressSpace, MemBus, NodeMem, Paddr, PAGE_SIZE};
 use shrimp_net::{Flit, MeshConfig, Network, NodeId};
 use shrimp_nic::{IptEntry, Nic, Packet, ShrimpNetwork};
 use shrimp_sim::executor::{join_all, TaskHandle};
+use shrimp_sim::metrics::MetricsSnapshot;
 use shrimp_sim::shard::{
     run_sharded_phased, PhasedBuilder, ShardConfig, ShardCtx, ShardPlan, Shards,
 };
@@ -376,6 +377,10 @@ impl ClusterBuilder {
             assert_eq!(states.len(), n, "a node's state was never captured");
             states
         });
+        let mut metrics = MetricsSnapshot::default();
+        for tally in &out.results {
+            metrics.merge(&tally.metrics);
+        }
         let sum = |f: fn(&ShardTally) -> u64| out.results.iter().map(f).sum::<u64>();
         Ok(LaunchOutcome {
             elapsed: out.results.iter().map(|t| t.finished).max().unwrap_or(0),
@@ -396,6 +401,7 @@ impl ClusterBuilder {
             windows: out.windows,
             shards,
             node_states,
+            metrics,
         })
     }
 
@@ -430,7 +436,14 @@ impl ClusterBuilder {
         let net: ShrimpNetwork = Network::sharded(sim.clone(), mesh, n, shard_map, ctx.sender());
         {
             let net = net.clone();
-            ctx.on_message(move |arrival, flit| net.deliver_remote(arrival, flit));
+            ctx.on_message(move |arrival, flit| {
+                // Structurally unreachable: `net` was just built sharded. The
+                // typed error exists for callers that wire a contended
+                // backplane by mistake; surface its message if it ever fires.
+                if let Err(e) = net.deliver_remote(arrival, flit) {
+                    panic!("sharded cluster backplane rejected a remote flit: {e}");
+                }
+            });
         }
         // Each shard builds its own per-entity plane from the shared
         // scenario: every directed mesh edge draws from a stream seeded by
@@ -571,6 +584,7 @@ impl ClusterBuilder {
                     } else {
                         Vec::new()
                     },
+                    metrics: cluster.sim().metrics().snapshot(),
                 }
             }),
         }
@@ -636,6 +650,7 @@ struct ShardTally {
     detection_latency_ps: u64,
     recovery_time_ps: u64,
     node_states: Vec<NodeState>,
+    metrics: MetricsSnapshot,
 }
 
 /// The merged, shard-count-invariant outcome of a
@@ -684,6 +699,12 @@ pub struct LaunchOutcome {
     /// Per-node checkpoint state captured at the drain barrier, indexed by
     /// node — `Some` only when [`ClusterBuilder::capture_state`] was set.
     pub node_states: Option<Vec<NodeState>>,
+    /// Per-shard metric registries folded with
+    /// [`MetricsSnapshot::merge`] — counters and histograms are
+    /// shard-count invariant (the merge is commutative and associative);
+    /// gauges keep elementwise maxima and are **not**. Empty unless
+    /// [`ClusterBuilder::metrics`] enabled the plane.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Constructs and starts the nodes `range` (global ids) against `net`.

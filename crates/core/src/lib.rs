@@ -75,7 +75,8 @@ pub use distributed::{
 pub use parallel::{run_parallel, shard_of, ParallelOutcome, ParallelParams};
 pub use report::{ClusterReport, NodeReport};
 pub use ring::{connect_ring, RingBulk, RingFrame, RingReceiver, RingSender};
-pub use shrimp_faults::{FaultScenario, Reliability, ShrimpError};
+pub use shrimp_faults::{node_backoff, FaultScenario, NodeCrash, Reliability, ShrimpError};
+pub use shrimp_net::NodeId;
 pub use shrimp_sim::shard::Shards;
 pub use stats::NodeStats;
 pub use vmmc::{ExportId, ImportBuilder, ProxyBuffer, SendTicket, UpdatePolicy, Vmmc};

@@ -37,7 +37,9 @@ impl NodeStats {
         cell.set(cell.get() + 1);
     }
 
-    pub(crate) fn add(cell: &Cell<u64>, v: u64) {
+    /// Adds `v` to one counter cell — the accumulation idiom workload
+    /// subtasks (failure detectors, replicas) use on their shared stats.
+    pub fn add(cell: &Cell<u64>, v: u64) {
         cell.set(cell.get() + v);
     }
 }

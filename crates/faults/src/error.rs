@@ -62,6 +62,13 @@ pub enum ShrimpError {
         /// Debug rendering of what actually arrived.
         got: String,
     },
+    /// A cross-shard flit was handed to a backplane built without the
+    /// decoupled transport (`Network::new` instead of `Network::sharded`),
+    /// which has no reorder heaps to accept it.
+    NoDecoupledTransport {
+        /// Node the flit addressed.
+        dst: usize,
+    },
     /// A fault scenario was combined with a fixed shard count larger than
     /// the node count, which the fault plane cannot partition.
     ShardOverflow {
@@ -104,6 +111,11 @@ impl std::fmt::Display for ShrimpError {
             ShrimpError::BadReply { wanted, got } => {
                 write!(f, "SVM protocol expected {wanted} reply, got {got}")
             }
+            ShrimpError::NoDecoupledTransport { dst } => write!(
+                f,
+                "cross-shard flit for node {dst} reached a contended backplane built without \
+                 the decoupled transport; construct the network with Network::sharded"
+            ),
             ShrimpError::ShardOverflow { shards, nodes } => write!(
                 f,
                 "fault scenarios cannot run on {shards} fixed shards with only {nodes} nodes; \

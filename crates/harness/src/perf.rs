@@ -478,6 +478,7 @@ mod tests {
             net_packets: 0,
             net_bytes: 0,
             recovery: None,
+            kv: None,
         };
         RunResult {
             index,

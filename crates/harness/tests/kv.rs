@@ -1,0 +1,103 @@
+//! Replicated-KV integration: the `kv` experiment group at the harness
+//! level. The chaos row — a permanent crash of group 0's initial primary
+//! mid-load — must end with a promoted backup, a measured failover time,
+//! and zero acknowledged writes lost; and the whole group's artifact must
+//! be byte-identical no matter how many workers or shards executed it.
+
+use shrimp_bench::{matrix, Scale};
+use shrimp_harness::runner::{run_sweep, RunResult, RunStatus, RunnerOptions};
+use shrimp_harness::sweep;
+
+fn kv_specs() -> Vec<shrimp_bench::RunSpec> {
+    let mut specs = matrix(Scale::Smoke, 4);
+    specs.retain(|s| s.experiment == "kv");
+    assert_eq!(specs.len(), 2, "smoke kv group changed size");
+    specs
+}
+
+fn run_ok(specs: &[shrimp_bench::RunSpec], workers: usize, shards: usize) -> Vec<RunResult> {
+    let results = run_sweep(
+        specs,
+        &RunnerOptions {
+            workers,
+            shards,
+            ..RunnerOptions::default()
+        },
+    );
+    for r in &results {
+        assert!(
+            matches!(r.status, RunStatus::Ok(_)),
+            "{} failed: {}",
+            r.spec.id(),
+            r.status.label()
+        );
+    }
+    results
+}
+
+/// The failover guarantee, end to end through the sweep runner: the
+/// primary of group 0 crashes permanently at 400 µs; a backup detects the
+/// silence, promotes itself, re-ships the inherited log, and every write
+/// the clients saw acknowledged survives the handoff — while the
+/// fault-free control row sees no promotion at all.
+#[test]
+fn kv_failover_row_promotes_and_loses_no_acked_write() {
+    let specs = kv_specs();
+    let results = run_ok(&specs, 2, 1);
+    for r in &results {
+        let record = r.status.record().expect("kv row completed");
+        let kv = record
+            .kv
+            .expect("kv rows always carry the KV metrics block");
+        assert_eq!(
+            kv.verify_failures,
+            0,
+            "{}: an acked write regressed",
+            r.spec.id()
+        );
+        assert!(kv.acked > 0, "{}: no request acknowledged", r.spec.id());
+        assert!(
+            kv.p50_ps > 0 && kv.p50_ps <= kv.p99_ps && kv.p99_ps <= kv.p999_ps,
+            "{}: degenerate latency quantiles",
+            r.spec.id()
+        );
+        if r.spec.knobs.faults.crash.is_some() {
+            assert!(
+                kv.failovers >= 1,
+                "{}: primary crash produced no promotion",
+                r.spec.id()
+            );
+            assert!(
+                kv.failover_p50_ps > 0,
+                "{}: failover time not measured",
+                r.spec.id()
+            );
+            let rec = record
+                .recovery
+                .expect("kv chaos row lacks recovery metrics");
+            assert!(
+                rec.detection_latency_ps > 0,
+                "{}: no detection latency recorded",
+                r.spec.id()
+            );
+        } else {
+            assert_eq!(
+                kv.failovers,
+                0,
+                "{}: fault-free row observed a promotion",
+                r.spec.id()
+            );
+        }
+    }
+}
+
+/// Worker count and shard count both stay out of the kv artifact: the
+/// sweep rows (latency quantiles included — the histogram merge across
+/// shards is commutative) are byte-identical however the runs execute.
+#[test]
+fn kv_artifact_is_worker_and_shard_invariant() {
+    let specs = kv_specs();
+    let serial = sweep::to_json("smoke", &run_ok(&specs, 1, 1));
+    let racing = sweep::to_json("smoke", &run_ok(&specs, 2, 4));
+    assert_eq!(serial, racing, "worker/shard count leaked into the kv rows");
+}

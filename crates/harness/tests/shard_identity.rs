@@ -167,6 +167,38 @@ fn chaos_cluster_rows_are_byte_identical_across_shard_counts() {
     );
 }
 
+/// The replicated-KV rows: open-loop load whose latency quantiles come
+/// out of the merged metrics histograms, plus a primary-crash failover —
+/// byte-identical at `--shards` 1, 2 and 4 (the histogram merge across
+/// shards is commutative and associative), and the single-shard oracle
+/// matches the committed kv baseline byte for byte.
+#[test]
+fn kv_rows_are_byte_identical_across_shard_counts() {
+    let mut specs = matrix(Scale::Smoke, 4);
+    specs.retain(|s| s.experiment == "kv");
+    assert_eq!(specs.len(), 2, "smoke kv group changed size");
+    assert!(
+        specs.iter().any(|s| s.knobs.faults.crash.is_some()),
+        "kv group lost its failover row"
+    );
+    let oracle = sweep_bytes(&specs, 1);
+    assert_eq!(
+        oracle,
+        sweep_bytes(&specs, 2),
+        "--shards 2 changed the kv rows"
+    );
+    assert_eq!(
+        oracle,
+        sweep_bytes(&specs, 4),
+        "--shards 4 changed the kv rows"
+    );
+    assert_eq!(
+        oracle,
+        committed("kv-smoke.json"),
+        "the kv artifact drifted from its committed baseline"
+    );
+}
+
 /// Cross-shard checkpoint/restore identity at the artifact level: the
 /// warm-start rows (64-node, forked from one post-warmup checkpoint)
 /// produce the same sweep rows whether they run cold, restore a

@@ -5,7 +5,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::rc::Rc;
 
-use shrimp_faults::{FaultPlane, PacketFate};
+use shrimp_faults::{FaultPlane, PacketFate, ShrimpError};
 use shrimp_sim::shard::ShardSender;
 use shrimp_sim::sync::Resource;
 use shrimp_sim::{time, Queue, Sim, Time};
@@ -203,8 +203,10 @@ struct NetworkInner<P> {
     // packet in steady state.
     route_scratch: RefCell<Vec<usize>>,
     // `Some` on a sharded backplane: the decoupled fixed-latency transport
-    // replaces the contended one wholesale.
-    decoupled: Option<Decoupled<P>>,
+    // replaces the contended one wholesale. `Rc` so delivery closures can
+    // capture the transport itself rather than re-proving its presence at
+    // each hop (the old `.expect("decoupled transport")` sites).
+    decoupled: Option<Rc<Decoupled<P>>>,
 }
 
 /// The routing backplane, generic over the packet payload type `P` (the NIC
@@ -309,7 +311,7 @@ impl<P: 'static> Network<P> {
                 stats: NetStats::new(),
                 faults: RefCell::new(None),
                 route_scratch: RefCell::new(Vec::new()),
-                decoupled: Some(decoupled),
+                decoupled: Some(Rc::new(decoupled)),
             }),
         }
     }
@@ -396,8 +398,8 @@ impl<P: 'static> Network<P> {
     where
         P: Clone + Faultable,
     {
-        if self.inner.decoupled.is_some() {
-            return self.send_decoupled(src, dst, payload_bytes, packet);
+        if let Some(d) = self.inner.decoupled.clone() {
+            return self.send_decoupled(&d, src, dst, payload_bytes, packet);
         }
         let sim = &self.inner.sim;
         let cfg = &self.inner.cfg;
@@ -405,7 +407,7 @@ impl<P: 'static> Network<P> {
         let serialization = time::transfer(wire_bytes, cfg.link_bytes_per_sec);
         let plane = self.inner.faults.borrow().clone();
 
-        let (arrival, fate) = if src == dst {
+        let (arrival, fate, salt) = if src == dst {
             let channels = self.inner.channels.borrow();
             let start = reserve_from(
                 &channels.loopback[src.0],
@@ -417,6 +419,7 @@ impl<P: 'static> Network<P> {
             (
                 start + serialization + cfg.transceiver_latency,
                 PacketFate::Deliver,
+                0,
             )
         } else {
             let detour;
@@ -483,10 +486,8 @@ impl<P: 'static> Network<P> {
                 ],
                 "{src} -> {dst}: {wire_bytes} B over {hops} hops (waited {waited} ps)"
             );
-            let fate = plane
-                .as_ref()
-                .map_or(PacketFate::Deliver, |p| p.packet_fate(src.0, dst.0));
-            (head + serialization + cfg.transceiver_latency, fate)
+            let (fate, salt) = fate_and_salt(plane.as_ref(), src, dst);
+            (head + serialization + cfg.transceiver_latency, fate, salt)
         };
 
         let ingress = self.inner.ingress[dst.0].clone();
@@ -495,12 +496,7 @@ impl<P: 'static> Network<P> {
             PacketFate::Deliver | PacketFate::Corrupt | PacketFate::Duplicate => {
                 let mut packet = packet;
                 if fate == PacketFate::Corrupt {
-                    packet.corrupt(
-                        plane
-                            .as_ref()
-                            .expect("corrupt fate without plane")
-                            .corrupt_salt(src.0, dst.0),
-                    );
+                    packet.corrupt(salt);
                 }
                 if fate == PacketFate::Duplicate {
                     let dup = packet.clone();
@@ -523,13 +519,19 @@ impl<P: 'static> Network<P> {
     /// the only kind installable on a sharded backplane), and link-fault
     /// routing depends on the send instant, which is node-local. Every
     /// injected fault is therefore identical at any shard count.
-    fn send_decoupled(&self, src: NodeId, dst: NodeId, payload_bytes: usize, mut packet: P) -> Time
+    fn send_decoupled(
+        &self,
+        d: &Rc<Decoupled<P>>,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+        mut packet: P,
+    ) -> Time
     where
         P: Clone + Faultable,
     {
         let sim = &self.inner.sim;
         let cfg = &self.inner.cfg;
-        let d = self.inner.decoupled.as_ref().expect("decoupled transport");
         let wire_bytes = (payload_bytes + cfg.header_bytes) as u64;
         let serialization = time::transfer(wire_bytes, cfg.link_bytes_per_sec);
         let plane = self.inner.faults.borrow().clone();
@@ -591,12 +593,10 @@ impl<P: 'static> Network<P> {
             );
         }
         // Loopback never touches the mesh, so packet fates cannot reach it.
-        let fate = if src == dst {
-            PacketFate::Deliver
+        let (fate, salt) = if src == dst {
+            (PacketFate::Deliver, 0)
         } else {
-            plane
-                .as_ref()
-                .map_or(PacketFate::Deliver, |p| p.packet_fate(src.0, dst.0))
+            fate_and_salt(plane.as_ref(), src, dst)
         };
         if fate == PacketFate::Drop {
             // The clamp already advanced — a dropped packet still occupied
@@ -604,12 +604,7 @@ impl<P: 'static> Network<P> {
             return arrival;
         }
         if fate == PacketFate::Corrupt {
-            packet.corrupt(
-                plane
-                    .as_ref()
-                    .expect("corrupt fate without plane")
-                    .corrupt_salt(src.0, dst.0),
-            );
+            packet.corrupt(salt);
         }
         if d.shard_map[dst.0] == d.shard {
             // Deliveries are *events at the arrival instant*: the insert
@@ -620,13 +615,15 @@ impl<P: 'static> Network<P> {
             if fate == PacketFate::Duplicate {
                 let dup = packet.clone();
                 let net = self.clone();
+                let dd = d.clone();
                 sim.schedule(arrival, move || {
-                    net.insert_decoupled(arrival, src, dst, dup);
+                    net.insert_decoupled(&dd, arrival, src, dst, dup);
                 });
             }
             let net = self.clone();
+            let dd = d.clone();
             sim.schedule(arrival, move || {
-                net.insert_decoupled(arrival, src, dst, packet);
+                net.insert_decoupled(&dd, arrival, src, dst, packet);
             });
         } else {
             if fate == PacketFate::Duplicate {
@@ -656,19 +653,37 @@ impl<P: 'static> Network<P> {
     /// Hands a cross-shard flit to this (sharded) backplane; wire the
     /// shard's `on_message` handler to this. Must be called at the flit's
     /// arrival instant — which the shard engine's dispatch guarantees.
-    pub fn deliver_remote(&self, arrival: Time, flit: Flit<P>) {
+    ///
+    /// # Errors
+    ///
+    /// [`ShrimpError::NoDecoupledTransport`] when this backplane was built
+    /// with [`Network::new`] (the contended transport): it has no reorder
+    /// heaps, so a cross-shard flit has nowhere to land. This is the typed
+    /// form of a wiring bug — a sharded engine driving an unsharded
+    /// network — and should surface as a harness error row, not a panic.
+    pub fn deliver_remote(&self, arrival: Time, flit: Flit<P>) -> Result<(), ShrimpError> {
+        let Some(d) = self.inner.decoupled.clone() else {
+            return Err(ShrimpError::NoDecoupledTransport { dst: flit.dst.0 });
+        };
         debug_assert_eq!(
             self.inner.sim.now(),
             arrival,
             "remote flit delivered off its arrival instant"
         );
-        self.insert_decoupled(arrival, flit.src, flit.dst, flit.pkt);
+        self.insert_decoupled(&d, arrival, flit.src, flit.dst, flit.pkt);
+        Ok(())
     }
 
     /// Queues one decoupled delivery and schedules the destination's drain
     /// for this instant (once per node per instant).
-    fn insert_decoupled(&self, arrival: Time, src: NodeId, dst: NodeId, packet: P) {
-        let d = self.inner.decoupled.as_ref().expect("decoupled transport");
+    fn insert_decoupled(
+        &self,
+        d: &Rc<Decoupled<P>>,
+        arrival: Time,
+        src: NodeId,
+        dst: NodeId,
+        packet: P,
+    ) {
         debug_assert_eq!(d.shard_map[dst.0], d.shard, "insert for an unowned node");
         d.heaps.borrow_mut()[dst.0].push(Reverse(HeapEntry {
             arrival,
@@ -678,23 +693,25 @@ impl<P: 'static> Network<P> {
         if d.drain_at[dst.0].get() != arrival {
             d.drain_at[dst.0].set(arrival);
             let net = self.clone();
+            let dd = d.clone();
             self.inner
                 .sim
-                .schedule(arrival, move || net.drain_decoupled(dst));
+                .schedule(arrival, move || net.drain_decoupled(&dd, dst));
         }
     }
 
     /// Delivers every queued packet whose arrival is now due into the
     /// node's ingress queue, in `(arrival, src)` order.
-    fn drain_decoupled(&self, dst: NodeId) {
-        let d = self.inner.decoupled.as_ref().expect("decoupled transport");
+    fn drain_decoupled(&self, d: &Decoupled<P>, dst: NodeId) {
         let now = self.inner.sim.now();
         let mut due = Vec::new();
         {
             let mut heaps = d.heaps.borrow_mut();
             let heap = &mut heaps[dst.0];
             while heap.peek().is_some_and(|e| e.0.arrival <= now) {
-                due.push(heap.pop().expect("peeked entry").0.pkt);
+                if let Some(Reverse(entry)) = heap.pop() {
+                    due.push(entry.pkt);
+                }
             }
         }
         let ingress = self.inner.ingress[dst.0].clone();
@@ -777,6 +794,26 @@ impl<P: 'static> Network<P> {
     }
 }
 
+/// Draws the packet fate and, for a corrupt fate, the corruption salt in one
+/// step. Pairing the two draws on the same `Option` match removes the old
+/// `.expect("corrupt fate without plane")` delivery-path panics: with no
+/// plane installed the fate is structurally `Deliver` and no salt is ever
+/// asked for.
+fn fate_and_salt(plane: Option<&FaultPlane>, src: NodeId, dst: NodeId) -> (PacketFate, u64) {
+    match plane {
+        None => (PacketFate::Deliver, 0),
+        Some(p) => {
+            let fate = p.packet_fate(src.0, dst.0);
+            let salt = if fate == PacketFate::Corrupt {
+                p.corrupt_salt(src.0, dst.0)
+            } else {
+                0
+            };
+            (fate, salt)
+        }
+    }
+}
+
 /// Books `duration` on `r` starting no earlier than `earliest`; returns the
 /// actual start time (>= earliest; later if the channel is busy).
 fn reserve_from(r: &Resource, sim: &Sim, earliest: Time, duration: Time) -> Time {
@@ -805,6 +842,26 @@ mod tests {
         let sim = Sim::new();
         let nw = Network::new(sim.clone(), MeshConfig::shrimp_4x4(), n);
         (sim, nw)
+    }
+
+    #[test]
+    fn remote_flit_on_contended_backplane_is_a_typed_error() {
+        // Regression: wiring a sharded engine's on_message handler to a
+        // backplane built with `Network::new` used to hit
+        // `.expect("decoupled transport")` and abort. The misconfiguration
+        // must surface as a `ShrimpError` the harness can report as a row.
+        let (_sim, nw) = net(4);
+        let flit = Flit {
+            src: NodeId(0),
+            dst: NodeId(3),
+            pkt: 7u64,
+        };
+        assert_eq!(
+            nw.deliver_remote(0, flit).unwrap_err(),
+            ShrimpError::NoDecoupledTransport { dst: 3 }
+        );
+        // Nothing was queued for the addressed node.
+        assert_eq!(nw.ingress(NodeId(3)).try_recv(), None);
     }
 
     #[test]

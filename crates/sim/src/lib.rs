@@ -51,7 +51,7 @@ pub mod trace;
 pub mod wheel;
 
 pub use executor::{Sim, TaskHandle};
-pub use metrics::{MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{HistogramSnapshot, MetricSample, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use queue::{unbounded, Queue, QueueReceiver, QueueSender};
 pub use rng::SimRng;
 pub use shard::{

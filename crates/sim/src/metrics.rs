@@ -35,6 +35,23 @@ pub fn bucket_of(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
+/// Inclusive value range `[lo, hi]` of bucket `i` — the inverse of
+/// [`bucket_of`]: bucket `0` holds exactly `{0}`, bucket `i >= 1` holds the
+/// values of bit length `i`, i.e. `[2^(i-1), 2^i - 1]`.
+///
+/// # Panics
+///
+/// Panics when `i >= HISTOGRAM_BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else {
+        let hi = u64::MAX >> (64 - i);
+        ((hi >> 1) + 1, hi)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Hist {
     count: u64,
@@ -379,6 +396,45 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation *within* the power-of-two bucket holding the target
+    /// rank, then clamps the estimate to the observed `[min, max]`.
+    ///
+    /// The clamp makes the edge cases exact regardless of bucket width:
+    /// `quantile(0.0) == min`, `quantile(1.0) == max`, and a histogram
+    /// whose observations are all one value returns that value for every
+    /// `q`. Interior quantiles are exact to within the bucket's span (a
+    /// factor-of-two relative error bound, the usual price of power-of-two
+    /// buckets). The estimate is monotone in `q`. Returns `0` when empty.
+    ///
+    /// Every arithmetic step is an IEEE-754 basic operation on exactly
+    /// representable inputs, so the result is bit-identical across hosts —
+    /// which is what lets sweep rows carry p50/p99/p999 fields.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut below = 0.0f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let through = below + c as f64;
+            if through >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = ((target - below) / c as f64).clamp(0.0, 1.0);
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return (v as u64).clamp(self.min, self.max);
+            }
+            below = through;
+        }
+        self.max
+    }
+}
+
 /// Everything the registry captured, in deterministic order. Plain data
 /// (`Send`), so the harness can carry it across run-thread boundaries.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -394,6 +450,93 @@ impl MetricsSnapshot {
             .iter()
             .find(|s| s.category == category && s.name == name)
             .map(|s| &s.value)
+    }
+
+    /// Folds `other` into `self`, instrument by instrument, preserving the
+    /// deterministic `(Category, name)` order.
+    ///
+    /// Counters sum and histograms merge bucket-wise (count/sum add,
+    /// min-of-mins, max-of-maxes) — both **commutative and associative**,
+    /// so folding per-shard snapshots in any grouping yields the same
+    /// totals: that is what keeps merged cluster metrics shard-count
+    /// invariant. Gauges keep the elementwise max of `last` and `max`
+    /// (there is no meaningful "last" across shards); consumers that need
+    /// shard-invariant rows should derive them from counters and
+    /// histograms only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the same `(Category, name)` key names different
+    /// instrument kinds in the two snapshots, mirroring the registry's own
+    /// kind-mismatch panic.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let mut merged = Vec::with_capacity(self.samples.len().max(other.samples.len()));
+        let (a, b) = (&self.samples, &other.samples);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let (ka, kb) = ((a[i].category, a[i].name), (b[j].category, b[j].name));
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(MetricSample {
+                        category: a[i].category,
+                        name: a[i].name,
+                        value: merge_value(&a[i].value, &b[j].value),
+                    });
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.samples = merged;
+    }
+}
+
+/// Combines two snapshots of the same instrument (see
+/// [`MetricsSnapshot::merge`] for the semantics per kind).
+fn merge_value(a: &MetricValue, b: &MetricValue) -> MetricValue {
+    match (a, b) {
+        (&MetricValue::Counter(x), &MetricValue::Counter(y)) => {
+            MetricValue::Counter(x.saturating_add(y))
+        }
+        (&MetricValue::Gauge { last: l1, max: m1 }, &MetricValue::Gauge { last: l2, max: m2 }) => {
+            MetricValue::Gauge {
+                last: l1.max(l2),
+                max: m1.max(m2),
+            }
+        }
+        (MetricValue::Histogram(x), MetricValue::Histogram(y)) => {
+            let mut buckets = vec![0u64; x.buckets.len().max(y.buckets.len())];
+            for (i, &c) in x.buckets.iter().enumerate() {
+                buckets[i] = c;
+            }
+            for (i, &c) in y.buckets.iter().enumerate() {
+                buckets[i] = buckets[i].saturating_add(c);
+            }
+            MetricValue::Histogram(HistogramSnapshot {
+                count: x.count + y.count,
+                sum: x.sum.saturating_add(y.sum),
+                // `min` is 0 (not u64::MAX) on an empty snapshot, so an
+                // empty side must not poison the merged minimum.
+                min: match (x.count, y.count) {
+                    (0, _) => y.min,
+                    (_, 0) => x.min,
+                    _ => x.min.min(y.min),
+                },
+                max: x.max.max(y.max),
+                buckets,
+            })
+        }
+        (a, b) => panic!("metric kind mismatch in merge: {a:?} vs {b:?}"),
     }
 }
 
@@ -500,6 +643,116 @@ mod tests {
         let mut w2 = SnapshotWriter::new();
         restored.snapshot_into(&mut w2);
         assert_eq!(w2.finish(), bytes);
+    }
+
+    #[test]
+    fn bucket_bounds_inverts_bucket_of() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi), i);
+            if lo > 0 {
+                assert_eq!(bucket_of(lo - 1), i - 1);
+            }
+        }
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn quantile_edges_and_interpolation() {
+        let m = MetricsRegistry::new();
+        m.enable();
+        for v in [100u64, 200, 300, 400, 1000] {
+            m.observe(Category::App, "lat", v);
+        }
+        let snap = m.snapshot();
+        let Some(MetricValue::Histogram(h)) = snap.get(Category::App, "lat") else {
+            panic!("expected a histogram");
+        };
+        assert_eq!(h.quantile(0.0), 100);
+        assert_eq!(h.quantile(1.0), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((100..=1000).contains(&p50));
+        // Monotone across a dense sweep of q.
+        let mut prev = 0;
+        for i in 0..=100 {
+            let v = h.quantile(i as f64 / 100.0);
+            assert!(v >= prev, "quantile not monotone at q={}", i as f64 / 100.0);
+            prev = v;
+        }
+        // Empty histogram.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_single_valued_data() {
+        let m = MetricsRegistry::new();
+        m.enable();
+        for _ in 0..37 {
+            m.observe(Category::App, "lat", 777);
+        }
+        let snap = m.snapshot();
+        let Some(MetricValue::Histogram(h)) = snap.get(Category::App, "lat") else {
+            panic!("expected a histogram");
+        };
+        for q in [0.0, 0.25, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 777);
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_sums_instruments() {
+        let build = |vals: &[u64], extra: bool| {
+            let m = MetricsRegistry::new();
+            m.enable();
+            m.counter_add(Category::Net, "pkts", vals.len() as u64);
+            for &v in vals {
+                m.observe(Category::App, "lat", v);
+            }
+            if extra {
+                m.gauge_set(Category::Mem, "depth", 5);
+            }
+            m.snapshot()
+        };
+        let a = build(&[1, 2, 3], true);
+        let b = build(&[1000, 2000], false);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(
+            ab.get(Category::Net, "pkts"),
+            Some(&MetricValue::Counter(5))
+        );
+        assert_eq!(
+            ab.get(Category::Mem, "depth"),
+            Some(&MetricValue::Gauge { last: 5, max: 5 })
+        );
+        let Some(MetricValue::Histogram(h)) = ab.get(Category::App, "lat") else {
+            panic!("expected a histogram");
+        };
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 2000);
+        assert_eq!(h.sum, 3006);
+        // The merged histogram equals the one a single registry would have
+        // produced from the union of observations.
+        let union = build(&[1, 2, 3, 1000, 2000], false);
+        let Some(MetricValue::Histogram(u)) = union.get(Category::App, "lat") else {
+            panic!("expected a histogram");
+        };
+        assert_eq!(h, u);
     }
 
     #[test]

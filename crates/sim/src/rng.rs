@@ -11,6 +11,7 @@
 //! change cannot silently reshuffle every experiment.
 
 pub use shrimp_testkit::rng::{splitmix64, DetRng, RangeSample};
+pub use shrimp_testkit::sample::{OpenLoopArrivals, ZipfSampler};
 
 /// The RNG type used across the reproduction.
 pub type SimRng = DetRng;

@@ -1,0 +1,79 @@
+//! Property tests for `HistogramSnapshot::quantile`: the within-bucket
+//! linear interpolation must be monotone in `q`, exact at the `[min, max]`
+//! edges, exact on single-valued data, and never stray outside the bucket
+//! holding the target rank by more than the clamp allows.
+
+use shrimp_sim::metrics::{bucket_of, HistogramSnapshot, MetricValue, MetricsRegistry};
+use shrimp_sim::Category;
+use shrimp_testkit::prop::*;
+use shrimp_testkit::{prop_assert, prop_assert_eq, props};
+
+/// Builds a snapshot histogram from raw observations.
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let m = MetricsRegistry::new();
+    m.enable();
+    for &v in values {
+        m.observe(Category::App, "q", v);
+    }
+    let snap = m.snapshot();
+    match snap.get(Category::App, "q") {
+        Some(MetricValue::Histogram(h)) => h.clone(),
+        _ => panic!("expected a histogram"),
+    }
+}
+
+props! {
+    cases = 64;
+
+    fn quantile_monotone_and_clamped(
+        values in vec_of(u64_in(0..1_000_000_000), 1..40),
+        qs in vec_of(u64_in(0..1001), 2..16)
+    ) {
+        let h = hist_of(&values);
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let mut qs: Vec<f64> = qs.iter().map(|&q| q as f64 / 1000.0).collect();
+        qs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut prev = None;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= min && v <= max, "quantile {} outside [{}, {}]", v, min, max);
+            if let Some(p) = prev {
+                prop_assert!(v >= p, "quantile not monotone: q={} gave {} after {}", q, v, p);
+            }
+            prev = Some(v);
+        }
+        prop_assert_eq!(h.quantile(0.0), min);
+        prop_assert_eq!(h.quantile(1.0), max);
+    }
+
+    fn quantile_exact_on_single_valued_data(
+        value in u64_in(0..u64::MAX),
+        n in u64_in(1..100),
+        q in u64_in(0..1001)
+    ) {
+        let values = vec![value; n as usize];
+        let h = hist_of(&values);
+        prop_assert_eq!(h.quantile(q as f64 / 1000.0), value);
+    }
+
+    fn quantile_lands_in_the_rank_bucket(
+        values in vec_of(u64_in(1..1_000_000), 1..40)
+    ) {
+        // The median estimate must sit in the same power-of-two bucket as
+        // the true median order statistic (or be clamped to min/max).
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let true_median = sorted[(sorted.len() - 1) / 2];
+        let est = h.quantile(0.5);
+        let lo_bucket = bucket_of(true_median).saturating_sub(1);
+        let hi_bucket = bucket_of(true_median) + 1;
+        let b = bucket_of(est);
+        prop_assert!(
+            (lo_bucket..=hi_bucket).contains(&b),
+            "median estimate {} (bucket {}) far from true median {} (bucket {})",
+            est, b, true_median, bucket_of(true_median)
+        );
+    }
+}

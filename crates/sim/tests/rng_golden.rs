@@ -6,7 +6,7 @@
 //! streams: an RNG refactor that alters them must update this file
 //! *deliberately* and note the cross-experiment impact in EXPERIMENTS.md.
 
-use shrimp_sim::rng::{rng_for, rng_for_entity, SimRng};
+use shrimp_sim::rng::{rng_for, rng_for_entity, OpenLoopArrivals, SimRng, ZipfSampler};
 
 #[test]
 fn fig3_seed1_first_draws_are_pinned() {
@@ -73,6 +73,35 @@ fn serialized_rng_state_is_pinned_and_resumes_byte_identically() {
         assert_eq!(a.gen_u64(), b.gen_u64(), "restored stream diverged");
     }
     assert_eq!(a.state(), b.state(), "states diverged after resume");
+}
+
+#[test]
+fn kv_workload_sampler_streams_are_pinned() {
+    // The KV experiment group's load is a pure function of these two
+    // streams: Zipf key popularity over the keyspace and the open-loop
+    // arrival process. A sampler or RNG change that shifts them reshuffles
+    // every kv sweep row, so the first draws are frozen here.
+    let z = ZipfSampler::new(4096);
+    let mut rng = rng_for("kv", 1);
+    let ranks: Vec<usize> = (0..8).map(|_| z.sample(&mut rng)).collect();
+    assert_eq!(
+        ranks,
+        vec![1492, 2522, 1, 112, 1525, 2, 0, 0],
+        "ZipfSampler(4096) stream for rng_for(\"kv\", 1) changed — \
+         every kv sweep row reshuffles"
+    );
+    let mut arr = OpenLoopArrivals::new(2_000_000, 0);
+    let mut rng = rng_for("kv-load", 1);
+    let times: Vec<u64> = (0..8).map(|_| arr.next(&mut rng)).collect();
+    assert_eq!(
+        times,
+        vec![
+            6_289_702, 6_398_067, 7_939_608, 8_904_379, 12_361_314, 13_385_039, 14_442_517,
+            15_427_161,
+        ],
+        "OpenLoopArrivals(mean 2 us) stream for rng_for(\"kv-load\", 1) changed — \
+         every kv sweep row reshuffles"
+    );
 }
 
 #[test]

@@ -20,6 +20,9 @@
 //!   false` targets): warmup, min/median/p95/max over wall-clock samples,
 //!   and machine-readable JSON written next to the human tables in
 //!   `results/`.
+//! * [`sample`] — deterministic workload samplers (Zipf key popularity,
+//!   open-loop Poisson arrivals) built on [`rng::DetRng`] with no libm in
+//!   the loop, for bit-reproducible load generation.
 
 #![warn(missing_docs)]
 
@@ -27,6 +30,8 @@ pub mod bench;
 pub mod config;
 pub mod prop;
 pub mod rng;
+pub mod sample;
 
 pub use config::HarnessConfig;
 pub use rng::DetRng;
+pub use sample::{OpenLoopArrivals, ZipfSampler};

@@ -1,0 +1,220 @@
+//! Deterministic workload samplers: Zipf key popularity and open-loop
+//! (Poisson) arrival processes, both driven by a caller-owned [`DetRng`].
+//!
+//! # Determinism
+//!
+//! Simulated workloads must be bit-reproducible across hosts, so these
+//! samplers avoid every libm entry point (`ln`, `powf`, …) whose results
+//! are not pinned by IEEE 754. The Zipf sampler is pure integer arithmetic
+//! (fixed-point harmonic weights + binary search); the exponential
+//! inter-arrival sampler uses a hand-written natural log built only from
+//! IEEE-exact basic operations (+, −, ×, ÷), which are bit-identical on
+//! every conforming platform. Golden-value pins in `rng_golden.rs`
+//! (shrimp-sim) lock both streams.
+
+use crate::rng::DetRng;
+
+/// Zipf(s = 1) sampler over ranks `0..n`: rank `k` is drawn with
+/// probability proportional to `1 / (k + 1)` — the classic heavy-tailed
+/// key-popularity model (a few hot keys take most of the traffic).
+///
+/// Weights are `floor(2^32 / (k + 1))` accumulated into a cumulative `u64`
+/// table (the harmonic sum keeps the total well under `2^64` for any
+/// realistic `n`), and a draw is one bounded RNG word plus a binary
+/// search — fully integer, so identical on every host.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// `cum[k]` = total fixed-point weight of ranks `0..=k`.
+    cum: Vec<u64>,
+}
+
+/// Fixed-point scale of one unit of probability weight.
+const ZIPF_SCALE: u64 = 1 << 32;
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is 0.
+    pub fn new(n: usize) -> ZipfSampler {
+        assert!(n > 0, "Zipf over an empty domain");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for k in 0..n as u64 {
+            total += ZIPF_SCALE / (k + 1);
+            cum.push(total);
+        }
+        ZipfSampler { cum }
+    }
+
+    /// Number of ranks in the domain.
+    pub fn n(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Draws one rank in `0..n` (rank 0 is the hottest).
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let total = *self.cum.last().expect("non-empty domain");
+        let r = rng.gen_range(0..total);
+        // First rank whose cumulative weight exceeds the draw.
+        self.cum.partition_point(|&c| c <= r)
+    }
+}
+
+/// Open-loop arrival process with exponentially distributed inter-arrival
+/// gaps (a Poisson process): arrivals fire at their scheduled instants
+/// regardless of how the system under test is keeping up, which is what
+/// makes measured latencies honest under saturation (no coordinated
+/// omission).
+///
+/// Times are in the caller's unit (the cluster uses picoseconds).
+#[derive(Debug, Clone)]
+pub struct OpenLoopArrivals {
+    mean_gap: u64,
+    next_at: u64,
+}
+
+impl OpenLoopArrivals {
+    /// A process whose gaps average `mean_gap`, with the first arrival one
+    /// gap after `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mean_gap` is 0 (the process would not advance).
+    pub fn new(mean_gap: u64, start: u64) -> OpenLoopArrivals {
+        assert!(mean_gap > 0, "open-loop arrivals need a positive mean gap");
+        OpenLoopArrivals {
+            mean_gap,
+            next_at: start,
+        }
+    }
+
+    /// Draws the next absolute arrival instant (strictly increasing).
+    pub fn next(&mut self, rng: &mut DetRng) -> u64 {
+        let gap = exponential(self.mean_gap, rng).max(1);
+        self.next_at += gap;
+        self.next_at
+    }
+}
+
+/// One exponential draw with the given mean, by inversion:
+/// `-mean * ln(u)` for uniform `u` in `(0, 1]`.
+fn exponential(mean: u64, rng: &mut DetRng) -> u64 {
+    // 53 uniform bits, offset so u is never 0 (ln(0) = -inf).
+    let u = ((rng.gen_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    let gap = -(mean as f64) * det_ln(u);
+    // The draw is theoretically unbounded; cap it at something huge but
+    // finite so the cast below is defined.
+    if gap >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        gap as u64
+    }
+}
+
+/// Natural log over positive finite inputs using only IEEE-exact basic
+/// operations, so the result is bit-identical on every conforming host
+/// (libm's `f64::ln` is not).
+///
+/// Range-reduce via the exponent bits (`x = m * 2^e`, `m` in `[1, 2)`),
+/// then evaluate `ln(m) = 2 * atanh((m - 1) / (m + 1))` by its odd power
+/// series. With `m` in `[1, 2)` the series argument is at most `1/3`, so
+/// 27 fixed terms are far below one ulp.
+fn det_ln(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x.is_finite(), "det_ln domain");
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let (e, m) = if exp == 0 {
+        // Subnormal: renormalize by scaling up 2^54 (exact).
+        let scaled = x * (1u64 << 54) as f64;
+        let sb = scaled.to_bits();
+        let se = ((sb >> 52) & 0x7ff) as i64;
+        (
+            se - 1023 - 54,
+            f64::from_bits((sb & !(0x7ffu64 << 52)) | (1023u64 << 52)),
+        )
+    } else {
+        (
+            exp - 1023,
+            f64::from_bits((bits & !(0x7ffu64 << 52)) | (1023u64 << 52)),
+        )
+    };
+    let s = (m - 1.0) / (m + 1.0);
+    let s2 = s * s;
+    // Horner evaluation of 1 + s^2/3 + s^4/5 + ... + s^52/53.
+    let mut poly = 0.0f64;
+    let mut k = 53u32;
+    while k >= 3 {
+        poly = (poly + 1.0 / k as f64) * s2;
+        k -= 2;
+    }
+    poly += 1.0;
+    // ln 2 to full f64 precision; a compile-time constant, not a libm call.
+    e as f64 * std::f64::consts::LN_2 + 2.0 * s * poly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_heavy_tailed_and_in_range() {
+        let z = ZipfSampler::new(100);
+        let mut rng = DetRng::from_seed(7);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 100);
+            counts[k] += 1;
+        }
+        // Rank 0 carries ~1/H_100 ≈ 19% of the mass; rank 99 ~0.2%.
+        assert!(counts[0] > counts[9], "head not hotter than rank 9");
+        assert!(counts[0] > 10 * counts[99], "tail not light enough");
+        // Every *hot* rank is exercised.
+        assert!(counts[..10].iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_single_rank_always_zero() {
+        let z = ZipfSampler::new(1);
+        let mut rng = DetRng::from_seed(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_with_the_right_mean() {
+        let mut a = OpenLoopArrivals::new(1_000, 0);
+        let mut rng = DetRng::from_seed(11);
+        let mut prev = 0u64;
+        let n = 20_000u64;
+        let mut last = 0u64;
+        for _ in 0..n {
+            let t = a.next(&mut rng);
+            assert!(t > prev, "arrivals must advance");
+            prev = t;
+            last = t;
+        }
+        let mean = last / n;
+        assert!(
+            (900..=1100).contains(&mean),
+            "empirical mean gap {mean} far from 1000"
+        );
+    }
+
+    #[test]
+    fn det_ln_matches_libm_to_a_few_ulps() {
+        for &x in &[
+            1e-300, 1e-12, 0.001, 0.5, 0.9999, 1.0, 1.5, 2.0, 3.0, 1e6, 1e300,
+        ] {
+            let got = det_ln(x);
+            let want = f64::ln(x);
+            let err = (got - want).abs();
+            let tol = want.abs().max(1.0) * 1e-14;
+            assert!(err <= tol, "det_ln({x}) = {got}, libm says {want}");
+        }
+        assert_eq!(det_ln(1.0), 0.0);
+    }
+}
